@@ -1,0 +1,35 @@
+//! Criterion bench for E1: cost of one coupled step (fire + transfer +
+//! atmosphere) at the paper's 60 m / 6 m resolution, coupled vs uncoupled.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wildfire_bench::standard_model;
+use wildfire_fire::ignition::IgnitionShape;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_coupled_step");
+    group.sample_size(10);
+    for coupled in [true, false] {
+        let mut model = standard_model(10, (3.0, 0.0));
+        model.coupled = coupled;
+        let mut state = model.ignite(
+            &[IgnitionShape::Circle {
+                center: (300.0, 300.0),
+                radius: 40.0,
+            }],
+            0.0,
+        );
+        // Warm the fire up so heat fluxes are active.
+        model.run(&mut state, 5.0, 0.5, |_, _| {}).unwrap();
+        let label = if coupled { "coupled" } else { "uncoupled" };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut s = state.clone();
+                model.step(&mut s, 0.5).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

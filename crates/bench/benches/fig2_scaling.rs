@@ -1,0 +1,20 @@
+//! Criterion bench for E2: ensemble forecast phase across thread counts
+//! and store backends (Fig. 2 architecture).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wildfire_bench::run_fig2;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_cycle");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("forecast_mem_{threads}t"), |b| {
+            b.iter(|| run_fig2(8, threads, false))
+        });
+    }
+    group.bench_function("forecast_disk_4t", |b| b.iter(|| run_fig2(8, 4, true)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench for E3: synthetic-scene rendering cost vs image size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wildfire_bench::run_fig3;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_render");
+    group.sample_size(10);
+    for pixels in [32usize, 64, 128] {
+        group.bench_function(format!("{pixels}px"), |b| b.iter(|| run_fig3(pixels, 30.0)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for E4: one analysis step of each filter on a displaced
+//! ensemble (the Fig. 4 comparison kernel).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wildfire_bench::{fig4_morphing_config, small_model};
+use wildfire_ensemble::driver::{EnsembleDriver, EnsembleSetup};
+use wildfire_fire::ignition::IgnitionShape;
+use wildfire_math::GaussianSampler;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_analysis");
+    group.sample_size(10);
+    let driver = EnsembleDriver::new(small_model((2.0, 1.0)), 4);
+    let setup = EnsembleSetup {
+        n_members: 12,
+        center: (180.0, 180.0),
+        radius: 25.0,
+        position_spread: 12.0,
+        seed: 5,
+    };
+    let members = driver.initial_ensemble(&setup);
+    let truth = driver.model.ignite(
+        &[IgnitionShape::Circle {
+            center: (250.0, 250.0),
+            radius: 25.0,
+        }],
+        0.0,
+    );
+    group.bench_function("standard_enkf", |b| {
+        b.iter(|| {
+            let mut ms = members.clone();
+            let mut rng = GaussianSampler::new(1);
+            driver
+                .analyze_standard(&mut ms, &truth.fire, 7, 2.0, 1.0, &mut rng)
+                .unwrap();
+        })
+    });
+    let cfg = fig4_morphing_config();
+    group.bench_function("morphing_enkf", |b| {
+        b.iter(|| {
+            let mut ms = members.clone();
+            let mut rng = GaussianSampler::new(1);
+            driver
+                .analyze_morphing(&mut ms, &truth.fire, &cfg, &mut rng)
+                .unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for E5: level-set step cost, Euler vs Heun (Heun pays
+//! one extra RHS evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wildfire_fire::ignition::IgnitionShape;
+use wildfire_fire::{FireMesh, FireState, Integrator, LevelSetSolver};
+use wildfire_fuel::FuelCategory;
+use wildfire_grid::{Grid2, VectorField2};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_levelset_step");
+    let grid = Grid2::new(121, 121, 2.0, 2.0).unwrap();
+    let mesh = FireMesh::flat(grid, FuelCategory::ShortGrass);
+    let state = FireState::ignite(
+        grid,
+        &[IgnitionShape::Circle {
+            center: (120.0, 120.0),
+            radius: 20.0,
+        }],
+        0.0,
+    );
+    let wind = VectorField2::from_fn(grid, |_, _| (5.0, 0.0));
+    for integ in [Integrator::Euler, Integrator::Heun] {
+        let mut solver = LevelSetSolver::new(mesh.clone());
+        solver.integrator = integ;
+        let dt = solver.max_stable_dt(&state, &wind).min(0.5);
+        group.bench_function(format!("{integ:?}"), |b| {
+            b.iter(|| {
+                let mut s = state.clone();
+                solver.step(&mut s, &wind, dt).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for E6: coupled-step cost vs requested dt (larger dt
+//! amortizes transfer but sub-steps internally).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wildfire_bench::standard_model;
+use wildfire_fire::ignition::IgnitionShape;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_dt_sweep");
+    group.sample_size(10);
+    let model = standard_model(10, (3.0, 0.0));
+    let mut state0 = model.ignite(
+        &[IgnitionShape::Circle {
+            center: (300.0, 300.0),
+            radius: 30.0,
+        }],
+        0.0,
+    );
+    model.run(&mut state0, 2.0, 0.5, |_, _| {}).unwrap();
+    for dt in [0.25f64, 0.5, 1.0] {
+        group.bench_function(format!("dt_{dt}"), |b| {
+            b.iter(|| {
+                let mut s = state0.clone();
+                model.step(&mut s, dt).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for E8: registration cost (the dominant kernel of the
+//! morphing EnKF's transform phase).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wildfire_enkf::{register, RegistrationConfig};
+use wildfire_grid::{Field2, Grid2};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_register");
+    group.sample_size(10);
+    let grid = Grid2::new(61, 61, 2.0, 2.0).unwrap();
+    let cone = |cx: f64| {
+        Field2::from_world_fn(grid, move |x, y| {
+            ((x - cx).powi(2) + (y - 60.0_f64).powi(2)).sqrt() - 15.0
+        })
+    };
+    let u0 = cone(60.0);
+    let u = cone(85.0);
+    let cfg = RegistrationConfig {
+        max_shift: 60.0,
+        shift_samples: 9,
+        levels: vec![3, 5],
+        iterations: 30,
+        ..Default::default()
+    };
+    group.bench_function("displaced_cone_61x61", |b| {
+        b.iter(|| register(&u, &u0, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E4 / Fig. 4 harness: identical-twin comparison of the standard EnKF and
+//! the morphing EnKF with the ensemble ignited at an intentionally wrong
+//! location (paper: 25 members, assimilation after 15 minutes).
+
+use wildfire_bench::run_fig4;
+use wildfire_ensemble::driver::FilterKind;
+
+fn main() {
+    let n_members = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+    let lead = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(900.0); // 15 min, as in the paper
+    let offset = (90.0, 60.0);
+    println!(
+        "== Fig. 4: {n_members} members, ignition displaced by ({:.0},{:.0}) m, analysis at t={lead} s ==",
+        offset.0, offset.1
+    );
+    println!(
+        "{:>10} {:>13} {:>13} {:>13} {:>14} {:>11}",
+        "filter", "fcst pos [m]", "anal pos [m]", "fcst shape", "anal shape", "area ratio"
+    );
+    let mut results = Vec::new();
+    for filter in [FilterKind::Standard, FilterKind::Morphing] {
+        let r = run_fig4(filter, n_members, offset, lead, 2024);
+        println!(
+            "{:>10} {:>13.1} {:>13.1} {:>13.0} {:>14.0} {:>11.2}",
+            format!("{:?}", r.filter),
+            r.forecast.mean_position_error,
+            r.analysis.mean_position_error,
+            r.forecast.mean_shape_error,
+            r.analysis.mean_shape_error,
+            r.analysis.mean_area_ratio,
+        );
+        results.push(r);
+    }
+    let std_r = &results[0];
+    let mor_r = &results[1];
+    println!("\n== Fig. 4 shape checks (paper: standard EnKF diverges from the data, ==");
+    println!("==                        morphing EnKF keeps closer to the data)     ==");
+    println!(
+        "shape error (symmetric difference vs data): morphing {:.0} m2 vs standard {:.0} m2 -> {}",
+        mor_r.analysis.mean_shape_error,
+        std_r.analysis.mean_shape_error,
+        if mor_r.analysis.mean_shape_error < std_r.analysis.mean_shape_error {
+            "MORPHING CLOSER (reproduced)"
+        } else {
+            "NOT reproduced"
+        }
+    );
+    println!(
+        "position error: morphing {:.1} m vs standard {:.1} m",
+        mor_r.analysis.mean_position_error, std_r.analysis.mean_position_error,
+    );
+    println!(
+        "standard-EnKF burned-area inflation: x{:.2} of truth (additive update pathology); morphing: x{:.2}",
+        std_r.analysis.mean_area_ratio, mor_r.analysis.mean_area_ratio,
+    );
+}

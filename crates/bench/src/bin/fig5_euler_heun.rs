@@ -1,0 +1,33 @@
+//! E5 / §2.2 ablation harness: Heun vs explicit Euler, Godunov vs central
+//! gradients, across time-step multiples of the CFL bound. Reproduces the
+//! comparison behind the paper's integrator choice and records where our
+//! clean discretization deviates from the paper's prose (see EXPERIMENTS.md).
+
+use wildfire_bench::run_fig5;
+
+fn main() {
+    let multiples = [0.5, 1.0, 2.0, 3.0, 4.0];
+    let points = run_fig5(&multiples);
+    println!("== E5: burned-area ratio to converged reference after 120 s ==");
+    println!(
+        "{:>8} {:>18} {:>18} {:>18} {:>18}",
+        "dt/CFL", "Heun+Godunov", "Euler+Godunov", "Heun+Central", "Euler+Central"
+    );
+    for chunk in points.chunks(4) {
+        println!(
+            "{:>8.2} {:>18.3} {:>18.3} {:>18.3} {:>18.3}",
+            chunk[0].cfl_multiple,
+            chunk[0].area_ratio,
+            chunk[1].area_ratio,
+            chunk[2].area_ratio,
+            chunk[3].area_ratio
+        );
+    }
+    println!("\nFindings (recorded in EXPERIMENTS.md E5):");
+    println!("- at CFL-stable steps, Heun and Euler coincide under Godunov upwinding;");
+    println!("- beyond ~3x the bound the two-stage method overshoots (fire too fast)");
+    println!("  while monotone Euler stays near the reference;");
+    println!("- with non-monotone central gradients, Euler destabilizes first -");
+    println!("  supporting the paper's production choice (Heun + Godunov) while its");
+    println!("  specific 'Euler stalls the fire' artifact does not arise here.");
+}

@@ -1,0 +1,22 @@
+//! E6 / §2.3 harness: the paper's reference configuration (0.5 s step, 60 m
+//! atmosphere mesh, 6 m fire mesh) satisfies the CFL conditions in both
+//! media; sweep dt and report stability.
+
+use wildfire_bench::{fig6_native_bounds, run_fig6};
+
+fn main() {
+    let (fire_bound, atmos_bound) = fig6_native_bounds();
+    println!("== E6: CFL bounds of the paper configuration (60 m atmos / 6 m fire) ==");
+    println!("fire level-set CFL bound       : {fire_bound:.2} s");
+    println!("atmosphere advective CFL bound : {atmos_bound:.2} s");
+    println!(
+        "paper's dt = 0.5 s satisfies both: {}",
+        if fire_bound > 0.5 && atmos_bound > 0.5 { "YES (paper reproduced)" } else { "NO" }
+    );
+    println!("\n{:>8} {:>8} {:>14}", "dt [s]", "stable", "area [m2]");
+    for p in run_fig6(&[0.25, 0.5, 1.0, 2.0, 4.0]) {
+        println!("{:>8.2} {:>8} {:>14.0}", p.dt, p.stable, p.burned_area);
+    }
+    println!("\n(Components sub-step internally, so larger coupled dt remains stable");
+    println!("at increased per-step cost; the native-bound check above is the paper's claim.)");
+}

@@ -1,0 +1,20 @@
+//! E8 harness: registration recovery of known displacements - the
+//! capability that makes the morphing EnKF work at large position errors.
+
+use wildfire_bench::run_fig8;
+
+fn main() {
+    println!("== E8: registration of displaced fire cones ==");
+    println!(
+        "{:>12} {:>16} {:>18}",
+        "shift [m]", "recovered [m]", "misfit vs raw"
+    );
+    for p in run_fig8(&[0.0, 10.0, 20.0, 40.0, 60.0]) {
+        println!(
+            "{:>12.1} {:>16.1} {:>18.4}",
+            p.true_shift, p.recovered_shift, p.relative_misfit
+        );
+    }
+    println!("\nShape check: recovered magnitude tracks the true shift and the");
+    println!("registered misfit is a small fraction of the unregistered one.");
+}

@@ -1,0 +1,652 @@
+//! Experiment implementations, one per reproduced figure/claim.
+
+use std::time::Instant;
+use wildfire_atmos::state::AtmosGrid;
+use wildfire_atmos::AtmosParams;
+use wildfire_core::{CoupledModel, CoupledState};
+use wildfire_enkf::{MorphingConfig, RegistrationConfig};
+use wildfire_ensemble::driver::{EnsembleDriver, EnsembleSetup, FilterKind};
+use wildfire_ensemble::metrics::{evaluate_coupled_ensemble, EnsembleMetrics};
+use wildfire_ensemble::store::{DiskStore, MemStore, StateStore};
+use wildfire_fire::ignition::IgnitionShape;
+use wildfire_fire::levelset::GradientScheme;
+use wildfire_fire::{FireMesh, FireState, Integrator, LevelSetSolver};
+use wildfire_fuel::FuelCategory;
+use wildfire_grid::{Grid2, VectorField2};
+use wildfire_math::GaussianSampler;
+use wildfire_obs::image_obs::ImageObservation;
+use wildfire_obs::station::{synthesize_reports, WeatherStation};
+use wildfire_scene::render::{radiative_fraction, SceneConfig};
+
+/// The standard coupled model used across experiments: 600 m × 600 m
+/// domain, 60 m atmosphere cells × 6 levels, fire mesh refined to the
+/// paper's 6 m when `refinement = 10`.
+pub fn standard_model(refinement: usize, ambient_wind: (f64, f64)) -> CoupledModel {
+    CoupledModel::new(
+        AtmosGrid {
+            nx: 10,
+            ny: 10,
+            nz: 6,
+            dx: 60.0,
+            dy: 60.0,
+            dz: 50.0,
+        },
+        AtmosParams {
+            ambient_wind,
+            ..Default::default()
+        },
+        FuelCategory::ShortGrass,
+        refinement,
+    )
+    .expect("standard model configuration is valid")
+}
+
+/// A smaller, faster model for ensemble experiments.
+pub fn small_model(ambient_wind: (f64, f64)) -> CoupledModel {
+    CoupledModel::new(
+        AtmosGrid {
+            nx: 8,
+            ny: 8,
+            nz: 5,
+            dx: 60.0,
+            dy: 60.0,
+            dz: 50.0,
+        },
+        AtmosParams {
+            ambient_wind,
+            ..Default::default()
+        },
+        FuelCategory::ShortGrass,
+        5,
+    )
+    .expect("small model configuration is valid")
+}
+
+// ---------------------------------------------------------------------------
+// E1 — Fig. 1: coupled fire–atmosphere simulation.
+// ---------------------------------------------------------------------------
+
+/// One sampled instant of the Fig. 1 run.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1Sample {
+    /// Simulation time (s).
+    pub time: f64,
+    /// Burned area (m²).
+    pub burned_area: f64,
+    /// Maximum updraft (m/s).
+    pub max_updraft: f64,
+    /// Downwind front reach from the domain center (m).
+    pub downwind_reach: f64,
+    /// Front irregularity: std of front radius about the centroid (m).
+    pub irregularity: f64,
+    /// Number of separate burning regions.
+    pub components: usize,
+}
+
+/// Result of the Fig. 1 experiment for one coupling setting.
+#[derive(Debug, Clone)]
+pub struct Fig1Series {
+    /// Whether two-way coupling was active.
+    pub coupled: bool,
+    /// Time series of samples.
+    pub samples: Vec<Fig1Sample>,
+}
+
+/// Runs the Fig. 1 scenario: two line ignitions and one circle ignition
+/// that merge while the fire couples to the atmosphere.
+pub fn run_fig1(coupled: bool, t_end: f64, sample_every: f64) -> Fig1Series {
+    let mut model = standard_model(10, (3.0, 0.0));
+    model.coupled = coupled;
+    let shapes = vec![
+        IgnitionShape::Line {
+            start: (150.0, 210.0),
+            end: (150.0, 330.0),
+            half_width: 6.0,
+        },
+        IgnitionShape::Line {
+            start: (210.0, 150.0),
+            end: (330.0, 150.0),
+            half_width: 6.0,
+        },
+        IgnitionShape::Circle {
+            center: (330.0, 330.0),
+            radius: 25.0,
+        },
+    ];
+    let mut state = model.ignite(&shapes, 0.0);
+    let mut samples = Vec::new();
+    let mut next_sample = 0.0;
+    let g = model.fire_grid;
+    let center = (
+        g.origin.0 + g.extent().0 / 2.0,
+        g.origin.1 + g.extent().1 / 2.0,
+    );
+    let mut push = |state: &CoupledState, updraft: f64| {
+        let shape = wildfire_fire::perimeter::front_shape(&state.fire.psi);
+        // Downwind reach: farthest burning node in +x from the center.
+        let mut reach = 0.0_f64;
+        for iy in 0..g.ny {
+            for ix in 0..g.nx {
+                if state.fire.psi.get(ix, iy) < 0.0 {
+                    let (x, _) = g.world(ix, iy);
+                    reach = reach.max(x - center.0);
+                }
+            }
+        }
+        samples.push(Fig1Sample {
+            time: state.time(),
+            burned_area: state.fire.burned_area(),
+            max_updraft: updraft,
+            downwind_reach: reach,
+            irregularity: shape.map(|s| s.radius_std).unwrap_or(0.0),
+            components: wildfire_fire::perimeter::burning_components(&state.fire.psi),
+        });
+    };
+    push(&state, 0.0);
+    while state.time() < t_end {
+        let diag = model.step(&mut state, 0.5).expect("fig1 step");
+        if state.time() >= next_sample {
+            push(&state, diag.max_updraft);
+            next_sample += sample_every;
+        }
+    }
+    Fig1Series { coupled, samples }
+}
+
+// ---------------------------------------------------------------------------
+// E2 — Fig. 2: parallel assimilation-cycle scaling.
+// ---------------------------------------------------------------------------
+
+/// Wall-clock result of one scaling configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig2Point {
+    /// Worker threads.
+    pub threads: usize,
+    /// Forecast wall time (s).
+    pub forecast_secs: f64,
+    /// Analysis wall time (s).
+    pub analysis_secs: f64,
+    /// Whether the disk-backed state exchange was used.
+    pub disk: bool,
+}
+
+/// Measures the forecast + analysis wall time for `n_members` members on
+/// `threads` workers, optionally routing states through a disk store.
+pub fn run_fig2(n_members: usize, threads: usize, disk: bool) -> Fig2Point {
+    let model = small_model((3.0, 0.0));
+    let driver = EnsembleDriver::new(model, threads);
+    let setup = EnsembleSetup {
+        n_members,
+        center: (200.0, 200.0),
+        radius: 25.0,
+        position_spread: 12.0,
+        seed: 42,
+    };
+    let mut members = driver.initial_ensemble(&setup);
+    let truth = driver.model.ignite(
+        &[IgnitionShape::Circle {
+            center: (230.0, 230.0),
+            radius: 25.0,
+        }],
+        0.0,
+    );
+
+    let t0 = Instant::now();
+    if disk {
+        let dir = std::env::temp_dir().join(format!(
+            "wf_fig2_{}_{}_{}",
+            std::process::id(),
+            threads,
+            n_members
+        ));
+        let store = DiskStore::new(&dir).expect("temp dir");
+        driver
+            .forecast_via_store(&mut members, &store, 30.0, 0.5)
+            .expect("forecast");
+        std::fs::remove_dir_all(&dir).ok();
+    } else {
+        let store = MemStore::new();
+        driver
+            .forecast_via_store(&mut members, &store, 30.0, 0.5)
+            .expect("forecast");
+        let _ = store.members();
+    }
+    let forecast_secs = t0.elapsed().as_secs_f64();
+
+    let mut rng = GaussianSampler::new(7);
+    let t1 = Instant::now();
+    driver
+        .analyze_standard(&mut members, &truth.fire, 7, 2.0, 1.0, &mut rng)
+        .expect("analysis");
+    let analysis_secs = t1.elapsed().as_secs_f64();
+    Fig2Point {
+        threads,
+        forecast_secs,
+        analysis_secs,
+        disk,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E3 — Fig. 3: synthetic infrared scene.
+// ---------------------------------------------------------------------------
+
+/// Metrics of the rendered scene.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// The rendered image.
+    pub image: wildfire_scene::SceneImage,
+    /// Ratio of the brightest to the median pixel radiance.
+    pub contrast: f64,
+    /// Peak brightness temperature (K).
+    pub peak_brightness_temp: f64,
+    /// Background brightness temperature (K).
+    pub background_brightness_temp: f64,
+    /// Radiative fraction of total heat release.
+    pub radiative_fraction: f64,
+}
+
+/// Renders the Fig. 3 grass-fire scene from 3000 m and computes the FRE
+/// validation quantities.
+pub fn run_fig3(pixels: usize, burn_time: f64) -> Fig3Result {
+    let model = standard_model(10, (4.0, 0.0));
+    let mut state = model.ignite(
+        &[IgnitionShape::Circle {
+            center: (300.0, 300.0),
+            radius: 40.0,
+        }],
+        0.0,
+    );
+    model
+        .run(&mut state, burn_time, 0.5, |_, _| {})
+        .expect("fig3 run");
+    let obs = ImageObservation::over_fire_domain(&model, 3000.0, pixels);
+    let image = obs.synthetic_image(&model, &state).expect("render");
+    let mut sorted = image.data.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite radiance"));
+    let median = sorted[sorted.len() / 2];
+    let max = *sorted.last().expect("nonempty");
+    let bt = image.to_brightness_temperature();
+    let peak_bt = bt.iter().cloned().fold(0.0_f64, f64::max);
+    let bg_bt = {
+        let mut s = bt.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        s[s.len() / 2]
+    };
+    let wind = model.fire_wind(&state).expect("wind");
+    // FRP/HRR is meaningful while the front actively burns; evaluated late,
+    // the slowly cooling scar (75 s / 250 s double exponential) still
+    // radiates long after the exponential mass loss has ended, and the
+    // instantaneous ratio diverges. Evaluate during active burning: 15 s
+    // after this fire's ignition.
+    let frac = radiative_fraction(
+        &model.fire.mesh,
+        &state.fire,
+        &wind,
+        15.0,
+        &SceneConfig::default(),
+    );
+    Fig3Result {
+        contrast: max / median.max(1e-12),
+        peak_brightness_temp: peak_bt,
+        background_brightness_temp: bg_bt,
+        radiative_fraction: frac,
+        image,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E4 — Fig. 4: standard vs morphing EnKF identical twin.
+// ---------------------------------------------------------------------------
+
+/// One filter's trajectory through the twin experiment.
+#[derive(Debug, Clone)]
+pub struct Fig4Outcome {
+    /// Filter used.
+    pub filter: FilterKind,
+    /// Metrics of the initial (displaced) ensemble.
+    pub initial: EnsembleMetrics,
+    /// Metrics after the forecast to the analysis time.
+    pub forecast: EnsembleMetrics,
+    /// Metrics after the analysis.
+    pub analysis: EnsembleMetrics,
+}
+
+/// Morphing configuration used by E4 (shift search wide enough to span the
+/// deliberate ignition displacement).
+pub fn fig4_morphing_config() -> MorphingConfig {
+    MorphingConfig {
+        registration: RegistrationConfig {
+            max_shift: 150.0,
+            shift_samples: 9,
+            levels: vec![3],
+            iterations: 20,
+            ..Default::default()
+        },
+        // The thermal image constrains fire POSITION far better than field
+        // amplitudes, so the displacement block carries the weight.
+        sigma_amplitude: 10.0,
+        sigma_displacement: 5.0,
+        observed_fields: vec![0],
+        ..Default::default()
+    }
+}
+
+/// Runs the Fig. 4 experiment: truth ignited at one location, the
+/// `n_members`-member ensemble at an intentionally wrong location
+/// (displaced by `offset` m), forecast for `lead_time`, then one analysis
+/// with the given filter (the paper assimilates after 15 min with 25
+/// members).
+pub fn run_fig4(
+    filter: FilterKind,
+    n_members: usize,
+    offset: (f64, f64),
+    lead_time: f64,
+    seed: u64,
+) -> Fig4Outcome {
+    let model = small_model((2.0, 1.0));
+    let driver = EnsembleDriver::new(model, 4);
+    let truth_center = (250.0, 250.0);
+    let mut truth = driver.model.ignite(
+        &[IgnitionShape::Circle {
+            center: truth_center,
+            radius: 25.0,
+        }],
+        0.0,
+    );
+    let setup = EnsembleSetup {
+        n_members,
+        center: (truth_center.0 - offset.0, truth_center.1 - offset.1),
+        radius: 25.0,
+        position_spread: 12.0,
+        seed,
+    };
+    let mut members = driver.initial_ensemble(&setup);
+    let initial = evaluate_coupled_ensemble(&members, &truth);
+
+    driver
+        .model
+        .run(&mut truth, lead_time, 0.5, |_, _| {})
+        .expect("truth run");
+    driver
+        .forecast(&mut members, lead_time, 0.5)
+        .expect("ensemble forecast");
+    let forecast = evaluate_coupled_ensemble(&members, &truth);
+
+    let mut rng = GaussianSampler::new(seed ^ 0xABCD);
+    match filter {
+        FilterKind::Standard => driver
+            .analyze_standard(&mut members, &truth.fire, 7, 2.0, 1.02, &mut rng)
+            .expect("standard analysis"),
+        FilterKind::Morphing => driver
+            .analyze_morphing(&mut members, &truth.fire, &fig4_morphing_config(), &mut rng)
+            .expect("morphing analysis"),
+    }
+    let analysis = evaluate_coupled_ensemble(&members, &truth);
+    Fig4Outcome {
+        filter,
+        initial,
+        forecast,
+        analysis,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E5 — §2.2 ablation: Euler vs Heun.
+// ---------------------------------------------------------------------------
+
+/// One integrator/scheme/step configuration of the E5 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Point {
+    /// Integrator.
+    pub integrator: Integrator,
+    /// Gradient scheme.
+    pub gradient: GradientScheme,
+    /// Step size as a multiple of the CFL bound.
+    pub cfl_multiple: f64,
+    /// Burned area at the end relative to the converged reference.
+    pub area_ratio: f64,
+}
+
+/// Runs a circular grass fire under wind for 120 s with the given scheme
+/// and time step; returns the burned area.
+fn fig5_single(integ: Integrator, grad: GradientScheme, cfl_multiple: f64) -> f64 {
+    let grid = Grid2::new(81, 81, 2.0, 2.0).expect("grid");
+    let mesh = FireMesh::flat(grid, FuelCategory::ShortGrass);
+    let mut solver = LevelSetSolver::new(mesh);
+    solver.integrator = integ;
+    solver.gradient = grad;
+    solver.enforce_cfl = false;
+    let (ex, ey) = grid.extent();
+    let mut state = FireState::ignite(
+        grid,
+        &[IgnitionShape::Circle {
+            center: (ex / 2.0, ey / 2.0),
+            radius: 8.0,
+        }],
+        0.0,
+    );
+    let wind = VectorField2::from_fn(grid, |_, _| (6.0, 0.0));
+    let dt0 = {
+        let (_, smax) = solver.rhs(&state.psi, &wind);
+        1.0 / (smax * (2.0 / grid.dx))
+    };
+    let dt = dt0 * cfl_multiple;
+    while state.time < 120.0 {
+        solver.step(&mut state, &wind, dt).expect("fig5 step");
+        if !state.psi.all_finite() {
+            return f64::NAN;
+        }
+    }
+    state.burned_area()
+}
+
+/// Full E5 sweep over integrators, gradient schemes, and CFL multiples.
+pub fn run_fig5(cfl_multiples: &[f64]) -> Vec<Fig5Point> {
+    let reference = fig5_single(Integrator::Heun, GradientScheme::Godunov, 0.25);
+    let mut out = Vec::new();
+    for &m in cfl_multiples {
+        for (integ, grad) in [
+            (Integrator::Heun, GradientScheme::Godunov),
+            (Integrator::Euler, GradientScheme::Godunov),
+            (Integrator::Heun, GradientScheme::Central),
+            (Integrator::Euler, GradientScheme::Central),
+        ] {
+            let area = fig5_single(integ, grad, m);
+            out.push(Fig5Point {
+                integrator: integ,
+                gradient: grad,
+                cfl_multiple: m,
+                area_ratio: area / reference,
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E6 — §2.3: CFL stability of the coupled configuration.
+// ---------------------------------------------------------------------------
+
+/// Outcome of one coupled run at a fixed requested step.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Point {
+    /// Requested coupled step (s).
+    pub dt: f64,
+    /// Whether the run completed with finite fields.
+    pub stable: bool,
+    /// Final burned area (m²), NaN if unstable.
+    pub burned_area: f64,
+}
+
+/// Steps the paper's 60 m / 6 m configuration at several dt values. The
+/// components sub-step internally to their own CFL bounds, so "stability"
+/// here verifies the paper's claim that dt = 0.5 s satisfies both bounds
+/// natively (no sub-stepping), measured by comparing step counts.
+pub fn run_fig6(dts: &[f64]) -> Vec<Fig6Point> {
+    dts.iter()
+        .map(|&dt| {
+            let model = standard_model(10, (3.0, 0.0));
+            let mut state = model.ignite(
+                &[IgnitionShape::Circle {
+                    center: (300.0, 300.0),
+                    radius: 30.0,
+                }],
+                0.0,
+            );
+            let mut ok = true;
+            let mut t = 0.0;
+            while t < 60.0 {
+                match model.step(&mut state, dt) {
+                    Ok(_) => {}
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+                t = state.time();
+                if !state.atmos.all_finite() || !state.fire.psi.all_finite() {
+                    ok = false;
+                    break;
+                }
+            }
+            Fig6Point {
+                dt,
+                stable: ok,
+                burned_area: if ok { state.fire.burned_area() } else { f64::NAN },
+            }
+        })
+        .collect()
+}
+
+/// Verifies that the paper's native step (0.5 s) respects both CFL bounds
+/// without sub-stepping; returns (fire bound, atmosphere bound) in seconds.
+pub fn fig6_native_bounds() -> (f64, f64) {
+    let model = standard_model(10, (3.0, 0.0));
+    let state = model.ignite(
+        &[IgnitionShape::Circle {
+            center: (300.0, 300.0),
+            radius: 30.0,
+        }],
+        0.0,
+    );
+    let wind = model.fire_wind(&state).expect("wind");
+    let fire_bound = model.fire.max_stable_dt(&state.fire, &wind);
+    let atmos_bound = model.atmos.max_stable_dt(&state.atmos);
+    (fire_bound, atmos_bound)
+}
+
+// ---------------------------------------------------------------------------
+// E7 — §3.1: weather-station observation operator.
+// ---------------------------------------------------------------------------
+
+/// Innovation statistics over a station network.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Result {
+    /// Number of stations.
+    pub n_stations: usize,
+    /// Mean absolute temperature innovation for a perfect model (should be
+    /// ≈ the synthetic observation noise).
+    pub mean_abs_innovation: f64,
+    /// Number of stations flagged as fire-adjacent.
+    pub fire_flags: usize,
+    /// Observation-operator evaluations per second (throughput).
+    pub obs_per_sec: f64,
+}
+
+/// Runs the station-network experiment over a short coupled burn.
+pub fn run_fig7(n_stations: usize, noise_temp: f64) -> Fig7Result {
+    let model = small_model((3.0, 0.0));
+    let mut truth = model.ignite(
+        &[IgnitionShape::Circle {
+            center: (240.0, 240.0),
+            radius: 30.0,
+        }],
+        0.0,
+    );
+    model.run(&mut truth, 20.0, 0.5, |_, _| {}).expect("run");
+    let mut rng = GaussianSampler::new(17);
+    let stations: Vec<WeatherStation> = (0..n_stations)
+        .map(|i| {
+            let fx = (i % 5) as f64;
+            let fy = (i / 5) as f64;
+            WeatherStation::new(format!("S{i:02}"), 80.0 + fx * 80.0, 80.0 + fy * 80.0)
+        })
+        .collect();
+    let reports = synthesize_reports(&stations, &truth, 300.0, noise_temp, 0.5, &mut rng);
+    let t0 = Instant::now();
+    let mut total_innov = 0.0;
+    let mut fire_flags = 0;
+    for (s, r) in stations.iter().zip(reports.iter()) {
+        let obs = s.observe(&truth, 300.0);
+        total_innov += (r.temperature - obs.temperature).abs();
+        if obs.fire_nearby {
+            fire_flags += 1;
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    Fig7Result {
+        n_stations,
+        mean_abs_innovation: total_innov / n_stations as f64,
+        fire_flags,
+        obs_per_sec: n_stations as f64 / elapsed.max(1e-9),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E8 — registration quality.
+// ---------------------------------------------------------------------------
+
+/// Registration recovery of one known displacement.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8Point {
+    /// True displacement magnitude (m).
+    pub true_shift: f64,
+    /// Recovered displacement magnitude at the fire location (m).
+    pub recovered_shift: f64,
+    /// Residual data misfit relative to the unregistered misfit.
+    pub relative_misfit: f64,
+}
+
+/// Registers displaced fire-like cones over a range of shifts.
+pub fn run_fig8(shifts: &[f64]) -> Vec<Fig8Point> {
+    let grid = Grid2::new(61, 61, 2.0, 2.0).expect("grid");
+    let cone = |cx: f64, cy: f64| {
+        wildfire_grid::Field2::from_world_fn(grid, |x, y| {
+            ((x - cx).powi(2) + (y - cy).powi(2)).sqrt() - 15.0
+        })
+    };
+    let cfg = RegistrationConfig {
+        max_shift: 80.0,
+        shift_samples: 9,
+        levels: vec![3, 5],
+        iterations: 30,
+        ..Default::default()
+    };
+    shifts
+        .iter()
+        .map(|&s| {
+            let u0 = cone(60.0, 60.0);
+            let u = cone(60.0 + s, 60.0);
+            let t = wildfire_enkf::register(&u, &u0, &cfg).expect("register");
+            let (tx, ty) = t.sample(60.0 + s, 60.0);
+            let recovered = (tx * tx + ty * ty).sqrt();
+            // Misfit after registration vs before.
+            let mut reg = 0.0;
+            let mut raw = 0.0;
+            for iy in 0..grid.ny {
+                for ix in 0..grid.nx {
+                    let (x, y) = grid.world(ix, iy);
+                    let (px, py) = t.displace(x, y);
+                    reg += (u.get(ix, iy) - u0.sample_bilinear(px, py)).powi(2);
+                    raw += (u.get(ix, iy) - u0.get(ix, iy)).powi(2);
+                }
+            }
+            Fig8Point {
+                true_shift: s,
+                recovered_shift: recovered,
+                relative_misfit: reg / raw.max(1e-12),
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,349 @@
+//! The two-way coupled fire–atmosphere model.
+
+use crate::diagnostics::StepDiagnostics;
+use crate::{CoupledError, Result};
+use wildfire_atmos::state::AtmosGrid;
+use wildfire_atmos::{AtmosModel, AtmosParams, AtmosState};
+use wildfire_fire::heat::heat_fluxes;
+use wildfire_fire::ignition::IgnitionShape;
+use wildfire_fire::{FireMesh, FireState, FuelMap, LevelSetSolver};
+use wildfire_fuel::FuelCategory;
+use wildfire_grid::transfer::{prolong, restrict};
+use wildfire_grid::{Field2, Grid2, VectorField2};
+
+/// Joint state of the coupled system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoupledState {
+    /// Fire state `(ψ, t_i)` on the fine mesh.
+    pub fire: FireState,
+    /// Atmospheric state on the coarse 3-D grid.
+    pub atmos: AtmosState,
+}
+
+impl CoupledState {
+    /// Simulation time (the two components are kept in lock-step).
+    pub fn time(&self) -> f64 {
+        self.fire.time
+    }
+}
+
+/// The coupled model (see crate docs for the step sequence).
+#[derive(Debug, Clone)]
+pub struct CoupledModel {
+    /// Atmospheric component (WRF substitute).
+    pub atmos: AtmosModel,
+    /// Fire component: level-set solver on the fine mesh.
+    pub fire: LevelSetSolver,
+    /// Fine fire grid, node-aligned with [`AtmosGrid::horizontal`].
+    pub fire_grid: Grid2,
+    /// Two-way coupling switch. `true`: fire sees the evolving atmospheric
+    /// wind and feeds heat back. `false`: fire sees only the ambient wind
+    /// and the atmosphere receives no heat (the Fig. 1 baseline).
+    pub coupled: bool,
+}
+
+impl CoupledModel {
+    /// Builds a coupled model over `atmos_grid` with the fire mesh refined
+    /// `refinement`× relative to the atmospheric cells (the paper: 10), with
+    /// uniform fuel and flat terrain. Use [`CoupledModel::with_fire_mesh`]
+    /// for heterogeneous landscapes.
+    ///
+    /// # Errors
+    /// Propagates invalid grids; `refinement` must be ≥ 1.
+    pub fn new(
+        atmos_grid: AtmosGrid,
+        atmos_params: AtmosParams,
+        fuel: FuelCategory,
+        refinement: usize,
+    ) -> Result<Self> {
+        let fire_grid = Self::fire_grid_for(&atmos_grid, refinement)?;
+        let mesh = FireMesh::flat(fire_grid, fuel);
+        Self::with_fire_mesh(atmos_grid, atmos_params, mesh)
+    }
+
+    /// Builds a coupled model with an explicit fire mesh (fuel map, terrain).
+    ///
+    /// # Errors
+    /// [`CoupledError::Config`] when the fire mesh is not node-aligned with
+    /// the atmosphere's horizontal grid.
+    pub fn with_fire_mesh(
+        atmos_grid: AtmosGrid,
+        atmos_params: AtmosParams,
+        mesh: FireMesh,
+    ) -> Result<Self> {
+        let atmos = AtmosModel::new(atmos_grid, atmos_params)?;
+        let fire_grid = mesh.grid;
+        // Validate alignment once, eagerly.
+        wildfire_grid::transfer::refinement_between(&fire_grid, &atmos_grid.horizontal())
+            .map_err(|_| CoupledError::Config("fire mesh not aligned with atmosphere grid"))?;
+        Ok(CoupledModel {
+            atmos,
+            fire: LevelSetSolver::new(mesh),
+            fire_grid,
+            coupled: true,
+        })
+    }
+
+    /// The fine grid matching `atmos_grid.horizontal()` at the given
+    /// refinement: `r·(n−1)+1` nodes per axis, spacing `dx/r`, same origin.
+    ///
+    /// # Errors
+    /// [`CoupledError::Config`] when `refinement == 0`.
+    pub fn fire_grid_for(atmos_grid: &AtmosGrid, refinement: usize) -> Result<Grid2> {
+        if refinement == 0 {
+            return Err(CoupledError::Config("refinement must be at least 1"));
+        }
+        let h = atmos_grid.horizontal();
+        let nx = refinement * (h.nx - 1) + 1;
+        let ny = refinement * (h.ny - 1) + 1;
+        Grid2::with_origin(
+            nx,
+            ny,
+            h.dx / refinement as f64,
+            h.dy / refinement as f64,
+            h.origin,
+        )
+        .map_err(CoupledError::Grid)
+    }
+
+    /// Builds a fuel map on the fire grid of this model (helper for painting
+    /// heterogeneous fuels before [`CoupledModel::with_fire_mesh`]).
+    pub fn uniform_fuel_map(&self, cat: FuelCategory) -> FuelMap {
+        FuelMap::uniform_category(self.fire_grid, cat)
+    }
+
+    /// Initial coupled state: ambient atmosphere, fire ignited from shapes.
+    pub fn ignite(&self, shapes: &[IgnitionShape], time: f64) -> CoupledState {
+        let mut atmos = self.atmos.initial_state();
+        atmos.time = time;
+        CoupledState {
+            fire: FireState::ignite(self.fire_grid, shapes, time),
+            atmos,
+        }
+    }
+
+    /// The wind field the fire currently sees (fine mesh). With coupling on
+    /// this is the prolonged near-surface atmospheric wind; with coupling
+    /// off it is the uniform ambient wind.
+    ///
+    /// # Errors
+    /// Propagates mesh-transfer failures (cannot happen once construction
+    /// validated alignment).
+    pub fn fire_wind(&self, state: &CoupledState) -> Result<VectorField2> {
+        if !self.coupled {
+            let (au, av) = self.atmos.params.ambient_wind;
+            return Ok(VectorField2::from_fn(self.fire_grid, |_, _| (au, av)));
+        }
+        let coarse = self.atmos.surface_wind(&state.atmos);
+        let u = prolong(&coarse.u, self.fire_grid)?;
+        let v = prolong(&coarse.v, self.fire_grid)?;
+        VectorField2::new(u, v).map_err(CoupledError::Grid)
+    }
+
+    /// Advances the coupled system by `dt` (both components sub-step to
+    /// their own stability limits internally; the paper's configuration of
+    /// dt = 0.5 s needs no sub-stepping).
+    ///
+    /// # Errors
+    /// Propagates component failures.
+    pub fn step(&self, state: &mut CoupledState, dt: f64) -> Result<StepDiagnostics> {
+        let t_target = state.fire.time + dt;
+
+        // 1–3: wind to the fire mesh, advance the fire.
+        let wind = self.fire_wind(state)?;
+        self.fire
+            .advance_to(&mut state.fire, &wind, t_target, dt)?;
+
+        // 4–5: heat fluxes, restricted to the atmosphere's horizontal grid.
+        let h = self.atmos.grid.horizontal();
+        let (sensible, latent) = if self.coupled {
+            let fluxes = heat_fluxes(&self.fire.mesh, &state.fire);
+            (
+                restrict(&fluxes.sensible, h)?,
+                restrict(&fluxes.latent, h)?,
+            )
+        } else {
+            (Field2::zeros(h), Field2::zeros(h))
+        };
+
+        // 6: advance the atmosphere with sub-stepping to its CFL bound.
+        let mut guard = 0;
+        while state.atmos.time < t_target - 1e-9 {
+            let dt_max = self.atmos.max_stable_dt(&state.atmos);
+            let sub = dt_max.min(t_target - state.atmos.time);
+            self.atmos.step(&mut state.atmos, &sensible, &latent, sub)?;
+            guard += 1;
+            if guard > 10_000 {
+                return Err(CoupledError::Config(
+                    "atmosphere sub-stepping failed to reach the target time",
+                ));
+            }
+        }
+
+        let fluxes = heat_fluxes(&self.fire.mesh, &state.fire);
+        Ok(StepDiagnostics {
+            time: state.fire.time,
+            burned_area: state.fire.burned_area(),
+            max_updraft: state.atmos.max_updraft(),
+            total_sensible_power: fluxes.sensible.integral(),
+            total_latent_power: fluxes.latent.integral(),
+            max_surface_wind: self.atmos.surface_wind(&state.atmos).max_magnitude(),
+        })
+    }
+
+    /// Runs until `t_end`, invoking `on_step` after every coupled step.
+    ///
+    /// # Errors
+    /// Propagates stepping failures.
+    pub fn run(
+        &self,
+        state: &mut CoupledState,
+        t_end: f64,
+        dt: f64,
+        mut on_step: impl FnMut(&CoupledState, &StepDiagnostics),
+    ) -> Result<()> {
+        while state.time() < t_end - 1e-9 {
+            let step = dt.min(t_end - state.time());
+            let diag = self.step(state, step)?;
+            on_step(state, &diag);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> AtmosGrid {
+        AtmosGrid {
+            nx: 8,
+            ny: 8,
+            nz: 5,
+            dx: 60.0,
+            dy: 60.0,
+            dz: 50.0,
+        }
+    }
+
+    fn model(coupled: bool) -> CoupledModel {
+        let mut m = CoupledModel::new(
+            small_grid(),
+            AtmosParams::default(),
+            FuelCategory::ShortGrass,
+            5,
+        )
+        .unwrap();
+        m.coupled = coupled;
+        m
+    }
+
+    fn center_ignition(m: &CoupledModel) -> Vec<IgnitionShape> {
+        let (ex, ey) = m.fire_grid.extent();
+        let ox = m.fire_grid.origin.0;
+        let oy = m.fire_grid.origin.1;
+        vec![IgnitionShape::Circle {
+            center: (ox + ex / 2.0, oy + ey / 2.0),
+            radius: 20.0,
+        }]
+    }
+
+    #[test]
+    fn fire_grid_alignment() {
+        let g = small_grid();
+        let fg = CoupledModel::fire_grid_for(&g, 10).unwrap();
+        assert_eq!(fg.nx, 71);
+        assert_eq!(fg.dx, 6.0);
+        assert_eq!(fg.origin, (30.0, 30.0));
+        assert!(CoupledModel::fire_grid_for(&g, 0).is_err());
+    }
+
+    #[test]
+    fn ignite_produces_consistent_state() {
+        let m = model(true);
+        let s = m.ignite(&center_ignition(&m), 0.0);
+        assert!(s.fire.burned_area() > 0.0);
+        assert!(s.fire.is_consistent());
+        assert_eq!(s.time(), 0.0);
+    }
+
+    #[test]
+    fn coupled_step_advances_both_components() {
+        let m = model(true);
+        let mut s = m.ignite(&center_ignition(&m), 0.0);
+        let diag = m.step(&mut s, 0.5).unwrap();
+        assert!((s.fire.time - 0.5).abs() < 1e-9);
+        assert!((s.atmos.time - 0.5).abs() < 1e-9);
+        assert!(diag.burned_area > 0.0);
+        assert!(diag.total_sensible_power > 0.0);
+        assert!(s.atmos.all_finite());
+    }
+
+    #[test]
+    fn fire_heat_reaches_atmosphere_only_when_coupled() {
+        let run = |coupled: bool| {
+            let m = model(coupled);
+            let mut s = m.ignite(&center_ignition(&m), 0.0);
+            m.run(&mut s, 10.0, 0.5, |_, _| {}).unwrap();
+            let theta_max = s
+                .atmos
+                .theta
+                .iter()
+                .fold(0.0_f64, |acc, &x| acc.max(x));
+            (theta_max, s.atmos.max_updraft())
+        };
+        let (theta_coupled, w_coupled) = run(true);
+        let (theta_uncoupled, w_uncoupled) = run(false);
+        assert!(theta_coupled > 0.01, "coupled run must heat the air");
+        assert!(w_coupled > 0.0, "coupled run must drive an updraft");
+        assert_eq!(theta_uncoupled, 0.0);
+        assert!(w_uncoupled < 1e-12);
+    }
+
+    #[test]
+    fn uncoupled_fire_sees_exactly_ambient_wind() {
+        let m = model(false);
+        let s = m.ignite(&center_ignition(&m), 0.0);
+        let wind = m.fire_wind(&s).unwrap();
+        let (au, av) = m.atmos.params.ambient_wind;
+        for iy in 0..m.fire_grid.ny {
+            for ix in 0..m.fire_grid.nx {
+                assert_eq!(wind.get(ix, iy), (au, av));
+            }
+        }
+    }
+
+    #[test]
+    fn coupled_fire_wind_tracks_surface_wind() {
+        let m = model(true);
+        let s = m.ignite(&center_ignition(&m), 0.0);
+        let wind = m.fire_wind(&s).unwrap();
+        // Initially the atmosphere is ambient, so the prolonged field is
+        // uniform too.
+        let (au, av) = m.atmos.params.ambient_wind;
+        let (u, v) = wind.get(m.fire_grid.nx / 2, m.fire_grid.ny / 2);
+        assert!((u - au).abs() < 1e-9);
+        assert!((v - av).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_reaches_target_time() {
+        let m = model(true);
+        let mut s = m.ignite(&center_ignition(&m), 0.0);
+        let mut count = 0;
+        m.run(&mut s, 3.0, 0.5, |_, _| count += 1).unwrap();
+        assert_eq!(count, 6);
+        assert!((s.time() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn misaligned_fire_mesh_rejected() {
+        let g = small_grid();
+        let bad_grid = Grid2::new(33, 33, 7.0, 7.0).unwrap();
+        let mesh = FireMesh::flat(bad_grid, FuelCategory::ShortGrass);
+        assert!(matches!(
+            CoupledModel::with_fire_mesh(g, AtmosParams::default(), mesh),
+            Err(CoupledError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,285 @@
+//! The stochastic ensemble Kalman filter with perturbed observations
+//! (Evensen 2003) — the paper's reference filter.
+//!
+//! States are the columns of an `n × N` matrix. The analysis solves, per
+//! member, the `m × m` SPD system
+//! `(HA·HAᵀ/(N−1) + R) z_j = d + ε_j − y_j` and updates
+//! `x_j ← x_j + A·(HAᵀ z_j)/(N−1)`, i.e. the ensemble is replaced by linear
+//! combinations of its members — exactly the "least squares problem to
+//! balance the change in the state and the difference from the data" of
+//! §3.3.
+
+use crate::{EnkfError, Result};
+use wildfire_math::{Cholesky, GaussianSampler, Matrix};
+
+/// Configuration of the stochastic EnKF.
+#[derive(Debug, Clone, Copy)]
+pub struct EnkfConfig {
+    /// Multiplicative covariance inflation applied to the forecast
+    /// anomalies before the analysis (1.0 = none). Compensates for the
+    /// spread deficit of small ensembles.
+    pub inflation: f64,
+    /// Additive jitter on the innovation covariance diagonal, as a fraction
+    /// of the mean observation variance — a regularization backstop against
+    /// rank-deficient ensembles (cf. the paper's reference \[7\]).
+    pub ridge: f64,
+}
+
+impl Default for EnkfConfig {
+    fn default() -> Self {
+        EnkfConfig {
+            inflation: 1.0,
+            ridge: 1e-10,
+        }
+    }
+}
+
+/// The stochastic EnKF.
+#[derive(Debug, Clone, Default)]
+pub struct EnsembleKalmanFilter {
+    /// Filter configuration.
+    pub config: EnkfConfig,
+}
+
+impl EnsembleKalmanFilter {
+    /// Creates a filter with the given configuration.
+    pub fn new(config: EnkfConfig) -> Self {
+        EnsembleKalmanFilter { config }
+    }
+
+    /// Performs one analysis step in place.
+    ///
+    /// * `ensemble` — state matrix `X` (`n × N`), one member per column;
+    /// * `synthetic` — observed ensemble `Y = h(X)` (`m × N`), one synthetic
+    ///   observation vector per member (computed by the caller's
+    ///   observation function — the model stays a black box);
+    /// * `data` — the real observation vector `d` (`m`);
+    /// * `obs_var` — observation error variances (diagonal of `R`, `m`);
+    /// * `rng` — source of the observation perturbations.
+    ///
+    /// # Errors
+    /// Dimension mismatches, ensembles smaller than 2, and linear-algebra
+    /// failures.
+    pub fn analyze(
+        &self,
+        ensemble: &mut Matrix,
+        synthetic: &Matrix,
+        data: &[f64],
+        obs_var: &[f64],
+        rng: &mut GaussianSampler,
+    ) -> Result<()> {
+        let (n, n_ens) = ensemble.dims();
+        let (m, n_ens2) = synthetic.dims();
+        if n_ens < 2 {
+            return Err(EnkfError::EnsembleTooSmall);
+        }
+        if n_ens2 != n_ens {
+            return Err(EnkfError::DimensionMismatch {
+                what: "synthetic-data ensemble size differs from state ensemble size",
+            });
+        }
+        if data.len() != m || obs_var.len() != m {
+            return Err(EnkfError::DimensionMismatch {
+                what: "data/obs_var length differs from synthetic data rows",
+            });
+        }
+        if m == 0 || n == 0 {
+            return Ok(()); // nothing to assimilate
+        }
+
+        // Anomalies, with optional inflation of the state ensemble.
+        let (mut a, mean) = ensemble.anomalies();
+        if self.config.inflation != 1.0 {
+            a.scale_mut(self.config.inflation);
+            // Rebuild the inflated ensemble around its mean.
+            for j in 0..n_ens {
+                for i in 0..n {
+                    ensemble[(i, j)] = mean[i] + a[(i, j)];
+                }
+            }
+        }
+        let (ha, _) = synthetic.anomalies();
+
+        // Innovation covariance C = HA·HAᵀ/(N−1) + R (+ ridge).
+        let scale = 1.0 / (n_ens as f64 - 1.0);
+        let mut c = ha.matmul_tr(&ha)?;
+        c.scale_mut(scale);
+        let mean_var = obs_var.iter().sum::<f64>() / m as f64;
+        for i in 0..m {
+            c[(i, i)] += obs_var[i] + self.config.ridge * mean_var.max(f64::MIN_POSITIVE);
+        }
+        let chol = Cholesky::new(&c)?;
+
+        // Perturbed innovations Δ (m × N): δ_j = d + ε_j − y_j.
+        let mut delta = Matrix::zeros(m, n_ens);
+        for j in 0..n_ens {
+            for i in 0..m {
+                let eps = rng.normal(0.0, obs_var[i].sqrt());
+                delta[(i, j)] = data[i] + eps - synthetic[(i, j)];
+            }
+        }
+
+        // Z = C⁻¹ Δ, W = HAᵀ Z / (N−1), X ← X + A W.
+        let z = chol.solve_matrix(&delta)?;
+        let mut w = ha.tr_matmul(&z)?;
+        w.scale_mut(scale);
+        let update = a.matmul(&w)?;
+        ensemble.axpy_mut(1.0, &update)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wildfire_math::stats;
+
+    /// Scalar linear-Gaussian case: the EnKF analysis must match the exact
+    /// Kalman filter in the large-ensemble limit.
+    #[test]
+    fn scalar_case_matches_kalman_filter() {
+        let mut rng = GaussianSampler::new(42);
+        let n_ens = 4000;
+        let prior_mean = 1.0;
+        let prior_var: f64 = 4.0;
+        let obs = 3.0;
+        let obs_var = 1.0;
+
+        let mut x = Matrix::zeros(1, n_ens);
+        for j in 0..n_ens {
+            x[(0, j)] = rng.normal(prior_mean, prior_var.sqrt());
+        }
+        let y = x.clone(); // identity observation operator
+
+        let filter = EnsembleKalmanFilter::default();
+        filter
+            .analyze(&mut x, &y, &[obs], &[obs_var], &mut rng)
+            .unwrap();
+
+        // Exact posterior: K = 4/5; mean = 1 + K(3−1) = 2.6; var = (1−K)·4 = 0.8.
+        let vals = x.row(0);
+        let mean = stats::mean(&vals);
+        let var = stats::variance(&vals);
+        assert!((mean - 2.6).abs() < 0.1, "posterior mean {mean}");
+        assert!((var - 0.8).abs() < 0.1, "posterior variance {var}");
+    }
+
+    #[test]
+    fn analysis_pulls_ensemble_toward_data() {
+        let mut rng = GaussianSampler::new(7);
+        let n = 20;
+        let n_ens = 30;
+        // Prior ensemble centered at 0; truth at 5.
+        let mut x = rng.normal_matrix(n, n_ens, 1.0);
+        let y = x.clone();
+        let data = vec![5.0; n];
+        let obs_var = vec![0.25; n];
+        let before: f64 = x.col_mean().iter().sum::<f64>() / n as f64;
+        EnsembleKalmanFilter::default()
+            .analyze(&mut x, &y, &data, &obs_var, &mut rng)
+            .unwrap();
+        let after: f64 = x.col_mean().iter().sum::<f64>() / n as f64;
+        assert!(before.abs() < 0.5);
+        assert!(after > 2.0, "analysis mean {after} should move toward 5");
+        assert!(x.all_finite());
+    }
+
+    #[test]
+    fn analysis_reduces_spread() {
+        let mut rng = GaussianSampler::new(9);
+        let mut x = rng.normal_matrix(5, 50, 2.0);
+        let y = x.clone();
+        let data = vec![0.0; 5];
+        let obs_var = vec![0.5; 5];
+        let spread_before = stats::ensemble_spread(&x);
+        EnsembleKalmanFilter::default()
+            .analyze(&mut x, &y, &data, &obs_var, &mut rng)
+            .unwrap();
+        let spread_after = stats::ensemble_spread(&x);
+        assert!(
+            spread_after < spread_before,
+            "spread must shrink: {spread_before} → {spread_after}"
+        );
+    }
+
+    #[test]
+    fn partial_observation_updates_unobserved_via_correlation() {
+        // Two perfectly correlated components; only the first is observed.
+        let mut rng = GaussianSampler::new(11);
+        let n_ens = 200;
+        let mut x = Matrix::zeros(2, n_ens);
+        for j in 0..n_ens {
+            let v = rng.normal(0.0, 1.0);
+            x[(0, j)] = v;
+            x[(1, j)] = v; // copy: correlation 1
+        }
+        let y = x.submatrix(0, 1, 0, n_ens);
+        EnsembleKalmanFilter::default()
+            .analyze(&mut x, &y, &[4.0], &[0.01], &mut rng)
+            .unwrap();
+        let m0 = stats::mean(&x.row(0));
+        let m1 = stats::mean(&x.row(1));
+        assert!((m0 - 4.0).abs() < 0.3, "observed component {m0}");
+        assert!((m1 - 4.0).abs() < 0.3, "unobserved component {m1} must follow");
+    }
+
+    #[test]
+    fn inflation_increases_prior_spread() {
+        let mut rng = GaussianSampler::new(13);
+        let x0 = rng.normal_matrix(4, 40, 1.0);
+        let run = |inflation: f64, rng: &mut GaussianSampler| {
+            let mut x = x0.clone();
+            let y = x.clone();
+            let f = EnsembleKalmanFilter::new(EnkfConfig {
+                inflation,
+                ..Default::default()
+            });
+            // Huge obs error → analysis ≈ prior, exposing the inflation.
+            f.analyze(&mut x, &y, &[0.0; 4], &[1e12; 4], rng).unwrap();
+            stats::ensemble_spread(&x)
+        };
+        let s1 = run(1.0, &mut rng);
+        let s2 = run(1.5, &mut rng);
+        assert!(
+            (s2 / s1 - 1.5).abs() < 0.05,
+            "inflation ratio {} should be ≈1.5",
+            s2 / s1
+        );
+    }
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        let mut rng = GaussianSampler::new(1);
+        let mut x = Matrix::zeros(3, 10);
+        let y = Matrix::zeros(2, 9);
+        let err = EnsembleKalmanFilter::default().analyze(&mut x, &y, &[0.0; 2], &[1.0; 2], &mut rng);
+        assert!(matches!(err, Err(EnkfError::DimensionMismatch { .. })));
+        let y2 = Matrix::zeros(2, 10);
+        let err2 =
+            EnsembleKalmanFilter::default().analyze(&mut x, &y2, &[0.0; 3], &[1.0; 3], &mut rng);
+        assert!(matches!(err2, Err(EnkfError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_single_member() {
+        let mut rng = GaussianSampler::new(1);
+        let mut x = Matrix::zeros(3, 1);
+        let y = Matrix::zeros(2, 1);
+        assert!(matches!(
+            EnsembleKalmanFilter::default().analyze(&mut x, &y, &[0.0; 2], &[1.0; 2], &mut rng),
+            Err(EnkfError::EnsembleTooSmall)
+        ));
+    }
+
+    #[test]
+    fn zero_observations_is_identity() {
+        let mut rng = GaussianSampler::new(3);
+        let mut x = rng.normal_matrix(4, 6, 1.0);
+        let before = x.clone();
+        let y = Matrix::zeros(0, 6);
+        EnsembleKalmanFilter::default()
+            .analyze(&mut x, &y, &[], &[], &mut rng)
+            .unwrap();
+        assert_eq!(x, before);
+    }
+}

@@ -1,0 +1,216 @@
+//! The morphing algebra of §3.3.
+//!
+//! Given a reference field `u0` and a registration `T` of a field `u`
+//! against it (`u ≈ u0∘(I + T)`), the *residual* is
+//! `r = u∘(I + T)^{-1} − u0` and the family of intermediate fields is
+//!
+//! ```text
+//! u_λ = (u0 + λr)∘(I + λT),   0 ≤ λ ≤ 1,
+//! ```
+//!
+//! which recovers `u0` at λ = 0 and `u` at λ = 1 exactly (up to the
+//! interpolation error of the discrete composition). Linear combinations in
+//! `(r, T)` space are therefore *morphs* rather than pointwise averages —
+//! they move fires instead of fading them in and out, which is the whole
+//! point of the morphing EnKF.
+
+use crate::registration::DisplacementField;
+use wildfire_grid::Field2;
+
+/// Computes `u∘(I + T)`: the field warped by the displacement.
+pub fn warp(u: &Field2, t: &DisplacementField) -> Field2 {
+    let g = u.grid();
+    Field2::from_fn(g, |ix, iy| {
+        let (x, y) = g.world(ix, iy);
+        let (px, py) = t.displace(x, y);
+        u.sample_bilinear(px, py)
+    })
+}
+
+/// Computes `u∘(I + T)^{-1}`: the field pulled back by the inverse mapping.
+pub fn warp_inverse(u: &Field2, t: &DisplacementField) -> Field2 {
+    let g = u.grid();
+    Field2::from_fn(g, |ix, iy| {
+        let (x, y) = g.world(ix, iy);
+        let (qx, qy) = t.inverse_displace(x, y);
+        u.sample_bilinear(qx, qy)
+    })
+}
+
+/// The morphing residual `r = u∘(I + T)^{-1} − u0`.
+///
+/// Where the inverse mapping lands outside `u`'s domain there is no
+/// amplitude information (the pullback would be boundary extrapolation), so
+/// the residual is zeroed there: the morph then reproduces the reference in
+/// that region instead of injecting clamped boundary values. Without this
+/// mask, large registrations (fires displaced by a sizable fraction of the
+/// domain — exactly the Fig. 4 regime) fill the residual with artifacts that
+/// corrupt the EnKF update.
+pub fn residual(u: &Field2, u0: &Field2, t: &DisplacementField) -> Field2 {
+    let g = u.grid();
+    Field2::from_fn(g, |ix, iy| {
+        let (x, y) = g.world(ix, iy);
+        let (qx, qy) = t.inverse_displace(x, y);
+        if g.contains(qx, qy) {
+            u.sample_bilinear(qx, qy) - u0.get(ix, iy)
+        } else {
+            0.0
+        }
+    })
+}
+
+/// The intermediate field `u_λ = (u0 + λr)∘(I + λT)` (equation (1) of the
+/// paper, with the λ scaling applied to both the amplitude residual and the
+/// displacement).
+pub fn morph(u0: &Field2, r: &Field2, t: &DisplacementField, lambda: f64) -> Field2 {
+    let g = u0.grid();
+    // amplitude part: u0 + λr
+    let mut amp = u0.clone();
+    amp.axpy(lambda, r).expect("same grid by construction");
+    // scaled displacement: λT
+    Field2::from_fn(g, |ix, iy| {
+        let (x, y) = g.world(ix, iy);
+        let (tx, ty) = t.sample(x, y);
+        amp.sample_bilinear(x + lambda * tx, y + lambda * ty)
+    })
+}
+
+/// Reconstruction `u = (u0 + r)∘(I + T)` — the λ = 1 morph, used to convert
+/// an extended state `[r, T]` back into a physical field.
+pub fn reconstruct(u0: &Field2, r: &Field2, t: &DisplacementField) -> Field2 {
+    morph(u0, r, t, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wildfire_grid::Grid2;
+
+    fn grid() -> Grid2 {
+        Grid2::new(41, 41, 1.0, 1.0).unwrap()
+    }
+
+    fn bump(cx: f64, cy: f64) -> Field2 {
+        Field2::from_world_fn(grid(), |x, y| {
+            (-((x - cx).powi(2) + (y - cy).powi(2)) / 150.0).exp()
+        })
+    }
+
+    fn constant_shift(sx: f64, sy: f64) -> DisplacementField {
+        let mut d = DisplacementField::zero(grid(), 3);
+        for iy in 0..3 {
+            for ix in 0..3 {
+                d.control.set(ix, iy, (sx, sy));
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn warp_by_zero_is_identity() {
+        let u = bump(20.0, 20.0);
+        let t = DisplacementField::zero(grid(), 3);
+        let w = warp(&u, &t);
+        assert!(u.rmse(&w).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn warp_shifts_field_opposite_to_displacement() {
+        // (u∘(I+T))(x) = u(x + s): the feature at c appears at c − s.
+        let u = bump(25.0, 20.0);
+        let t = constant_shift(5.0, 0.0);
+        let w = warp(&u, &t);
+        // Maximum of w should be at x = 20.
+        let mut best = (0, 0, f64::MIN);
+        for iy in 0..41 {
+            for ix in 0..41 {
+                if w.get(ix, iy) > best.2 {
+                    best = (ix, iy, w.get(ix, iy));
+                }
+            }
+        }
+        assert_eq!(best.0, 20);
+        assert_eq!(best.1, 20);
+    }
+
+    #[test]
+    fn warp_inverse_undoes_warp() {
+        let u = bump(20.0, 20.0);
+        let t = constant_shift(4.0, -3.0);
+        let w = warp(&u, &t);
+        let back = warp_inverse(&w, &t);
+        // Interior agreement (boundary clamping differs).
+        let mut max_err = 0.0_f64;
+        for iy in 8..33 {
+            for ix in 8..33 {
+                max_err = max_err.max((back.get(ix, iy) - u.get(ix, iy)).abs());
+            }
+        }
+        assert!(max_err < 0.02, "roundtrip error {max_err}");
+    }
+
+    #[test]
+    fn morph_endpoints() {
+        let u0 = bump(15.0, 20.0);
+        let u = bump(25.0, 20.0);
+        let t = constant_shift(-10.0, 0.0); // u ≈ u0∘(I+T): u0 at 15 sampled at x−10 ⇒ bump at 25 ✓
+        let r = residual(&u, &u0, &t);
+        let m0 = morph(&u0, &r, &t, 0.0);
+        assert!(u0.rmse(&m0).unwrap() < 1e-12, "λ=0 must be u0");
+        let m1 = morph(&u0, &r, &t, 1.0);
+        // Interior agreement with u (the checked window stays clear of the
+        // ±10 m boundary-clamping reach of the shift).
+        let mut max_err = 0.0_f64;
+        for iy in 12..28 {
+            for ix in 12..28 {
+                max_err = max_err.max((m1.get(ix, iy) - u.get(ix, iy)).abs());
+            }
+        }
+        assert!(max_err < 0.02, "λ=1 error {max_err}");
+    }
+
+    #[test]
+    fn morph_moves_feature_continuously() {
+        // The defining property (paper Fig. 4 rationale): intermediate
+        // states have the fire at intermediate POSITIONS, not two faded
+        // fires. Check that the λ = 0.5 morph has a single maximum midway.
+        let u0 = bump(15.0, 20.0);
+        let u = bump(25.0, 20.0);
+        let t = constant_shift(-10.0, 0.0);
+        let r = residual(&u, &u0, &t);
+        let mid = morph(&u0, &r, &t, 0.5);
+        let mut best = (0usize, 0usize, f64::MIN);
+        for iy in 0..41 {
+            for ix in 0..41 {
+                if mid.get(ix, iy) > best.2 {
+                    best = (ix, iy, mid.get(ix, iy));
+                }
+            }
+        }
+        assert!(
+            (best.0 as f64 - 20.0).abs() <= 1.0,
+            "peak at x={} expected ≈20",
+            best.0
+        );
+        // Peak height stays near 1 (morphing, not averaging: a pointwise
+        // average of the two bumps would peak at ≈0.5 + small overlap).
+        assert!(best.2 > 0.8, "peak height {}", best.2);
+    }
+
+    #[test]
+    fn residual_zero_for_pure_translation() {
+        let u0 = bump(15.0, 20.0);
+        let u = bump(25.0, 20.0);
+        let t = constant_shift(-10.0, 0.0);
+        let r = residual(&u, &u0, &t);
+        // Perfect registration of a pure translation leaves ~zero residual
+        // away from the boundary (window clear of the ±10 m clamp reach).
+        let mut max_interior = 0.0_f64;
+        for iy in 12..28 {
+            for ix in 12..28 {
+                max_interior = max_interior.max(r.get(ix, iy).abs());
+            }
+        }
+        assert!(max_interior < 0.02, "residual {max_interior}");
+    }
+}

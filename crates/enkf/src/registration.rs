@@ -1,0 +1,501 @@
+//! Automatic grid registration (§3.3).
+//!
+//! Finds a smooth mapping `T` such that `u ≈ u0∘(I + T)` by approximately
+//! minimizing the paper's functional
+//!
+//! ```text
+//! ‖u − u0∘(I + T)‖² + c₁‖T‖² + c₂‖∇T‖²  →  min
+//! ```
+//!
+//! `T` is parameterized by its values on a coarse *control grid* and
+//! interpolated bilinearly to the field grid; the optimization is
+//! multilevel (coarse control grids first, each level initializing the
+//! next), seeded by an exhaustive global-translation search — which is what
+//! makes the method robust to the large position errors (entire fire in the
+//! wrong place) that defeat the plain EnKF.
+
+use crate::Result;
+use wildfire_grid::{Field2, Grid2, VectorField2};
+
+/// Configuration of the multilevel registration.
+#[derive(Debug, Clone)]
+pub struct RegistrationConfig {
+    /// Search radius of the initial global-translation scan (m).
+    pub max_shift: f64,
+    /// Lattice points per axis in the translation scan (odd; ≥ 3).
+    pub shift_samples: usize,
+    /// Control-grid sizes (nodes per axis) per refinement level.
+    pub levels: Vec<usize>,
+    /// Weight `c₁` of the `‖T‖²` penalty (per m² of displacement · m² of
+    /// area, relative to the squared-residual term).
+    pub c_t: f64,
+    /// Weight `c₂` of the `‖∇T‖²` smoothness penalty.
+    pub c_grad: f64,
+    /// Gradient-descent iterations per level.
+    pub iterations: usize,
+    /// Initial line-search step (m of displacement per unit gradient).
+    pub initial_step: f64,
+}
+
+impl Default for RegistrationConfig {
+    fn default() -> Self {
+        RegistrationConfig {
+            max_shift: 120.0,
+            shift_samples: 9,
+            levels: vec![3, 5],
+            c_t: 1e-4,
+            c_grad: 1e-3,
+            iterations: 40,
+            initial_step: 1.0,
+        }
+    }
+}
+
+/// A displacement mapping `T`, stored on its control grid and interpolated
+/// bilinearly — the `T` of the extended state `[r, T]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisplacementField {
+    /// Control-grid displacement components (world units, m).
+    pub control: VectorField2,
+}
+
+impl DisplacementField {
+    /// Zero displacement on an `n × n` control grid spanning `domain`.
+    pub fn zero(domain: Grid2, n: usize) -> Self {
+        DisplacementField {
+            control: VectorField2::zeros(control_grid(domain, n)),
+        }
+    }
+
+    /// Displacement at a world point (bilinear in the control values).
+    #[inline]
+    pub fn sample(&self, x: f64, y: f64) -> (f64, f64) {
+        self.control.sample_bilinear(x, y)
+    }
+
+    /// Materializes `T` on an arbitrary grid (e.g. the full fire mesh).
+    pub fn to_grid(&self, grid: Grid2) -> VectorField2 {
+        VectorField2::from_fn(grid, |ix, iy| {
+            let (x, y) = grid.world(ix, iy);
+            self.sample(x, y)
+        })
+    }
+
+    /// Applies `(I + T)` to a world point.
+    #[inline]
+    pub fn displace(&self, x: f64, y: f64) -> (f64, f64) {
+        let (tx, ty) = self.sample(x, y);
+        (x + tx, y + ty)
+    }
+
+    /// Approximates `(I + T)^{-1}(p)` by damped fixed-point iteration.
+    pub fn inverse_displace(&self, x: f64, y: f64) -> (f64, f64) {
+        let mut qx = x;
+        let mut qy = y;
+        for _ in 0..60 {
+            let (tx, ty) = self.sample(qx, qy);
+            let nqx = x - tx;
+            let nqy = y - ty;
+            let d2 = (nqx - qx).powi(2) + (nqy - qy).powi(2);
+            qx = nqx;
+            qy = nqy;
+            if d2 < 1e-20 {
+                break;
+            }
+        }
+        (qx, qy)
+    }
+
+    /// Maximum displacement magnitude over the control nodes (m).
+    pub fn max_magnitude(&self) -> f64 {
+        self.control.max_magnitude()
+    }
+}
+
+/// Control grid of `n × n` nodes covering exactly the domain of `field_grid`.
+fn control_grid(field_grid: Grid2, n: usize) -> Grid2 {
+    let n = n.max(2);
+    let (ex, ey) = field_grid.extent();
+    Grid2::with_origin(
+        n,
+        n,
+        ex / (n - 1) as f64,
+        ey / (n - 1) as f64,
+        field_grid.origin,
+    )
+    .expect("control grid dims are positive")
+}
+
+/// Data misfit `Σ (u(x) − u0(x + T(x)))² dA` for a constant shift.
+fn shift_misfit(u: &Field2, u0: &Field2, sx: f64, sy: f64) -> f64 {
+    let g = u.grid();
+    let mut s = 0.0;
+    for iy in 0..g.ny {
+        for ix in 0..g.nx {
+            let (x, y) = g.world(ix, iy);
+            let d = u.get(ix, iy) - u0.sample_bilinear(x + sx, y + sy);
+            s += d * d;
+        }
+    }
+    s * g.dx * g.dy
+}
+
+/// Full objective and its gradient with respect to the control values.
+///
+/// Returns `(J, dJ/dTx, dJ/dTy)` where the gradient fields live on the
+/// control grid.
+fn objective_and_gradient(
+    u: &Field2,
+    u0: &Field2,
+    u0_gx: &Field2,
+    u0_gy: &Field2,
+    t: &VectorField2,
+    c_t: f64,
+    c_grad: f64,
+) -> (f64, Field2, Field2) {
+    let g = u.grid();
+    let cg = t.grid();
+    let mut j_data = 0.0;
+    let mut grad_x = Field2::zeros(cg);
+    let mut grad_y = Field2::zeros(cg);
+    let cell_area = g.dx * g.dy;
+
+    for iy in 0..g.ny {
+        for ix in 0..g.nx {
+            let (x, y) = g.world(ix, iy);
+            // Bilinear control weights of this field node.
+            let (ci, cj, fx, fy) = cg.locate(x, y);
+            let w00 = (1.0 - fx) * (1.0 - fy);
+            let w10 = fx * (1.0 - fy);
+            let w01 = (1.0 - fx) * fy;
+            let w11 = fx * fy;
+            let ci1 = (ci + 1).min(cg.nx - 1);
+            let cj1 = (cj + 1).min(cg.ny - 1);
+            let tx = w00 * t.u.get(ci, cj)
+                + w10 * t.u.get(ci1, cj)
+                + w01 * t.u.get(ci, cj1)
+                + w11 * t.u.get(ci1, cj1);
+            let ty = w00 * t.v.get(ci, cj)
+                + w10 * t.v.get(ci1, cj)
+                + w01 * t.v.get(ci, cj1)
+                + w11 * t.v.get(ci1, cj1);
+            let xw = x + tx;
+            let yw = y + ty;
+            let e = u0.sample_bilinear(xw, yw) - u.get(ix, iy);
+            j_data += e * e;
+            // Chain rule: dJ/dtx at this node = 2·e·∂u0/∂x(warped); scatter
+            // to control nodes with the bilinear weights.
+            let gx = u0_gx.sample_bilinear(xw, yw);
+            let gy = u0_gy.sample_bilinear(xw, yw);
+            let cx = 2.0 * e * gx * cell_area;
+            let cy = 2.0 * e * gy * cell_area;
+            for &(i, j, w) in &[
+                (ci, cj, w00),
+                (ci1, cj, w10),
+                (ci, cj1, w01),
+                (ci1, cj1, w11),
+            ] {
+                grad_x.set(i, j, grad_x.get(i, j) + w * cx);
+                grad_y.set(i, j, grad_y.get(i, j) + w * cy);
+            }
+        }
+    }
+    j_data *= cell_area;
+
+    // Regularizers on the control grid.
+    let ctrl_area = cg.dx * cg.dy;
+    let mut j_reg = 0.0;
+    for jy in 0..cg.ny {
+        for jx in 0..cg.nx {
+            let tu = t.u.get(jx, jy);
+            let tv = t.v.get(jx, jy);
+            j_reg += c_t * (tu * tu + tv * tv) * ctrl_area;
+            grad_x.set(jx, jy, grad_x.get(jx, jy) + 2.0 * c_t * tu * ctrl_area);
+            grad_y.set(jx, jy, grad_y.get(jx, jy) + 2.0 * c_t * tv * ctrl_area);
+        }
+    }
+    // ‖∇T‖² over control edges (forward differences).
+    for jy in 0..cg.ny {
+        for jx in 0..cg.nx {
+            if jx + 1 < cg.nx {
+                for comp in 0..2 {
+                    let f = if comp == 0 { &t.u } else { &t.v };
+                    let d = (f.get(jx + 1, jy) - f.get(jx, jy)) / cg.dx;
+                    j_reg += c_grad * d * d * ctrl_area;
+                    let gcoef = 2.0 * c_grad * d / cg.dx * ctrl_area;
+                    let gf = if comp == 0 { &mut grad_x } else { &mut grad_y };
+                    gf.set(jx + 1, jy, gf.get(jx + 1, jy) + gcoef);
+                    gf.set(jx, jy, gf.get(jx, jy) - gcoef);
+                }
+            }
+            if jy + 1 < cg.ny {
+                for comp in 0..2 {
+                    let f = if comp == 0 { &t.u } else { &t.v };
+                    let d = (f.get(jx, jy + 1) - f.get(jx, jy)) / cg.dy;
+                    j_reg += c_grad * d * d * ctrl_area;
+                    let gcoef = 2.0 * c_grad * d / cg.dy * ctrl_area;
+                    let gf = if comp == 0 { &mut grad_x } else { &mut grad_y };
+                    gf.set(jx, jy + 1, gf.get(jx, jy + 1) + gcoef);
+                    gf.set(jx, jy, gf.get(jx, jy) - gcoef);
+                }
+            }
+        }
+    }
+
+    (j_data + j_reg, grad_x, grad_y)
+}
+
+/// Central-difference gradient fields of `u0` (for the chain rule).
+fn gradient_fields(u0: &Field2) -> (Field2, Field2) {
+    let g = u0.grid();
+    let mut gx = Field2::zeros(g);
+    let mut gy = Field2::zeros(g);
+    for iy in 0..g.ny {
+        for ix in 0..g.nx {
+            let (dx, dy) = u0.gradient(ix, iy);
+            gx.set(ix, iy, dx);
+            gy.set(ix, iy, dy);
+        }
+    }
+    (gx, gy)
+}
+
+/// Registers `u` against the reference `u0`: returns `T` with
+/// `u ≈ u0∘(I + T)`.
+///
+/// Both fields must live on the same grid. See the module docs for the
+/// algorithm (translation scan → multilevel gradient descent with Armijo
+/// backtracking).
+///
+/// # Errors
+/// [`crate::EnkfError::Grid`] when the grids differ.
+pub fn register(u: &Field2, u0: &Field2, cfg: &RegistrationConfig) -> Result<DisplacementField> {
+    if u.grid() != u0.grid() {
+        return Err(crate::EnkfError::Grid(wildfire_grid::GridError::GridMismatch(
+            "registration fields",
+        )));
+    }
+    let fg = u.grid();
+
+    // Phase 1: global translation scan (coarse lattice, then refined).
+    let mut best = (0.0_f64, 0.0_f64, shift_misfit(u, u0, 0.0, 0.0));
+    let samples = cfg.shift_samples.max(3) | 1; // force odd
+    let mut radius = cfg.max_shift;
+    let mut center = (0.0_f64, 0.0_f64);
+    for _round in 0..3 {
+        if radius <= 0.0 {
+            break;
+        }
+        for sy in 0..samples {
+            for sx in 0..samples {
+                let ox = center.0 - radius + 2.0 * radius * sx as f64 / (samples - 1) as f64;
+                let oy = center.1 - radius + 2.0 * radius * sy as f64 / (samples - 1) as f64;
+                let j = shift_misfit(u, u0, ox, oy);
+                if j < best.2 {
+                    best = (ox, oy, j);
+                }
+            }
+        }
+        center = (best.0, best.1);
+        radius *= 2.0 / (samples - 1) as f64; // refine around the winner
+    }
+
+    // Phase 2: multilevel control-grid descent.
+    let (u0_gx, u0_gy) = gradient_fields(u0);
+    let mut disp: Option<DisplacementField> = None;
+    for &nctrl in &cfg.levels {
+        let cg = control_grid(fg, nctrl);
+        let mut t = match &disp {
+            None => VectorField2::from_fn(cg, |_, _| (best.0, best.1)),
+            Some(prev) => VectorField2::from_fn(cg, |ix, iy| {
+                let (x, y) = cg.world(ix, iy);
+                prev.sample(x, y)
+            }),
+        };
+        let mut step = cfg.initial_step;
+        let (mut j_cur, mut gx, mut gy) =
+            objective_and_gradient(u, u0, &u0_gx, &u0_gy, &t, cfg.c_t, cfg.c_grad);
+        for _ in 0..cfg.iterations {
+            // Normalize the step by the gradient's max magnitude so `step`
+            // is in meters of control displacement.
+            let gmax = gx
+                .as_slice()
+                .iter()
+                .chain(gy.as_slice().iter())
+                .fold(0.0_f64, |m, &v| m.max(v.abs()));
+            if gmax < 1e-30 {
+                break;
+            }
+            let scale = step / gmax;
+            let mut accepted = false;
+            // Trust region: no control displacement may exceed 1.5× the
+            // translation-scan radius. Without this, control nodes whose
+            // bilinear support sees only far-field data can run away and
+            // fold the mapping (observed with fire cones near the domain
+            // corners), which empties the reconstructed fire.
+            let bound = 1.5 * cfg.max_shift.max(1.0);
+            for _ in 0..20 {
+                let mut t_try = t.clone();
+                t_try.u.axpy(-scale, &gx).expect("same grid");
+                // The x/y gradients apply to their own components.
+                t_try.v.axpy(-scale, &gy).expect("same grid");
+                t_try.u.map_inplace(|v| v.clamp(-bound, bound));
+                t_try.v.map_inplace(|v| v.clamp(-bound, bound));
+                let (j_try, gx_try, gy_try) =
+                    objective_and_gradient(u, u0, &u0_gx, &u0_gy, &t_try, cfg.c_t, cfg.c_grad);
+                if j_try < j_cur {
+                    t = t_try;
+                    j_cur = j_try;
+                    gx = gx_try;
+                    gy = gy_try;
+                    step *= 1.5;
+                    accepted = true;
+                    break;
+                }
+                step *= 0.5;
+                if step < 1e-9 {
+                    break;
+                }
+            }
+            if !accepted {
+                break;
+            }
+        }
+        disp = Some(DisplacementField { control: t });
+    }
+
+    Ok(disp.unwrap_or_else(|| DisplacementField::zero(fg, 2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A smooth bump field centered at `(cx, cy)`.
+    fn bump(grid: Grid2, cx: f64, cy: f64) -> Field2 {
+        Field2::from_world_fn(grid, |x, y| {
+            let d2 = (x - cx).powi(2) + (y - cy).powi(2);
+            (-d2 / 200.0).exp()
+        })
+    }
+
+    fn test_grid() -> Grid2 {
+        Grid2::new(41, 41, 1.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn identity_registration_stays_near_zero() {
+        let g = test_grid();
+        let u0 = bump(g, 20.0, 20.0);
+        let t = register(&u0.clone(), &u0, &RegistrationConfig {
+            max_shift: 10.0,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(t.max_magnitude() < 1.0, "magnitude {}", t.max_magnitude());
+    }
+
+    #[test]
+    fn recovers_known_translation() {
+        let g = test_grid();
+        // u(x) = u0(x + s): the fire in u appears at c − s relative to u0.
+        let shift = (6.0, -4.0);
+        let u0 = bump(g, 20.0, 20.0);
+        let u = bump(g, 20.0 - shift.0, 20.0 - shift.1);
+        let cfg = RegistrationConfig {
+            max_shift: 12.0,
+            shift_samples: 13,
+            ..Default::default()
+        };
+        let t = register(&u, &u0, &cfg).unwrap();
+        // Check at the bump location.
+        let (tx, ty) = t.sample(14.0, 24.0);
+        assert!((tx - shift.0).abs() < 1.5, "tx {tx} vs {}", shift.0);
+        assert!((ty - shift.1).abs() < 1.5, "ty {ty} vs {}", shift.1);
+        // And that the registered misfit is small: u ≈ u0∘(I+T).
+        let mut misfit = 0.0;
+        for iy in 0..g.ny {
+            for ix in 0..g.nx {
+                let (x, y) = g.world(ix, iy);
+                let (px, py) = t.displace(x, y);
+                misfit += (u.get(ix, iy) - u0.sample_bilinear(px, py)).powi(2);
+            }
+        }
+        let raw: f64 = u
+            .as_slice()
+            .iter()
+            .zip(u0.as_slice().iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        assert!(misfit < 0.05 * raw, "misfit {misfit} vs raw {raw}");
+    }
+
+    #[test]
+    fn recovers_nonuniform_deformation_partially() {
+        let g = test_grid();
+        let u0 = bump(g, 20.0, 20.0);
+        // Spatially varying warp: stretch in x.
+        let u = Field2::from_world_fn(g, |x, y| {
+            let xs = 20.0 + (x - 20.0) * 1.2;
+            let d2 = (xs - 20.0_f64).powi(2) + (y - 20.0_f64).powi(2);
+            (-d2 / 200.0).exp()
+        });
+        let cfg = RegistrationConfig {
+            max_shift: 8.0,
+            levels: vec![3, 5, 9],
+            iterations: 60,
+            ..Default::default()
+        };
+        let t = register(&u, &u0, &cfg).unwrap();
+        let mut misfit = 0.0;
+        let mut raw = 0.0;
+        for iy in 0..g.ny {
+            for ix in 0..g.nx {
+                let (x, y) = g.world(ix, iy);
+                let (px, py) = t.displace(x, y);
+                misfit += (u.get(ix, iy) - u0.sample_bilinear(px, py)).powi(2);
+                raw += (u.get(ix, iy) - u0.get(ix, iy)).powi(2);
+            }
+        }
+        assert!(misfit < 0.5 * raw, "misfit {misfit} vs raw {raw}");
+    }
+
+    #[test]
+    fn displacement_inverse_roundtrip() {
+        let g = test_grid();
+        let mut d = DisplacementField::zero(g, 4);
+        for iy in 0..4 {
+            for ix in 0..4 {
+                d.control
+                    .set(ix, iy, (1.5 * (ix as f64 - 1.5), -(iy as f64)));
+            }
+        }
+        let (px, py) = d.displace(17.0, 23.0);
+        let (qx, qy) = d.inverse_displace(px, py);
+        assert!((qx - 17.0).abs() < 1e-6);
+        assert!((qy - 23.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn to_grid_matches_sample() {
+        let g = test_grid();
+        let mut d = DisplacementField::zero(g, 3);
+        d.control.set(1, 1, (3.0, -2.0));
+        let full = d.to_grid(g);
+        for &(x, y) in &[(5.0, 5.0), (20.0, 20.0), (33.3, 11.1)] {
+            let (sx, sy) = d.sample(x, y);
+            let (fx, fy) = full.sample_bilinear(x, y);
+            assert!((sx - fx).abs() < 1e-9);
+            assert!((sy - fy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_grids() {
+        let g1 = test_grid();
+        let g2 = Grid2::new(21, 21, 1.0, 1.0).unwrap();
+        let a = Field2::zeros(g1);
+        let b = Field2::zeros(g2);
+        assert!(register(&a, &b, &RegistrationConfig::default()).is_err());
+    }
+}

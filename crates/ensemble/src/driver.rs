@@ -1,0 +1,488 @@
+//! The assimilation-cycle driver (Fig. 2).
+//!
+//! One cycle = advance all members in parallel (forecast) → evaluate the
+//! observation function per member (parallel) → analysis (standard EnKF on
+//! raw fields, or morphing EnKF on extended states with registrations
+//! computed in parallel) → write the updated states back. State exchange
+//! can run through any [`crate::StateStore`] to reproduce the paper's
+//! disk-file architecture.
+
+use crate::metrics::{evaluate_coupled_ensemble, EnsembleMetrics};
+use crate::parallel_enkf::ParallelEnkf;
+use crate::pool::{parallel_for_each, parallel_map};
+use crate::store::StateStore;
+use crate::{EnsembleError, Result};
+use wildfire_core::{CoupledModel, CoupledState};
+use wildfire_enkf::morphing_enkf::ExtendedState;
+use wildfire_enkf::{MorphingConfig, MorphingEnkf};
+use wildfire_fire::ignition::IgnitionShape;
+use wildfire_fire::FireState;
+use wildfire_grid::Field2;
+use wildfire_math::{GaussianSampler, Matrix};
+
+/// Cap used to encode the `t_i = ∞` (unburned) sentinel as a finite value
+/// inside filter state vectors.
+pub const TIG_CAP: f64 = 1.0e4;
+
+/// Which analysis algorithm a cycle uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterKind {
+    /// Stochastic EnKF applied directly to the model fields `(ψ, t_i)` —
+    /// the baseline that Fig. 4(c) shows diverging.
+    Standard,
+    /// The morphing EnKF of §3.3 — Fig. 4(d).
+    Morphing,
+}
+
+/// Initial-ensemble specification: the identical-twin setup of Fig. 4
+/// ("the initial ensemble was created by a random perturbation of the
+/// comparison solution, with the fire ignited at an intentionally incorrect
+/// location").
+#[derive(Debug, Clone)]
+pub struct EnsembleSetup {
+    /// Number of members (the paper uses 25).
+    pub n_members: usize,
+    /// Nominal (possibly wrong) ignition center (m).
+    pub center: (f64, f64),
+    /// Ignition radius (m).
+    pub radius: f64,
+    /// Std of the random per-member displacement of the ignition center (m).
+    pub position_spread: f64,
+    /// RNG seed for the perturbation draws.
+    pub seed: u64,
+}
+
+/// Outcome metrics of one assimilation cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleReport {
+    /// Metrics before the analysis (forecast fit).
+    pub forecast: EnsembleMetrics,
+    /// Metrics after the analysis.
+    pub analysis: EnsembleMetrics,
+}
+
+/// The ensemble driver.
+pub struct EnsembleDriver {
+    /// The (shared, immutable) coupled model configuration.
+    pub model: CoupledModel,
+    /// Worker threads for member-parallel phases.
+    pub threads: usize,
+}
+
+impl EnsembleDriver {
+    /// Creates a driver.
+    pub fn new(model: CoupledModel, threads: usize) -> Self {
+        EnsembleDriver { model, threads }
+    }
+
+    /// Builds the initial ensemble per `setup`: every member ignited at the
+    /// nominal center plus a Gaussian displacement.
+    pub fn initial_ensemble(&self, setup: &EnsembleSetup) -> Vec<CoupledState> {
+        let mut rng = GaussianSampler::new(setup.seed);
+        (0..setup.n_members)
+            .map(|_| {
+                let cx = setup.center.0 + rng.normal(0.0, setup.position_spread);
+                let cy = setup.center.1 + rng.normal(0.0, setup.position_spread);
+                self.model.ignite(
+                    &[IgnitionShape::Circle {
+                        center: (cx, cy),
+                        radius: setup.radius,
+                    }],
+                    0.0,
+                )
+            })
+            .collect()
+    }
+
+    /// Advances all members to `t_target` in parallel (the forecast phase
+    /// of Fig. 2). Member failures are collected and the first is returned.
+    ///
+    /// # Errors
+    /// The first member failure, if any.
+    pub fn forecast(
+        &self,
+        members: &mut [CoupledState],
+        t_target: f64,
+        dt: f64,
+    ) -> Result<()> {
+        let errors = parking_lot::Mutex::new(Vec::new());
+        parallel_for_each(members, self.threads, |i, state| {
+            if let Err(e) = self.model.run(state, t_target, dt, |_, _| {}) {
+                errors.lock().push((i, e));
+            }
+        });
+        let mut errs = errors.into_inner();
+        if let Some((_, e)) = errs.drain(..).next() {
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Forecast phase routed through a [`StateStore`]: states are loaded
+    /// from the store, advanced, and written back — the disk-file dataflow
+    /// of Fig. 2, benchmarked in experiment E2.
+    ///
+    /// # Errors
+    /// Store or model failures.
+    pub fn forecast_via_store(
+        &self,
+        members: &mut [CoupledState],
+        store: &dyn StateStore,
+        t_target: f64,
+        dt: f64,
+    ) -> Result<()> {
+        // Save current fire states.
+        for (i, m) in members.iter().enumerate() {
+            store.save(i, &m.fire)?;
+        }
+        // Load → advance → save, member-parallel.
+        let errors = parking_lot::Mutex::new(Vec::new());
+        parallel_for_each(members, self.threads, |i, state| {
+            let mut run = || -> Result<()> {
+                state.fire = store.load(i)?;
+                self.model.run(state, t_target, dt, |_, _| {})?;
+                store.save(i, &state.fire)?;
+                Ok(())
+            };
+            if let Err(e) = run() {
+                errors.lock().push(e);
+            }
+        });
+        let mut errs = errors.into_inner();
+        if let Some(e) = errs.drain(..).next() {
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Standard-EnKF analysis directly on the model fields (Fig. 4(c)
+    /// baseline): state vector `[ψ, t_i]`, observations are the truth's ψ
+    /// values at every `obs_stride`-th fire-mesh node.
+    ///
+    /// # Errors
+    /// Filter failures.
+    pub fn analyze_standard(
+        &self,
+        members: &mut [CoupledState],
+        truth_fire: &FireState,
+        obs_stride: usize,
+        sigma_obs: f64,
+        inflation: f64,
+        rng: &mut GaussianSampler,
+    ) -> Result<()> {
+        let n_ens = members.len();
+        if n_ens < 2 {
+            return Err(EnsembleError::Config("need at least 2 members"));
+        }
+        let g = truth_fire.grid();
+        let n_state = 2 * g.len();
+        let mut x = Matrix::zeros(n_state, n_ens);
+        for (j, m) in members.iter().enumerate() {
+            x.set_col(j, &m.fire.pack(TIG_CAP));
+        }
+        // Observation: strided ψ nodes.
+        let obs_idx: Vec<usize> = (0..g.len()).step_by(obs_stride.max(1)).collect();
+        let m_obs = obs_idx.len();
+        let mut y = Matrix::zeros(m_obs, n_ens);
+        for j in 0..n_ens {
+            let col = x.col(j);
+            for (r, &idx) in obs_idx.iter().enumerate() {
+                y[(r, j)] = col[idx];
+            }
+        }
+        let data: Vec<f64> = obs_idx
+            .iter()
+            .map(|&idx| truth_fire.psi.as_slice()[idx])
+            .collect();
+        let obs_var = vec![sigma_obs * sigma_obs; m_obs];
+        let filter = ParallelEnkf::new(self.threads, inflation);
+        filter.analyze(&mut x, &y, &data, &obs_var, rng)?;
+        // Unpack and restore invariants.
+        let time = members[0].time();
+        for (j, m) in members.iter_mut().enumerate() {
+            let mut fire = FireState::unpack(g, x.col(j), TIG_CAP * 0.99, time);
+            fire.sanitize(TIG_CAP * 0.99, time);
+            m.fire = fire;
+        }
+        Ok(())
+    }
+
+    /// Morphing-EnKF analysis (Fig. 4(d)): members are registered against a
+    /// reference member in parallel, the inner EnKF runs on extended states
+    /// `[r, T]`, and the results are morphed back.
+    ///
+    /// # Errors
+    /// Filter failures.
+    pub fn analyze_morphing(
+        &self,
+        members: &mut [CoupledState],
+        truth_fire: &FireState,
+        config: &MorphingConfig,
+        rng: &mut GaussianSampler,
+    ) -> Result<()> {
+        let n_ens = members.len();
+        if n_ens < 2 {
+            return Err(EnsembleError::Config("need at least 2 members"));
+        }
+        let filter = MorphingEnkf::new(config.clone());
+        let time = members[0].time();
+
+        // Field layout per member: [ψ, capped t_i].
+        let to_fields = |f: &FireState| -> Vec<Field2> {
+            let g = f.psi.grid();
+            let capped = Field2::from_vec(
+                g,
+                f.tig.as_slice().iter().map(|&t| t.min(TIG_CAP)).collect(),
+            );
+            vec![f.psi.clone(), capped]
+        };
+        let reference = to_fields(&members[0].fire);
+        let data = to_fields(truth_fire);
+
+        // Parallel registrations (the expensive transform phase).
+        let member_fields: Vec<Vec<Field2>> =
+            members.iter().map(|m| to_fields(&m.fire)).collect();
+        let extended: Vec<std::result::Result<ExtendedState, wildfire_enkf::EnkfError>> =
+            parallel_map(&member_fields, self.threads, |_, fields| {
+                filter.to_extended(fields, &reference, 0)
+            });
+        let mut ext_states = Vec::with_capacity(n_ens);
+        for e in extended {
+            ext_states.push(e.map_err(EnsembleError::Filter)?);
+        }
+        let data_ext = filter
+            .to_extended(&data, &reference, 0)
+            .map_err(EnsembleError::Filter)?;
+
+        let analyzed = filter
+            .analyze_extended(&ext_states, &data_ext, &reference, rng)
+            .map_err(EnsembleError::Filter)?;
+
+        for (m, fields) in members.iter_mut().zip(analyzed.into_iter()) {
+            let g = fields[0].grid();
+            let tig = Field2::from_vec(
+                g,
+                fields[1]
+                    .as_slice()
+                    .iter()
+                    .map(|&t| {
+                        if t >= TIG_CAP * 0.99 {
+                            wildfire_fire::UNBURNED
+                        } else {
+                            t
+                        }
+                    })
+                    .collect(),
+            );
+            let mut fire = FireState {
+                psi: fields.into_iter().next().expect("two fields"),
+                tig,
+                time,
+            };
+            fire.sanitize(TIG_CAP * 0.99, time);
+            m.fire = fire;
+        }
+        Ok(())
+    }
+
+    /// One full cycle: forecast to `t_target`, evaluate, analyze with the
+    /// chosen filter, evaluate again.
+    ///
+    /// # Errors
+    /// Model and filter failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cycle(
+        &self,
+        members: &mut [CoupledState],
+        truth: &CoupledState,
+        filter: FilterKind,
+        t_target: f64,
+        dt: f64,
+        morphing_config: &MorphingConfig,
+        rng: &mut GaussianSampler,
+    ) -> Result<CycleReport> {
+        self.forecast(members, t_target, dt)?;
+        let forecast = evaluate_coupled_ensemble(members, truth);
+        match filter {
+            FilterKind::Standard => {
+                self.analyze_standard(members, &truth.fire, 7, 2.0, 1.0, rng)?
+            }
+            FilterKind::Morphing => {
+                self.analyze_morphing(members, &truth.fire, morphing_config, rng)?
+            }
+        }
+        let analysis = evaluate_coupled_ensemble(members, truth);
+        Ok(CycleReport { forecast, analysis })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use wildfire_atmos::state::AtmosGrid;
+    use wildfire_atmos::AtmosParams;
+    use wildfire_enkf::RegistrationConfig;
+    use wildfire_fuel::FuelCategory;
+
+    fn driver(threads: usize) -> EnsembleDriver {
+        let model = CoupledModel::new(
+            AtmosGrid {
+                nx: 6,
+                ny: 6,
+                nz: 4,
+                dx: 60.0,
+                dy: 60.0,
+                dz: 50.0,
+            },
+            AtmosParams::default(),
+            FuelCategory::ShortGrass,
+            4,
+        )
+        .unwrap();
+        EnsembleDriver::new(model, threads)
+    }
+
+    fn setup(n: usize) -> EnsembleSetup {
+        EnsembleSetup {
+            n_members: n,
+            center: (180.0, 180.0),
+            radius: 25.0,
+            position_spread: 15.0,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn initial_ensemble_is_perturbed() {
+        let d = driver(1);
+        let members = d.initial_ensemble(&setup(6));
+        assert_eq!(members.len(), 6);
+        // Not all members identical.
+        let a0 = members[0].fire.burned_area();
+        assert!(a0 > 0.0);
+        let centroids: Vec<_> = members
+            .iter()
+            .map(|m| wildfire_fire::perimeter::burned_centroid(&m.fire.psi).unwrap())
+            .collect();
+        assert!(centroids.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn parallel_forecast_matches_serial() {
+        let d1 = driver(1);
+        let d4 = driver(4);
+        let mut serial = d1.initial_ensemble(&setup(5));
+        let mut parallel = serial.clone();
+        d1.forecast(&mut serial, 2.0, 0.5).unwrap();
+        d4.forecast(&mut parallel, 2.0, 0.5).unwrap();
+        for (a, b) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(a.fire.psi, b.fire.psi, "parallel forecast must be deterministic");
+            assert_eq!(a.atmos.theta, b.atmos.theta);
+        }
+    }
+
+    #[test]
+    fn store_routed_forecast_matches_direct() {
+        let d = driver(2);
+        let mut direct = d.initial_ensemble(&setup(4));
+        let mut routed = direct.clone();
+        d.forecast(&mut direct, 1.5, 0.5).unwrap();
+        let store = MemStore::new();
+        d.forecast_via_store(&mut routed, &store, 1.5, 0.5).unwrap();
+        for (a, b) in direct.iter().zip(routed.iter()) {
+            assert_eq!(a.fire.psi, b.fire.psi);
+            assert_eq!(a.fire.tig, b.fire.tig);
+        }
+        assert_eq!(store.members().len(), 4);
+    }
+
+    #[test]
+    fn standard_analysis_pulls_psi_toward_truth() {
+        let d = driver(2);
+        let mut members = d.initial_ensemble(&setup(8));
+        let truth = d.model.ignite(
+            &[IgnitionShape::Circle {
+                center: (200.0, 200.0),
+                radius: 25.0,
+            }],
+            0.0,
+        );
+        let before: f64 = members
+            .iter()
+            .map(|m| m.fire.psi.rmse(&truth.fire.psi).unwrap())
+            .sum::<f64>()
+            / 8.0;
+        let mut rng = GaussianSampler::new(5);
+        d.analyze_standard(&mut members, &truth.fire, 5, 1.0, 1.0, &mut rng)
+            .unwrap();
+        let after: f64 = members
+            .iter()
+            .map(|m| m.fire.psi.rmse(&truth.fire.psi).unwrap())
+            .sum::<f64>()
+            / 8.0;
+        assert!(after < before, "ψ RMSE must drop: {before} → {after}");
+        for m in &members {
+            assert!(m.fire.is_consistent());
+        }
+    }
+
+    #[test]
+    fn morphing_analysis_moves_displaced_ensemble() {
+        let d = driver(2);
+        // Ensemble at the wrong location (Fig. 4 setup).
+        let mut members = d.initial_ensemble(&EnsembleSetup {
+            n_members: 6,
+            center: (140.0, 140.0),
+            radius: 25.0,
+            position_spread: 10.0,
+            seed: 7,
+        });
+        let truth = d.model.ignite(
+            &[IgnitionShape::Circle {
+                center: (240.0, 240.0),
+                radius: 25.0,
+            }],
+            0.0,
+        );
+        let cfg = MorphingConfig {
+            registration: RegistrationConfig {
+                max_shift: 160.0,
+                shift_samples: 9,
+                levels: vec![3],
+                iterations: 20,
+                ..Default::default()
+            },
+            sigma_amplitude: 2.0,
+            sigma_displacement: 4.0,
+            observed_fields: vec![0],
+            ..Default::default()
+        };
+        let before = evaluate_coupled_ensemble(&members, &truth);
+        let mut rng = GaussianSampler::new(11);
+        d.analyze_morphing(&mut members, &truth.fire, &cfg, &mut rng)
+            .unwrap();
+        let after = evaluate_coupled_ensemble(&members, &truth);
+        assert!(
+            after.mean_position_error < 0.6 * before.mean_position_error,
+            "morphing must close the position gap: {} → {}",
+            before.mean_position_error,
+            after.mean_position_error
+        );
+        for m in &members {
+            assert!(m.fire.is_consistent());
+            assert!(m.fire.burned_area() > 0.0, "fire must survive the morph");
+        }
+    }
+
+    #[test]
+    fn too_few_members_rejected() {
+        let d = driver(1);
+        let mut members = d.initial_ensemble(&setup(1));
+        let truth = members[0].clone();
+        let mut rng = GaussianSampler::new(1);
+        assert!(d
+            .analyze_standard(&mut members, &truth.fire, 5, 1.0, 1.0, &mut rng)
+            .is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Worker-pool primitives on crossbeam scoped threads.
+//!
+//! Members are partitioned into contiguous chunks, one chunk per worker —
+//! the "subset of processors" assignment of Fig. 2. Scoped threads borrow
+//! the member slice mutably but disjointly, so the compiler proves data-race
+//! freedom (no locks in the hot path).
+
+/// Runs `f(index, item)` over all items, partitioned across `threads`
+/// workers. With `threads <= 1` the loop runs inline (no spawn overhead),
+/// which also gives a deterministic sequential reference for testing.
+pub fn parallel_for_each<T: Send, F>(items: &mut [T], threads: usize, f: F)
+where
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (c, slice) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (k, item) in slice.iter_mut().enumerate() {
+                    f(c * chunk + k, item);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Maps `f` over indexed inputs in parallel, preserving order of results.
+pub fn parallel_map<T: Send + Sync, R: Send, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (c, slot_chunk) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (k, slot) in slot_chunk.iter_mut().enumerate() {
+                    let i = c * chunk + k;
+                    *slot = Some(f(i, &items[i]));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter()
+        .map(|o| o.expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_touches_every_item_once() {
+        let mut items: Vec<usize> = vec![0; 100];
+        parallel_for_each(&mut items, 4, |i, item| *item = i * 2);
+        for (i, v) in items.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn for_each_sequential_matches_parallel() {
+        let mut seq: Vec<f64> = (0..57).map(|i| i as f64).collect();
+        let mut par = seq.clone();
+        let f = |i: usize, x: &mut f64| *x = (*x * 1.5 + i as f64).sin();
+        parallel_for_each(&mut seq, 1, f);
+        parallel_for_each(&mut par, 7, f);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..43).collect();
+        let out = parallel_map(&items, 5, |i, &x| i + x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 2 * i);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_more_threads_than_items() {
+        let mut empty: Vec<u8> = vec![];
+        parallel_for_each(&mut empty, 8, |_, _| {});
+        let out: Vec<u8> = parallel_map(&Vec::<u8>::new(), 8, |_, &x| x);
+        assert!(out.is_empty());
+        let mut two = vec![1u8, 2];
+        let counter = AtomicUsize::new(0);
+        parallel_for_each(&mut two, 16, |_, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+}

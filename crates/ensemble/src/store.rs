@@ -1,0 +1,188 @@
+//! State stores: the Fig. 2 state exchange.
+//!
+//! Ensemble states flow between the forecast, observation, and analysis
+//! phases through a [`StateStore`]. The disk backend reproduces the paper's
+//! architecture literally ("the ensemble of model states is maintained in
+//! disk files"); the memory backend provides the same interface without the
+//! I/O for benchmarking the cost of the file-based exchange (experiment E2).
+
+use crate::{EnsembleError, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use wildfire_fire::FireState;
+use wildfire_obs::statefile::{StateCodec, StateFile};
+
+/// Abstract member-state exchange.
+pub trait StateStore: Send + Sync {
+    /// Persists a member's fire state.
+    ///
+    /// # Errors
+    /// Backend failures.
+    fn save(&self, member: usize, state: &FireState) -> Result<()>;
+
+    /// Retrieves a member's fire state.
+    ///
+    /// # Errors
+    /// Backend failures or missing member.
+    fn load(&self, member: usize) -> Result<FireState>;
+
+    /// Members currently stored.
+    fn members(&self) -> Vec<usize>;
+}
+
+/// In-memory store (lock-protected map of serialized states — serialization
+/// is kept so both backends move exactly the same bytes).
+#[derive(Default)]
+pub struct MemStore {
+    files: Mutex<HashMap<usize, StateFile>>,
+}
+
+impl MemStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StateStore for MemStore {
+    fn save(&self, member: usize, state: &FireState) -> Result<()> {
+        let mut file = StateFile::new();
+        state.encode(&mut file);
+        self.files.lock().insert(member, file);
+        Ok(())
+    }
+
+    fn load(&self, member: usize) -> Result<FireState> {
+        let files = self.files.lock();
+        let file = files
+            .get(&member)
+            .ok_or(EnsembleError::Config("member not in store"))?;
+        Ok(FireState::decode(file)?)
+    }
+
+    fn members(&self) -> Vec<usize> {
+        let mut m: Vec<usize> = self.files.lock().keys().copied().collect();
+        m.sort_unstable();
+        m
+    }
+}
+
+/// Disk store: one `member_NNN.wfst` per member in a directory, written
+/// atomically (temp file + rename).
+pub struct DiskStore {
+    dir: PathBuf,
+}
+
+impl DiskStore {
+    /// Creates the directory if needed.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| EnsembleError::Store(e.into()))?;
+        Ok(DiskStore { dir })
+    }
+
+    fn path(&self, member: usize) -> PathBuf {
+        self.dir.join(format!("member_{member:04}.wfst"))
+    }
+}
+
+impl StateStore for DiskStore {
+    fn save(&self, member: usize, state: &FireState) -> Result<()> {
+        let mut file = StateFile::new();
+        state.encode(&mut file);
+        file.write(&self.path(member)).map_err(EnsembleError::Store)
+    }
+
+    fn load(&self, member: usize) -> Result<FireState> {
+        let file = StateFile::read(&self.path(member)).map_err(EnsembleError::Store)?;
+        Ok(FireState::decode(&file)?)
+    }
+
+    fn members(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for e in entries.flatten() {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                if let Some(num) = name
+                    .strip_prefix("member_")
+                    .and_then(|s| s.strip_suffix(".wfst"))
+                {
+                    if let Ok(id) = num.parse() {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wildfire_fire::ignition::IgnitionShape;
+    use wildfire_grid::Grid2;
+
+    fn sample_state(seed: f64) -> FireState {
+        let g = Grid2::new(15, 15, 2.0, 2.0).unwrap();
+        FireState::ignite(
+            g,
+            &[IgnitionShape::Circle {
+                center: (14.0 + seed, 14.0),
+                radius: 6.0,
+            }],
+            seed,
+        )
+    }
+
+    fn exercise(store: &dyn StateStore) {
+        assert!(store.members().is_empty());
+        let s0 = sample_state(0.0);
+        let s1 = sample_state(2.0);
+        store.save(0, &s0).unwrap();
+        store.save(7, &s1).unwrap();
+        assert_eq!(store.members(), vec![0, 7]);
+        let r0 = store.load(0).unwrap();
+        let r1 = store.load(7).unwrap();
+        assert_eq!(r0.psi, s0.psi);
+        assert_eq!(r1.tig, s1.tig);
+        assert!(store.load(3).is_err());
+        // Overwrite.
+        store.save(0, &s1).unwrap();
+        assert_eq!(store.load(0).unwrap().time, s1.time);
+    }
+
+    #[test]
+    fn mem_store_roundtrip() {
+        exercise(&MemStore::new());
+    }
+
+    #[test]
+    fn disk_store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("wf_store_test_{}", std::process::id()));
+        let store = DiskStore::new(&dir).unwrap();
+        exercise(&store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mem_and_disk_agree_bitwise() {
+        let dir = std::env::temp_dir().join(format!("wf_store_bits_{}", std::process::id()));
+        let disk = DiskStore::new(&dir).unwrap();
+        let mem = MemStore::new();
+        let s = sample_state(1.0);
+        disk.save(0, &s).unwrap();
+        mem.save(0, &s).unwrap();
+        let a = disk.load(0).unwrap();
+        let b = mem.load(0).unwrap();
+        assert_eq!(a.psi.as_slice(), b.psi.as_slice());
+        assert_eq!(a.tig.as_slice(), b.tig.as_slice());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,179 @@
+//! Post-frontal heat release (§2.1).
+//!
+//! "The output of the model is the sensible and the latent heat fluxes
+//! (temperature and water vapor) from the fire to the atmosphere, taken to
+//! be proportional to the amount of fuel burned." Fuel burns exponentially
+//! after the front arrival recorded in `t_i`, so the flux at time `t` is a
+//! pure function of `(t − t_i)` and the local fuel model.
+
+use crate::mesh::FireMesh;
+use crate::state::FireState;
+use crate::UNBURNED;
+use wildfire_grid::Field2;
+
+/// Sensible and latent heat flux fields (W/m²) on the fire grid.
+#[derive(Debug, Clone)]
+pub struct HeatFluxFields {
+    /// Sensible heat flux, W/m².
+    pub sensible: Field2,
+    /// Latent heat flux, W/m².
+    pub latent: Field2,
+}
+
+impl HeatFluxFields {
+    /// Domain-integrated total heat release rate, W.
+    pub fn total_power(&self) -> f64 {
+        self.sensible.integral() + self.latent.integral()
+    }
+}
+
+/// Computes the heat flux fields for `state` at its current time.
+pub fn heat_fluxes(mesh: &FireMesh, state: &FireState) -> HeatFluxFields {
+    heat_fluxes_at(mesh, state, state.time)
+}
+
+/// Computes the heat flux fields for `state` evaluated at an arbitrary
+/// time `t` (used by the scene generator to render past/future frames from
+/// one arrival-time field).
+pub fn heat_fluxes_at(mesh: &FireMesh, state: &FireState, t: f64) -> HeatFluxFields {
+    let g = mesh.grid;
+    let mut sensible = Field2::zeros(g);
+    let mut latent = Field2::zeros(g);
+    for iy in 0..g.ny {
+        for ix in 0..g.nx {
+            let tig = state.tig.get(ix, iy);
+            if tig == UNBURNED || t <= tig {
+                continue;
+            }
+            let fuel = mesh.fuel.at(ix, iy);
+            let hf = fuel.heat_fluxes(t - tig);
+            sensible.set(ix, iy, hf.sensible);
+            latent.set(ix, iy, hf.latent);
+        }
+    }
+    HeatFluxFields { sensible, latent }
+}
+
+/// Remaining fuel fraction field at time `t` (1 where unburned).
+pub fn fuel_fraction_at(mesh: &FireMesh, state: &FireState, t: f64) -> Field2 {
+    let g = mesh.grid;
+    Field2::from_fn(g, |ix, iy| {
+        let tig = state.tig.get(ix, iy);
+        if tig == UNBURNED {
+            1.0
+        } else {
+            mesh.fuel.at(ix, iy).mass_fraction(t - tig)
+        }
+    })
+}
+
+/// Total energy released between ignition and time `t`, J — the time
+/// integral of the heat release, evaluated in closed form from the
+/// exponential mass-loss law: `w0·h·(1 − e^{−Δt/τ})` per unit area.
+pub fn energy_released(mesh: &FireMesh, state: &FireState, t: f64) -> f64 {
+    let g = mesh.grid;
+    let cell_area = g.dx * g.dy;
+    let mut total = 0.0;
+    for iy in 0..g.ny {
+        for ix in 0..g.nx {
+            let tig = state.tig.get(ix, iy);
+            if tig == UNBURNED || t <= tig {
+                continue;
+            }
+            let fuel = mesh.fuel.at(ix, iy);
+            let burned_fraction = 1.0 - fuel.mass_fraction(t - tig);
+            total += fuel.fuel_load * burned_fraction * fuel.heat_content * cell_area;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ignition::IgnitionShape;
+    use crate::state::FireState;
+    use wildfire_fuel::FuelCategory;
+    use wildfire_grid::Grid2;
+
+    fn setup() -> (FireMesh, FireState) {
+        let g = Grid2::new(21, 21, 2.0, 2.0).unwrap();
+        let mesh = FireMesh::flat(g, FuelCategory::TallGrass);
+        let state = FireState::ignite(
+            g,
+            &[IgnitionShape::Circle {
+                center: (20.0, 20.0),
+                radius: 6.0,
+            }],
+            0.0,
+        );
+        (mesh, state)
+    }
+
+    #[test]
+    fn fluxes_zero_outside_fire() {
+        let (mesh, mut state) = setup();
+        state.time = 10.0;
+        let hf = heat_fluxes(&mesh, &state);
+        assert_eq!(hf.sensible.get(0, 0), 0.0);
+        assert_eq!(hf.latent.get(0, 0), 0.0);
+        assert!(hf.sensible.get(10, 10) > 0.0);
+        assert!(hf.latent.get(10, 10) > 0.0);
+    }
+
+    #[test]
+    fn fluxes_decay_with_time() {
+        let (mesh, mut state) = setup();
+        state.time = 1.0;
+        let early = heat_fluxes(&mesh, &state).sensible.get(10, 10);
+        state.time = 100.0;
+        let late = heat_fluxes(&mesh, &state).sensible.get(10, 10);
+        assert!(early > late, "flux must decay: {early} vs {late}");
+    }
+
+    #[test]
+    fn zero_before_ignition_time() {
+        let (mesh, state) = setup();
+        // Evaluate at t = 0 exactly: no time has elapsed since ignition.
+        let hf = heat_fluxes_at(&mesh, &state, 0.0);
+        assert_eq!(hf.total_power(), 0.0);
+    }
+
+    #[test]
+    fn fuel_fraction_bounds_and_decay() {
+        let (mesh, state) = setup();
+        let f0 = fuel_fraction_at(&mesh, &state, 0.0);
+        let f1 = fuel_fraction_at(&mesh, &state, 60.0);
+        for (a, b) in f0.as_slice().iter().zip(f1.as_slice().iter()) {
+            assert!((0.0..=1.0).contains(a));
+            assert!(b <= a, "fuel fraction must not grow");
+        }
+        // Unburned corner stays at 1.
+        assert_eq!(f1.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn energy_released_monotone_and_bounded() {
+        let (mesh, state) = setup();
+        let e1 = energy_released(&mesh, &state, 10.0);
+        let e2 = energy_released(&mesh, &state, 100.0);
+        let e3 = energy_released(&mesh, &state, 10_000.0);
+        assert!(e1 > 0.0);
+        assert!(e2 > e1);
+        assert!(e3 >= e2);
+        // Upper bound: everything inside the circle burned completely.
+        let fuel = mesh.fuel.at(0, 0);
+        let burned_cells = state.burned_nodes() as f64;
+        let cap = burned_cells * 4.0 * fuel.total_heat_per_area();
+        assert!(e3 <= cap * 1.001);
+    }
+
+    #[test]
+    fn total_power_consistent_with_flux_integral() {
+        let (mesh, mut state) = setup();
+        state.time = 5.0;
+        let hf = heat_fluxes(&mesh, &state);
+        let direct: f64 = hf.sensible.integral() + hf.latent.integral();
+        assert!((hf.total_power() - direct).abs() < 1e-9 * direct.max(1.0));
+    }
+}

@@ -1,0 +1,303 @@
+//! Fireline extraction and front-shape diagnostics.
+//!
+//! The Fig. 1 experiment needs quantitative front metrics (downwind reach,
+//! irregularity, merging of separate ignitions) and the Fig. 4 experiment
+//! needs a position error between two fires. All of those are derived here
+//! from the zero level set.
+
+use crate::state::FireState;
+use wildfire_grid::Field2;
+
+/// A point on the fireline (world coordinates, m).
+pub type FrontPoint = (f64, f64);
+
+/// Extracts points on the zero level set by scanning grid edges for sign
+/// changes and linearly interpolating the crossing (marching-squares edge
+/// sampling; returns one point per crossed edge).
+pub fn extract_front(psi: &Field2) -> Vec<FrontPoint> {
+    let g = psi.grid();
+    let mut pts = Vec::new();
+    for iy in 0..g.ny {
+        for ix in 0..g.nx {
+            let v = psi.get(ix, iy);
+            // Horizontal edge to (ix+1, iy).
+            if ix + 1 < g.nx {
+                let w = psi.get(ix + 1, iy);
+                if (v < 0.0) != (w < 0.0) && v != w {
+                    let t = v / (v - w);
+                    let (x0, y0) = g.world(ix, iy);
+                    pts.push((x0 + t * g.dx, y0));
+                }
+            }
+            // Vertical edge to (ix, iy+1).
+            if iy + 1 < g.ny {
+                let w = psi.get(ix, iy + 1);
+                if (v < 0.0) != (w < 0.0) && v != w {
+                    let t = v / (v - w);
+                    let (x0, y0) = g.world(ix, iy);
+                    pts.push((x0, y0 + t * g.dy));
+                }
+            }
+        }
+    }
+    pts
+}
+
+/// Area centroid of the burning region (ψ < 0); `None` when nothing burns.
+pub fn burned_centroid(psi: &Field2) -> Option<(f64, f64)> {
+    let g = psi.grid();
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut n = 0usize;
+    for iy in 0..g.ny {
+        for ix in 0..g.nx {
+            if psi.get(ix, iy) < 0.0 {
+                let (x, y) = g.world(ix, iy);
+                sx += x;
+                sy += y;
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((sx / n as f64, sy / n as f64))
+    }
+}
+
+/// Statistics of the front radius about the burned centroid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontShape {
+    /// Mean distance of front points from the centroid (m).
+    pub mean_radius: f64,
+    /// Standard deviation of that distance (m) — the irregularity measure
+    /// used by experiment E1 ("the fire front … has irregular shape").
+    pub radius_std: f64,
+    /// Number of front points the statistics were computed from.
+    pub count: usize,
+}
+
+/// Computes [`FrontShape`] for the current front; `None` when the front is
+/// empty or nothing burns.
+pub fn front_shape(psi: &Field2) -> Option<FrontShape> {
+    let centroid = burned_centroid(psi)?;
+    let pts = extract_front(psi);
+    if pts.is_empty() {
+        return None;
+    }
+    let radii: Vec<f64> = pts
+        .iter()
+        .map(|&(x, y)| ((x - centroid.0).powi(2) + (y - centroid.1).powi(2)).sqrt())
+        .collect();
+    let mean = wildfire_math::stats::mean(&radii);
+    let std = wildfire_math::stats::std_dev(&radii);
+    Some(FrontShape {
+        mean_radius: mean,
+        radius_std: std,
+        count: radii.len(),
+    })
+}
+
+/// Position error between two fires: distance between burned centroids (m).
+/// Infinite when exactly one of the two has no burning region, zero when
+/// neither does (identical "no fire" states).
+pub fn centroid_distance(a: &FireState, b: &FireState) -> f64 {
+    match (burned_centroid(&a.psi), burned_centroid(&b.psi)) {
+        (Some(ca), Some(cb)) => ((ca.0 - cb.0).powi(2) + (ca.1 - cb.1).powi(2)).sqrt(),
+        (None, None) => 0.0,
+        _ => f64::INFINITY,
+    }
+}
+
+/// Symmetric-difference area between the burning regions of two states (m²)
+/// — a stricter shape-aware error than the centroid distance.
+///
+/// # Panics
+/// Panics if the states live on different grids.
+pub fn symmetric_difference_area(a: &FireState, b: &FireState) -> f64 {
+    let g = a.grid();
+    assert_eq!(g, b.grid(), "states on different grids");
+    let mut cells = 0usize;
+    for (pa, pb) in a.psi.as_slice().iter().zip(b.psi.as_slice().iter()) {
+        if (*pa < 0.0) != (*pb < 0.0) {
+            cells += 1;
+        }
+    }
+    cells as f64 * g.dx * g.dy
+}
+
+/// Counts the connected components of the burning region (4-connectivity).
+/// Fig. 1's ignitions start as three separate components and merge into one.
+pub fn burning_components(psi: &Field2) -> usize {
+    let g = psi.grid();
+    let mut visited = vec![false; g.len()];
+    let mut components = 0;
+    let mut stack = Vec::new();
+    for iy in 0..g.ny {
+        for ix in 0..g.nx {
+            let start = g.idx(ix, iy);
+            if visited[start] || psi.get(ix, iy) >= 0.0 {
+                continue;
+            }
+            components += 1;
+            stack.push((ix, iy));
+            visited[start] = true;
+            while let Some((cx, cy)) = stack.pop() {
+                let mut push = |nx: usize, ny: usize| {
+                    let id = g.idx(nx, ny);
+                    if !visited[id] && psi.get(nx, ny) < 0.0 {
+                        visited[id] = true;
+                        stack.push((nx, ny));
+                    }
+                };
+                if cx > 0 {
+                    push(cx - 1, cy);
+                }
+                if cx + 1 < g.nx {
+                    push(cx + 1, cy);
+                }
+                if cy > 0 {
+                    push(cx, cy - 1);
+                }
+                if cy + 1 < g.ny {
+                    push(cx, cy + 1);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ignition::IgnitionShape;
+    use wildfire_grid::Grid2;
+
+    fn circle_psi(radius: f64) -> Field2 {
+        let g = Grid2::new(41, 41, 1.0, 1.0).unwrap();
+        crate::ignition::initial_level_set(
+            g,
+            &[IgnitionShape::Circle {
+                center: (20.0, 20.0),
+                radius,
+            }],
+        )
+    }
+
+    #[test]
+    fn front_points_lie_on_circle() {
+        let psi = circle_psi(8.0);
+        let pts = extract_front(&psi);
+        assert!(!pts.is_empty());
+        for &(x, y) in &pts {
+            let r = ((x - 20.0_f64).powi(2) + (y - 20.0).powi(2)).sqrt();
+            assert!((r - 8.0).abs() < 0.2, "point ({x},{y}) at radius {r}");
+        }
+    }
+
+    #[test]
+    fn centroid_of_circle_is_center() {
+        let psi = circle_psi(8.0);
+        let (cx, cy) = burned_centroid(&psi).unwrap();
+        assert!((cx - 20.0).abs() < 0.5);
+        assert!((cy - 20.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn circle_front_has_low_irregularity() {
+        let psi = circle_psi(10.0);
+        let shape = front_shape(&psi).unwrap();
+        assert!((shape.mean_radius - 10.0).abs() < 0.3);
+        assert!(shape.radius_std < 0.2, "σ={}", shape.radius_std);
+        assert!(shape.count > 20);
+    }
+
+    #[test]
+    fn empty_fire_yields_none() {
+        let g = Grid2::new(11, 11, 1.0, 1.0).unwrap();
+        let psi = crate::ignition::initial_level_set(g, &[]);
+        assert!(burned_centroid(&psi).is_none());
+        assert!(front_shape(&psi).is_none());
+        assert_eq!(burning_components(&psi), 0);
+    }
+
+    #[test]
+    fn component_count_and_merging() {
+        let g = Grid2::new(61, 61, 1.0, 1.0).unwrap();
+        let two = crate::ignition::initial_level_set(
+            g,
+            &[
+                IgnitionShape::Circle {
+                    center: (15.0, 30.0),
+                    radius: 5.0,
+                },
+                IgnitionShape::Circle {
+                    center: (45.0, 30.0),
+                    radius: 5.0,
+                },
+            ],
+        );
+        assert_eq!(burning_components(&two), 2);
+        let merged = crate::ignition::initial_level_set(
+            g,
+            &[
+                IgnitionShape::Circle {
+                    center: (25.0, 30.0),
+                    radius: 8.0,
+                },
+                IgnitionShape::Circle {
+                    center: (35.0, 30.0),
+                    radius: 8.0,
+                },
+            ],
+        );
+        assert_eq!(burning_components(&merged), 1);
+    }
+
+    #[test]
+    fn centroid_distance_between_displaced_fires() {
+        let g = Grid2::new(41, 41, 1.0, 1.0).unwrap();
+        let mk = |cx: f64| {
+            crate::state::FireState::ignite(
+                g,
+                &[IgnitionShape::Circle {
+                    center: (cx, 20.0),
+                    radius: 5.0,
+                }],
+                0.0,
+            )
+        };
+        let a = mk(15.0);
+        let b = mk(25.0);
+        let d = centroid_distance(&a, &b);
+        assert!((d - 10.0).abs() < 0.6, "distance {d}");
+        assert_eq!(centroid_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn symmetric_difference_of_disjoint_fires() {
+        let g = Grid2::new(41, 41, 1.0, 1.0).unwrap();
+        let a = crate::state::FireState::ignite(
+            g,
+            &[IgnitionShape::Circle {
+                center: (10.0, 10.0),
+                radius: 4.0,
+            }],
+            0.0,
+        );
+        let b = crate::state::FireState::ignite(
+            g,
+            &[IgnitionShape::Circle {
+                center: (30.0, 30.0),
+                radius: 4.0,
+            }],
+            0.0,
+        );
+        let sym = symmetric_difference_area(&a, &b);
+        let sum = a.burned_area() + b.burned_area();
+        assert!((sym - sum).abs() < 1e-9);
+        assert_eq!(symmetric_difference_area(&a, &a), 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Signed-distance reinitialization by fast sweeping.
+//!
+//! The morphing EnKF mixes level-set fields from different ensemble members;
+//! after a few analysis cycles ψ drifts away from the signed-distance
+//! property the paper's initialization establishes. Reinitializing restores
+//! `‖∇ψ‖ ≈ 1` while preserving the zero level set, keeping registration and
+//! subsequent propagation well-scaled.
+
+use wildfire_grid::Field2;
+
+/// Rebuilds ψ as an approximate signed distance to its own zero level set.
+///
+/// Two phases:
+/// 1. Initialize distances exactly on the nodes adjacent to the interface
+///    (linear interpolation of the crossing along grid edges);
+/// 2. Four fast-sweeping passes of the Eikonal update `‖∇ψ‖ = 1`
+///    (Gauss–Seidel in alternating diagonal orders), separately for the
+///    positive and negative sides.
+///
+/// Fields with no sign change are returned unchanged (no interface to
+/// measure distance from).
+pub fn reinitialize(psi: &Field2) -> Field2 {
+    let g = psi.grid();
+    let n = g.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut frozen = vec![false; n];
+
+    // Phase 1: interface-adjacent nodes get exact edge distances.
+    let mut any_interface = false;
+    for iy in 0..g.ny {
+        for ix in 0..g.nx {
+            let v = psi.get(ix, iy);
+            let mut best: f64 = f64::INFINITY;
+            let mut consider = |w: f64, h: f64| {
+                if (v < 0.0) != (w < 0.0) && v != w {
+                    let d = h * (v / (v - w)).abs();
+                    best = best.min(d);
+                }
+            };
+            if ix + 1 < g.nx {
+                consider(psi.get(ix + 1, iy), g.dx);
+            }
+            if ix > 0 {
+                consider(psi.get(ix - 1, iy), g.dx);
+            }
+            if iy + 1 < g.ny {
+                consider(psi.get(ix, iy + 1), g.dy);
+            }
+            if iy > 0 {
+                consider(psi.get(ix, iy - 1), g.dy);
+            }
+            if v == 0.0 {
+                best = 0.0;
+            }
+            if best.is_finite() {
+                let id = g.idx(ix, iy);
+                dist[id] = best;
+                frozen[id] = true;
+                any_interface = true;
+            }
+        }
+    }
+    if !any_interface {
+        return psi.clone();
+    }
+
+    // Phase 2: fast sweeping for the unsigned distance.
+    let eikonal_update = |a: f64, b: f64, hx: f64, hy: f64| -> f64 {
+        // Solve max(0,(d−a)/hx)² + max(0,(d−b)/hy)² = 1 for d ≥ max(a,b).
+        let (amin, bmin, h1, h2) = if a <= b { (a, b, hx, hy) } else { (b, a, hy, hx) };
+        let d1 = amin + h1;
+        if d1 <= bmin {
+            return d1;
+        }
+        // Two-sided quadratic.
+        let w1 = 1.0 / (h1 * h1);
+        let w2 = 1.0 / (h2 * h2);
+        let sum_w = w1 + w2;
+        let mean = (w1 * amin + w2 * bmin) / sum_w;
+        let diff = amin - bmin;
+        let disc = 1.0 / sum_w - w1 * w2 * diff * diff / (sum_w * sum_w);
+        if disc <= 0.0 {
+            d1
+        } else {
+            mean + disc.sqrt()
+        }
+    };
+
+    let nx = g.nx as isize;
+    let ny = g.ny as isize;
+    let sweep_orders: [(isize, isize, isize, isize); 4] = [
+        (0, nx, 0, ny),     // +x +y
+        (nx - 1, -1, 0, ny), // −x +y
+        (0, nx, ny - 1, -1), // +x −y
+        (nx - 1, -1, ny - 1, -1), // −x −y
+    ];
+    for _ in 0..2 {
+        for &(x0, x1, y0, y1) in &sweep_orders {
+            let xs = step_range(x0, x1);
+            let ys = step_range(y0, y1);
+            for &iy in &ys {
+                for &ix in &xs {
+                    let id = g.idx(ix as usize, iy as usize);
+                    if frozen[id] {
+                        continue;
+                    }
+                    let nb = |dx: isize, dy: isize| -> f64 {
+                        let jx = ix + dx;
+                        let jy = iy + dy;
+                        if jx < 0 || jy < 0 || jx >= nx || jy >= ny {
+                            f64::INFINITY
+                        } else {
+                            dist[g.idx(jx as usize, jy as usize)]
+                        }
+                    };
+                    let a = nb(-1, 0).min(nb(1, 0));
+                    let b = nb(0, -1).min(nb(0, 1));
+                    if !a.is_finite() && !b.is_finite() {
+                        continue;
+                    }
+                    let cand = if !b.is_finite() {
+                        a + g.dx
+                    } else if !a.is_finite() {
+                        b + g.dy
+                    } else {
+                        eikonal_update(a, b, g.dx, g.dy)
+                    };
+                    if cand < dist[id] {
+                        dist[id] = cand;
+                    }
+                }
+            }
+        }
+    }
+
+    // Re-apply the original sign.
+    let mut out = Field2::zeros(g);
+    for iy in 0..g.ny {
+        for ix in 0..g.nx {
+            let id = g.idx(ix, iy);
+            let sign = if psi.get(ix, iy) < 0.0 { -1.0 } else { 1.0 };
+            let d = if dist[id].is_finite() {
+                dist[id]
+            } else {
+                // Unreached corner (can only happen on pathological grids);
+                // fall back to the original magnitude.
+                psi.get(ix, iy).abs()
+            };
+            out.set(ix, iy, sign * d);
+        }
+    }
+    out
+}
+
+fn step_range(from: isize, to_exclusive: isize) -> Vec<isize> {
+    if from <= to_exclusive {
+        (from..to_exclusive).collect()
+    } else {
+        let mut v: Vec<isize> = ((to_exclusive + 1)..=from).collect();
+        v.reverse();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ignition::{initial_level_set, IgnitionShape};
+    use wildfire_grid::Grid2;
+
+    #[test]
+    fn exact_signed_distance_is_fixed_point() {
+        let g = Grid2::new(41, 41, 1.0, 1.0).unwrap();
+        let psi = initial_level_set(
+            g,
+            &[IgnitionShape::Circle {
+                center: (20.0, 20.0),
+                radius: 8.0,
+            }],
+        );
+        let re = reinitialize(&psi);
+        // Zero level set preserved and distances close to the original.
+        for iy in 0..g.ny {
+            for ix in 0..g.nx {
+                let a = psi.get(ix, iy);
+                let b = re.get(ix, iy);
+                assert_eq!(a < 0.0, b < 0.0, "sign flip at ({ix},{iy})");
+                assert!((a - b).abs() < 1.0, "({ix},{iy}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn restores_gradient_norm_of_scaled_field() {
+        let g = Grid2::new(41, 41, 1.0, 1.0).unwrap();
+        let mut psi = initial_level_set(
+            g,
+            &[IgnitionShape::Circle {
+                center: (20.0, 20.0),
+                radius: 8.0,
+            }],
+        );
+        // Destroy the signed-distance property by a nonlinear rescale that
+        // keeps the zero level set.
+        psi.map_inplace(|v| v * (1.0 + 0.5 * v.abs() / 10.0));
+        let re = reinitialize(&psi);
+        // Check ‖∇ψ‖ ≈ 1 outside the fire, away from the interface and the
+        // domain boundary. (Inside, the distance field legitimately has a
+        // zero gradient on the medial axis — the circle center — so the
+        // eikonal property only holds away from it.)
+        let mut worst: f64 = 0.0;
+        for iy in 3..g.ny - 3 {
+            for ix in 3..g.nx - 3 {
+                if re.get(ix, iy) < 2.0 {
+                    continue; // interior + near-interface nodes
+                }
+                let (gx, gy) = re.gradient(ix, iy);
+                let norm = (gx * gx + gy * gy).sqrt();
+                worst = worst.max((norm - 1.0).abs());
+            }
+        }
+        assert!(worst < 0.25, "gradient norm deviation {worst}");
+    }
+
+    #[test]
+    fn no_interface_is_untouched() {
+        let g = Grid2::new(11, 11, 1.0, 1.0).unwrap();
+        let psi = initial_level_set(g, &[]);
+        let re = reinitialize(&psi);
+        assert_eq!(re, psi);
+    }
+
+    #[test]
+    fn preserves_zero_crossing_location() {
+        let g = Grid2::new(21, 21, 1.0, 1.0).unwrap();
+        // Non-distance field with a known zero circle of radius 5:
+        // ψ = r² − 25 (quadratic, gradient norm far from 1).
+        let psi = wildfire_grid::Field2::from_world_fn(g, |x, y| {
+            (x - 10.0).powi(2) + (y - 10.0).powi(2) - 25.0
+        });
+        let re = reinitialize(&psi);
+        // The reinitialized field should vanish near radius 5.
+        let v_inside = re.sample_bilinear(10.0 + 4.0, 10.0);
+        let v_on = re.sample_bilinear(10.0 + 5.0, 10.0);
+        let v_outside = re.sample_bilinear(10.0 + 6.0, 10.0);
+        assert!(v_inside < 0.0);
+        assert!(v_outside > 0.0);
+        assert!(v_on.abs() < 0.6, "on-circle value {v_on}");
+        // And magnitudes should approximate true distance |r − 5|.
+        assert!((v_inside + 1.0).abs() < 0.5, "inside {v_inside}");
+        assert!((v_outside - 1.0).abs() < 0.5, "outside {v_outside}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # wildfire-fuel
+//!
+//! Fuel characterization for the semi-empirical fire spread model of §2.1:
+//! per-category spread-rate coefficients (`R0`, `a`, `b`, `d`, `S_max`),
+//! post-frontal mass-loss kinetics (exponential decay with a fuel-dependent
+//! time constant — "rapid mass loss in grass, slow mass loss in larger fuel
+//! particles"), and the partitioning of released heat into sensible and
+//! latent fluxes delivered to the atmosphere.
+//!
+//! The paper takes its coefficients from laboratory experiments via
+//! Rothermel (1972) and Clark/Coen (2004). The numerical values used here
+//! are in the range of the BEHAVE/WRF-SFIRE lineage of those models and are
+//! documented per category; they are plain data, so calibrated values can be
+//! substituted through [`FuelModel::custom`].
+
+pub mod model;
+pub mod moisture;
+
+pub use model::{FuelCategory, FuelModel, HeatFluxes};
+pub use moisture::MoistureModel;
+
+/// Latent heat of vaporization of water at fire temperatures, J/kg.
+pub const LATENT_HEAT_VAPORIZATION: f64 = 2.5e6;
+
+/// Mass of water produced by combustion per unit mass of cellulose-dominated
+/// fuel burned (kg water / kg fuel). Combustion of cellulose releases about
+/// 0.56 kg of water vapor per kg of dry fuel.
+pub const COMBUSTION_WATER_YIELD: f64 = 0.56;

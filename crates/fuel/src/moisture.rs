@@ -1,0 +1,110 @@
+//! Dead-fuel moisture response to the weather state.
+//!
+//! The paper's observation pipeline ingests weather-station humidity and
+//! temperature (§3.1); this module closes the loop between those observed
+//! quantities and the fuel model's `moisture` field with a standard
+//! equilibrium-moisture + exponential-response ("timelag") parameterization.
+//! It is the simplest physically sensible bridge from station data to spread
+//! behaviour and is exercised by the weather-station experiment (E7).
+
+/// Equilibrium-moisture/timelag model for a dead fuel class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoistureModel {
+    /// Response e-folding time (s): 1-h fuels ≈ 3600, 10-h ≈ 36 000, …
+    pub timelag: f64,
+}
+
+impl MoistureModel {
+    /// A 1-hour timelag class (fine fuels: grass, litter surface).
+    pub fn one_hour() -> Self {
+        MoistureModel { timelag: 3600.0 }
+    }
+
+    /// A 10-hour timelag class (small branches).
+    pub fn ten_hour() -> Self {
+        MoistureModel { timelag: 36_000.0 }
+    }
+
+    /// Equilibrium moisture content (fraction of dry mass) for a given air
+    /// state, after Simard's fit to the US Forest Products Laboratory data:
+    /// a piecewise function of relative humidity `rh ∈ [0, 1]` and air
+    /// temperature `t_c` in °C.
+    pub fn equilibrium_moisture(rh: f64, t_c: f64) -> f64 {
+        let h = (rh.clamp(0.0, 1.0)) * 100.0;
+        let emc_percent = if h < 10.0 {
+            0.03229 + 0.281073 * h - 0.000578 * h * t_c
+        } else if h < 50.0 {
+            2.22749 + 0.160107 * h - 0.01478 * t_c
+        } else {
+            21.0606 + 0.005565 * h * h - 0.00035 * h * t_c - 0.483199 * h
+        };
+        (emc_percent / 100.0).clamp(0.0, 0.6)
+    }
+
+    /// Advances the fuel moisture `m` over `dt` seconds toward the
+    /// equilibrium value for the given air state, with the class timelag:
+    /// `dm/dt = (m_eq − m)/τ` integrated exactly.
+    pub fn step(&self, m: f64, rh: f64, t_c: f64, dt: f64) -> f64 {
+        let m_eq = Self::equilibrium_moisture(rh, t_c);
+        m_eq + (m - m_eq) * (-dt / self.timelag).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equilibrium_increases_with_humidity() {
+        let t = 25.0;
+        let mut prev = -1.0;
+        for rh10 in 0..=10 {
+            let m = MoistureModel::equilibrium_moisture(rh10 as f64 / 10.0, t);
+            assert!(m >= prev - 1e-9, "rh {}: {m} < {prev}", rh10);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn equilibrium_in_physical_range() {
+        for rh in [0.0, 0.2, 0.5, 0.8, 1.0] {
+            for t in [-10.0, 0.0, 20.0, 40.0] {
+                let m = MoistureModel::equilibrium_moisture(rh, t);
+                assert!((0.0..=0.6).contains(&m), "rh {rh} t {t}: {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn step_relaxes_toward_equilibrium() {
+        let model = MoistureModel::one_hour();
+        let m_eq = MoistureModel::equilibrium_moisture(0.5, 20.0);
+        // Starting far above equilibrium, one timelag closes 63% of the gap.
+        let m0 = m_eq + 0.2;
+        let m1 = model.step(m0, 0.5, 20.0, model.timelag);
+        let expected = m_eq + 0.2 * (-1.0_f64).exp();
+        assert!((m1 - expected).abs() < 1e-12);
+        // Very long integration converges.
+        let m_inf = model.step(m0, 0.5, 20.0, 100.0 * model.timelag);
+        assert!((m_inf - m_eq).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_is_stable_fixed_point() {
+        let model = MoistureModel::ten_hour();
+        let m_eq = MoistureModel::equilibrium_moisture(0.3, 15.0);
+        assert!((model.step(m_eq, 0.3, 15.0, 1234.0) - m_eq).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ten_hour_responds_slower_than_one_hour() {
+        let fast = MoistureModel::one_hour();
+        let slow = MoistureModel::ten_hour();
+        let m0 = 0.25;
+        let (rh, t, dt) = (0.2, 30.0, 3600.0);
+        let mf = fast.step(m0, rh, t, dt);
+        let ms = slow.step(m0, rh, t, dt);
+        let m_eq = MoistureModel::equilibrium_moisture(rh, t);
+        assert!((mf - m_eq).abs() < (ms - m_eq).abs());
+    }
+}

@@ -1,0 +1,212 @@
+//! Interpolating samplers for 2-D fields.
+//!
+//! Three orders are provided: bilinear (the workhorse for mesh transfer and
+//! morphing warps), biquadratic (the paper's choice for weather-station
+//! observation operators, §3.1), and bicubic Catmull–Rom (used by the scene
+//! generator for smooth temperature lookups). All samplers clamp to the
+//! domain, i.e. constant extrapolation outside.
+
+use crate::field2::Field2;
+use wildfire_math::interp::{catmull_rom, quadratic_uniform};
+
+impl Field2 {
+    /// Bilinear sample at world coordinates `(x, y)`.
+    pub fn sample_bilinear(&self, x: f64, y: f64) -> f64 {
+        let g = self.grid();
+        let (ix, iy, fx, fy) = g.locate(x, y);
+        let ix1 = (ix + 1).min(g.nx - 1);
+        let iy1 = (iy + 1).min(g.ny - 1);
+        let v00 = self.get(ix, iy);
+        let v10 = self.get(ix1, iy);
+        let v01 = self.get(ix, iy1);
+        let v11 = self.get(ix1, iy1);
+        let v0 = v00 * (1.0 - fx) + v10 * fx;
+        let v1 = v01 * (1.0 - fx) + v11 * fx;
+        v0 * (1.0 - fy) + v1 * fy
+    }
+
+    /// Biquadratic sample at world coordinates `(x, y)`.
+    ///
+    /// Uses a 3×3 stencil centered on the nearest interior node, applying
+    /// the 1-D quadratic Lagrange kernel per axis — the "biquadratic
+    /// interpolation" by which §3.1 evaluates model fields at weather-station
+    /// locations. Falls back to bilinear when the grid is smaller than 3
+    /// nodes along either axis.
+    pub fn sample_biquadratic(&self, x: f64, y: f64) -> f64 {
+        let g = self.grid();
+        if g.nx < 3 || g.ny < 3 {
+            return self.sample_bilinear(x, y);
+        }
+        let (gx, gy) = g.to_grid_coords(x, y);
+        let gx = gx.clamp(0.0, (g.nx - 1) as f64);
+        let gy = gy.clamp(0.0, (g.ny - 1) as f64);
+        // Center node of the 3×3 stencil: nearest node, kept interior.
+        let cx = (gx.round() as usize).clamp(1, g.nx - 2);
+        let cy = (gy.round() as usize).clamp(1, g.ny - 2);
+        let x0 = (cx - 1) as f64; // stencil origin in grid coords
+        let y0 = (cy - 1) as f64;
+        // Interpolate along x for each stencil row, then along y.
+        let mut row_vals = [0.0; 3];
+        for (r, row_val) in row_vals.iter_mut().enumerate() {
+            let ys = [
+                self.get(cx - 1, cy - 1 + r),
+                self.get(cx, cy - 1 + r),
+                self.get(cx + 1, cy - 1 + r),
+            ];
+            *row_val = quadratic_uniform(x0, 1.0, ys, gx);
+        }
+        quadratic_uniform(y0, 1.0, row_vals, gy)
+    }
+
+    /// Bicubic Catmull–Rom sample at world coordinates `(x, y)`.
+    ///
+    /// Falls back to bilinear when the grid is smaller than 4 nodes along
+    /// either axis. Boundary stencils are clamped (repeated edge rows).
+    pub fn sample_bicubic(&self, x: f64, y: f64) -> f64 {
+        let g = self.grid();
+        if g.nx < 4 || g.ny < 4 {
+            return self.sample_bilinear(x, y);
+        }
+        let (gx, gy) = g.to_grid_coords(x, y);
+        let gx = gx.clamp(0.0, (g.nx - 1) as f64);
+        let gy = gy.clamp(0.0, (g.ny - 1) as f64);
+        let ix = (gx.floor() as usize).min(g.nx - 2);
+        let iy = (gy.floor() as usize).min(g.ny - 2);
+        let tx = gx - ix as f64;
+        let ty = gy - iy as f64;
+        // Out-of-range stencil nodes are linearly extrapolated from the two
+        // nearest interior nodes, which keeps the sampler exact for linear
+        // fields all the way to the boundary.
+        let get_ext = |i: isize, j: isize| -> f64 {
+            let nx = g.nx as isize;
+            let ny = g.ny as isize;
+            let (ci, ei) = if i < 0 {
+                (0, -i)
+            } else if i >= nx {
+                (nx - 1, i - (nx - 1))
+            } else {
+                (i, 0)
+            };
+            let (cj, ej) = if j < 0 {
+                (0, -j)
+            } else if j >= ny {
+                (ny - 1, j - (ny - 1))
+            } else {
+                (j, 0)
+            };
+            let base = self.get(ci as usize, cj as usize);
+            let mut v = base;
+            if ei > 0 {
+                let inner = if ci == 0 { 1 } else { nx - 2 } as usize;
+                let slope = base - self.get(inner, cj as usize);
+                v += ei as f64 * slope;
+            }
+            if ej > 0 {
+                let inner = if cj == 0 { 1 } else { ny - 2 } as usize;
+                let slope = self.get(ci as usize, cj as usize)
+                    - self.get(ci as usize, inner);
+                v += ej as f64 * slope;
+            }
+            v
+        };
+        let mut rows = [0.0; 4];
+        for (r, row) in rows.iter_mut().enumerate() {
+            let j = iy as isize + r as isize - 1;
+            let i0 = ix as isize;
+            let vals = [
+                get_ext(i0 - 1, j),
+                get_ext(i0, j),
+                get_ext(i0 + 1, j),
+                get_ext(i0 + 2, j),
+            ];
+            *row = catmull_rom(vals, tx);
+        }
+        catmull_rom(rows, ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::field2::{Field2, Grid2};
+
+    #[test]
+    fn bilinear_exact_on_linear() {
+        let g = Grid2::new(5, 5, 2.0, 3.0).unwrap();
+        let f = Field2::from_world_fn(g, |x, y| 1.5 * x - 0.5 * y + 2.0);
+        for &(x, y) in &[(0.7, 1.1), (3.0, 5.0), (7.9, 11.9), (0.0, 0.0)] {
+            let v = f.sample_bilinear(x, y);
+            let e = 1.5 * x - 0.5 * y + 2.0;
+            assert!((v - e).abs() < 1e-12, "({x},{y}): {v} vs {e}");
+        }
+    }
+
+    #[test]
+    fn bilinear_reproduces_nodes() {
+        let g = Grid2::new(4, 4, 1.0, 1.0).unwrap();
+        let f = Field2::from_fn(g, |ix, iy| (ix * 7 + iy * 3) as f64);
+        for iy in 0..4 {
+            for ix in 0..4 {
+                let (x, y) = g.world(ix, iy);
+                assert!((f.sample_bilinear(x, y) - f.get(ix, iy)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bilinear_clamps_outside_domain() {
+        let g = Grid2::new(3, 3, 1.0, 1.0).unwrap();
+        let f = Field2::from_fn(g, |ix, _| ix as f64);
+        assert_eq!(f.sample_bilinear(-100.0, 1.0), 0.0);
+        assert_eq!(f.sample_bilinear(100.0, 1.0), 2.0);
+    }
+
+    #[test]
+    fn biquadratic_exact_on_quadratic() {
+        let g = Grid2::new(7, 7, 1.0, 1.0).unwrap();
+        let f = Field2::from_world_fn(g, |x, y| x * x - 2.0 * x * y + 3.0 * y * y + x - 5.0);
+        for &(x, y) in &[(1.3, 2.7), (3.5, 3.5), (5.1, 1.2), (2.0, 2.0)] {
+            let v = f.sample_biquadratic(x, y);
+            let e = x * x - 2.0 * x * y + 3.0 * y * y + x - 5.0;
+            assert!((v - e).abs() < 1e-10, "({x},{y}): {v} vs {e}");
+        }
+    }
+
+    #[test]
+    fn biquadratic_more_accurate_than_bilinear_on_smooth_field() {
+        let g = Grid2::new(20, 20, 1.0, 1.0).unwrap();
+        let truth = |x: f64, y: f64| (0.4 * x).sin() * (0.3 * y).cos();
+        let f = Field2::from_world_fn(g, truth);
+        let mut err_bl = 0.0;
+        let mut err_bq = 0.0;
+        let mut n = 0;
+        for i in 0..50 {
+            let x = 1.0 + 0.33 * i as f64 % 17.0;
+            let y = 1.0 + 0.29 * i as f64 % 17.0;
+            err_bl += (f.sample_bilinear(x, y) - truth(x, y)).abs();
+            err_bq += (f.sample_biquadratic(x, y) - truth(x, y)).abs();
+            n += 1;
+        }
+        assert!(
+            err_bq / n as f64 <= err_bl / n as f64,
+            "biquadratic {err_bq} should beat bilinear {err_bl}"
+        );
+    }
+
+    #[test]
+    fn bicubic_exact_on_linear_and_smooth() {
+        let g = Grid2::new(8, 8, 1.0, 1.0).unwrap();
+        let f = Field2::from_world_fn(g, |x, y| 2.0 * x + y);
+        for &(x, y) in &[(2.3, 4.6), (1.0, 1.0), (6.9, 0.1)] {
+            assert!((f.sample_bicubic(x, y) - (2.0 * x + y)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn small_grid_fallbacks() {
+        let g = Grid2::new(2, 2, 1.0, 1.0).unwrap();
+        let f = Field2::from_fn(g, |ix, iy| (ix + iy) as f64);
+        // Both higher-order samplers degrade gracefully to bilinear.
+        assert_eq!(f.sample_biquadratic(0.5, 0.5), f.sample_bilinear(0.5, 0.5));
+        assert_eq!(f.sample_bicubic(0.5, 0.5), f.sample_bilinear(0.5, 0.5));
+    }
+}

@@ -1,0 +1,231 @@
+//! Transfer operators between the fine fire mesh and the coarse atmosphere
+//! mesh.
+//!
+//! The paper runs the fire on a 6 m mesh under a 60 m atmospheric mesh
+//! (§2.3): winds are *prolonged* (interpolated) from coarse to fine, and the
+//! fire's heat fluxes are *restricted* (conservatively averaged) from fine to
+//! coarse. Both grids must be node-aligned with an integer refinement ratio.
+
+use crate::field2::{Field2, Grid2};
+use crate::{GridError, Result};
+
+/// Relationship between an aligned coarse/fine grid pair.
+#[derive(Debug, Clone, Copy)]
+pub struct Refinement {
+    /// Fine points per coarse interval in `x`.
+    pub rx: usize,
+    /// Fine points per coarse interval in `y`.
+    pub ry: usize,
+}
+
+/// Computes the refinement ratio between aligned grids.
+///
+/// The grids are aligned when both cover the same physical domain, share the
+/// origin, and the fine node count is `r·(n_coarse − 1) + 1` per axis.
+///
+/// # Errors
+/// [`GridError::NonIntegerRefinement`] when the counts do not admit an
+/// integer ratio; [`GridError::GridMismatch`] when origins differ.
+pub fn refinement_between(fine: &Grid2, coarse: &Grid2) -> Result<Refinement> {
+    if fine.origin != coarse.origin {
+        return Err(GridError::GridMismatch("transfer origins"));
+    }
+    let ratio = |nf: usize, nc: usize| -> Result<usize> {
+        if nc < 2 || nf < nc {
+            return Err(GridError::NonIntegerRefinement { fine: nf, coarse: nc });
+        }
+        let intervals_f = nf - 1;
+        let intervals_c = nc - 1;
+        if intervals_f % intervals_c != 0 {
+            return Err(GridError::NonIntegerRefinement { fine: nf, coarse: nc });
+        }
+        Ok(intervals_f / intervals_c)
+    };
+    Ok(Refinement {
+        rx: ratio(fine.nx, coarse.nx)?,
+        ry: ratio(fine.ny, coarse.ny)?,
+    })
+}
+
+/// Prolongs (bilinear-interpolates) a coarse field onto a fine grid.
+///
+/// This is how near-surface winds travel from the atmosphere mesh to the
+/// fire mesh.
+///
+/// # Errors
+/// Propagates alignment errors from [`refinement_between`].
+pub fn prolong(coarse: &Field2, fine_grid: Grid2) -> Result<Field2> {
+    refinement_between(&fine_grid, &coarse.grid())?;
+    let mut out = Field2::zeros(fine_grid);
+    for iy in 0..fine_grid.ny {
+        for ix in 0..fine_grid.nx {
+            let (x, y) = fine_grid.world(ix, iy);
+            out.set(ix, iy, coarse.sample_bilinear(x, y));
+        }
+    }
+    Ok(out)
+}
+
+/// Restricts a fine field onto a coarse grid by cell averaging.
+///
+/// Each coarse node receives the mean of the fine nodes inside its dual cell
+/// (the rectangle of half a coarse spacing on each side). The weighting keeps
+/// the discrete integral `Σ v · dA` unchanged up to boundary truncation, so
+/// total heat flux is conserved through the transfer — exactly the property
+/// the coupling needs.
+///
+/// # Errors
+/// Propagates alignment errors from [`refinement_between`].
+pub fn restrict(fine: &Field2, coarse_grid: Grid2) -> Result<Field2> {
+    let refn = refinement_between(&fine.grid(), &coarse_grid)?;
+    let fg = fine.grid();
+    let mut out = Field2::zeros(coarse_grid);
+    // Dual cell of a coarse node spans ±r/2 fine intervals. For odd r the
+    // boundary falls between fine nodes (no edge weighting needed); for even
+    // r the boundary passes through fine nodes, which are shared half/half
+    // with the neighboring dual cell.
+    let hx = (refn.rx / 2) as isize;
+    let hy = (refn.ry / 2) as isize;
+    for cy in 0..coarse_grid.ny {
+        for cx in 0..coarse_grid.nx {
+            let fx = (cx * refn.rx) as isize;
+            let fy = (cy * refn.ry) as isize;
+            let mut sum = 0.0;
+            let mut count = 0.0;
+            for dy in -hy..=hy {
+                for dx in -hx..=hx {
+                    let ix = fx + dx;
+                    let iy = fy + dy;
+                    if ix < 0 || iy < 0 || ix >= fg.nx as isize || iy >= fg.ny as isize {
+                        continue;
+                    }
+                    // Edge-of-dual-cell samples count half (trapezoid rule in
+                    // each axis) so adjacent dual cells tile the plane.
+                    let wx = if dx.unsigned_abs() == hx as usize && refn.rx % 2 == 0 {
+                        0.5
+                    } else {
+                        1.0
+                    };
+                    let wy = if dy.unsigned_abs() == hy as usize && refn.ry % 2 == 0 {
+                        0.5
+                    } else {
+                        1.0
+                    };
+                    let w = wx * wy;
+                    sum += w * fine.get(ix as usize, iy as usize);
+                    count += w;
+                }
+            }
+            out.set(cx, cy, sum / count);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(r: usize, nc: usize) -> (Grid2, Grid2) {
+        let coarse = Grid2::new(nc, nc, 10.0, 10.0).unwrap();
+        let fine = Grid2::new(r * (nc - 1) + 1, r * (nc - 1) + 1, 10.0 / r as f64, 10.0 / r as f64)
+            .unwrap();
+        (fine, coarse)
+    }
+
+    #[test]
+    fn refinement_detection() {
+        let (fine, coarse) = pair(10, 7);
+        let r = refinement_between(&fine, &coarse).unwrap();
+        assert_eq!(r.rx, 10);
+        assert_eq!(r.ry, 10);
+    }
+
+    #[test]
+    fn refinement_rejects_misaligned() {
+        let coarse = Grid2::new(5, 5, 10.0, 10.0).unwrap();
+        let fine = Grid2::new(22, 41, 1.0, 1.0).unwrap();
+        assert!(refinement_between(&fine, &coarse).is_err());
+        let shifted = Grid2::with_origin(41, 41, 1.0, 1.0, (5.0, 0.0)).unwrap();
+        assert!(refinement_between(&shifted, &coarse).is_err());
+    }
+
+    #[test]
+    fn prolong_exact_on_linear() {
+        let (fine_g, coarse_g) = pair(4, 6);
+        let coarse = Field2::from_world_fn(coarse_g, |x, y| 2.0 * x - y + 3.0);
+        let fine = prolong(&coarse, fine_g).unwrap();
+        for iy in 0..fine_g.ny {
+            for ix in 0..fine_g.nx {
+                let (x, y) = fine_g.world(ix, iy);
+                assert!((fine.get(ix, iy) - (2.0 * x - y + 3.0)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_preserves_constants() {
+        let (fine_g, coarse_g) = pair(5, 4);
+        let fine = Field2::filled(fine_g, 7.25);
+        let coarse = restrict(&fine, coarse_g).unwrap();
+        for v in coarse.as_slice() {
+            assert!((v - 7.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn restrict_approximates_linear() {
+        let (fine_g, coarse_g) = pair(6, 5);
+        let fine = Field2::from_world_fn(fine_g, |x, y| 0.5 * x + 0.25 * y);
+        let coarse = restrict(&fine, coarse_g).unwrap();
+        // Cell-averaging a linear function reproduces it at interior nodes.
+        for cy in 1..coarse_g.ny - 1 {
+            for cx in 1..coarse_g.nx - 1 {
+                let (x, y) = coarse_g.world(cx, cy);
+                assert!(
+                    (coarse.get(cx, cy) - (0.5 * x + 0.25 * y)).abs() < 1e-10,
+                    "node ({cx},{cy})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_then_prolong_roundtrip_smooth() {
+        let (fine_g, coarse_g) = pair(2, 9);
+        let smooth = Field2::from_world_fn(fine_g, |x, y| (0.05 * x).sin() + (0.04 * y).cos());
+        let down = restrict(&smooth, coarse_g).unwrap();
+        let up = prolong(&down, fine_g).unwrap();
+        // Smooth fields survive the roundtrip with small error (restriction
+        // attenuates the resolved wave slightly; prolongation adds O(h²)).
+        assert!(smooth.rmse(&up).unwrap() < 0.06);
+    }
+
+    #[test]
+    fn integral_conservation_of_restriction() {
+        // Total flux (integral) is preserved for interior-supported fields.
+        let (fine_g, coarse_g) = pair(4, 8);
+        let mut fine = Field2::zeros(fine_g);
+        // Paint a blob away from the boundary.
+        for iy in 8..20 {
+            for ix in 8..20 {
+                fine.set(ix, iy, 3.0);
+            }
+        }
+        let coarse = restrict(&fine, coarse_g).unwrap();
+        let fine_int = fine.integral();
+        let coarse_int = coarse.integral();
+        let rel = (fine_int - coarse_int).abs() / fine_int;
+        assert!(rel < 0.25, "integral drift {rel}");
+    }
+
+    #[test]
+    fn unit_refinement_is_identity() {
+        let g = Grid2::new(6, 6, 2.0, 2.0).unwrap();
+        let f = Field2::from_fn(g, |ix, iy| (ix * 11 + iy) as f64);
+        let r = restrict(&f, g).unwrap();
+        let p = prolong(&f, g).unwrap();
+        assert_eq!(r, f);
+        assert_eq!(p, f);
+    }
+}

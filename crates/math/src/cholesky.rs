@@ -1,0 +1,230 @@
+//! Cholesky factorization `A = L·Lᵀ` of symmetric positive definite matrices.
+//!
+//! The EnKF analysis step solves one `m × m` SPD system per assimilation
+//! cycle (`m` = number of observations), and multivariate Gaussian sampling
+//! needs a matrix square root of the observation error covariance — both use
+//! this factorization.
+
+use crate::matrix::Matrix;
+use crate::{MathError, Result};
+
+/// Lower-triangular Cholesky factor of an SPD matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor; the strict upper triangle is zero.
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes `a` (which must be square and symmetric positive definite).
+    ///
+    /// Only the lower triangle of `a` is read, so a numerically
+    /// almost-symmetric matrix is accepted without complaint; callers that
+    /// need strict symmetry should `symmetrize_mut` first.
+    ///
+    /// # Errors
+    /// [`MathError::NotSquare`] for non-square input and
+    /// [`MathError::NotPositiveDefinite`] when a pivot is `≤ 0` or non-finite.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(MathError::NotSquare { dims: a.dims() });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal pivot.
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if !(d > 0.0) || !d.is_finite() {
+                return Err(MathError::NotPositiveDefinite { pivot: j, value: d });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            // Column below the pivot.
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b` in place for a single right-hand side.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the factor dimension.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "cholesky solve rhs length mismatch");
+        // Forward substitution: L y = b.
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * b[k];
+            }
+            b[i] = s / self.l[(i, i)];
+        }
+        // Backward substitution: Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut s = b[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * b[k];
+            }
+            b[i] = s / self.l[(i, i)];
+        }
+    }
+
+    /// Solves `A x = b`, returning a fresh vector.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    /// [`MathError::DimensionMismatch`] if `B` has the wrong row count.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        if b.rows() != self.dim() {
+            return Err(MathError::DimensionMismatch {
+                op: "cholesky solve_matrix",
+                lhs: (self.dim(), self.dim()),
+                rhs: b.dims(),
+            });
+        }
+        let mut x = b.clone();
+        for j in 0..x.cols() {
+            self.solve_in_place(x.col_mut(j));
+        }
+        Ok(x)
+    }
+
+    /// Applies `L` to a vector: returns `L v` (used to color white noise when
+    /// sampling from `N(0, A)`).
+    ///
+    /// # Panics
+    /// Panics if `v.len()` differs from the factor dimension.
+    pub fn l_times(&self, v: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(v.len(), n, "l_times length mismatch");
+        let mut out = vec![0.0; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for k in 0..=i {
+                s += self.l[(i, k)] * v[k];
+            }
+            *o = s;
+        }
+        out
+    }
+
+    /// Log-determinant of `A` (twice the log-determinant of `L`).
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_example() -> Matrix {
+        // A = Bᵀ B + I is SPD for any B.
+        let b = Matrix::from_fn(4, 4, |i, j| ((i * 3 + j * 7) % 5) as f64 - 2.0);
+        let mut a = b.tr_matmul(&b).unwrap();
+        a.add_diagonal_mut(1.0);
+        a
+    }
+
+    #[test]
+    fn reconstructs_matrix() {
+        let a = spd_example();
+        let ch = Cholesky::new(&a).unwrap();
+        let rec = ch.l().matmul_tr(ch.l()).unwrap();
+        assert!((&rec - &a).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd_example();
+        let x_true = vec![1.0, -2.0, 0.5, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let ch = Cholesky::new(&a).unwrap();
+        let x = ch.solve(&b);
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_matches_vector_solve() {
+        let a = spd_example();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_fn(4, 3, |i, j| (i + j) as f64);
+        let x = ch.solve_matrix(&b).unwrap();
+        for j in 0..3 {
+            let xj = ch.solve(b.col(j));
+            for i in 0..4 {
+                assert!((x[(i, j)] - xj[i]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(MathError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Cholesky::new(&a), Err(MathError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let ch = Cholesky::new(&Matrix::identity(5)).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(ch.solve(&b), b);
+        assert!(ch.log_det().abs() < 1e-15);
+    }
+
+    #[test]
+    fn log_det_of_diagonal() {
+        let a = Matrix::from_diagonal(&[2.0, 3.0, 4.0]);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.log_det() - 24.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l_times_matches_matvec() {
+        let a = spd_example();
+        let ch = Cholesky::new(&a).unwrap();
+        let v = vec![0.3, -0.7, 1.1, 0.0];
+        let direct = ch.l().matvec(&v).unwrap();
+        let fast = ch.l_times(&v);
+        for (d, f) in direct.iter().zip(fast.iter()) {
+            assert!((d - f).abs() < 1e-14);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Symmetric eigendecomposition by the cyclic Jacobi method.
+//!
+//! Needed for the deterministic (square-root / ETKF) ensemble filter variant,
+//! which requires `(I + C)^{-1/2}` of a small symmetric ensemble-space matrix,
+//! and for diagnostics such as ensemble covariance spectra.
+//!
+//! The cyclic Jacobi method is slow for large matrices but unconditionally
+//! reliable and accurate for the `N × N` (N = ensemble size ≈ 25) matrices we
+//! feed it, which is exactly the regime the paper's filter operates in.
+
+use crate::matrix::Matrix;
+use crate::{MathError, Result};
+
+/// Eigendecomposition `A = V · diag(λ) · Vᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as columns, in the same order as `values`.
+    pub vectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Computes the eigendecomposition of a symmetric matrix.
+    ///
+    /// Only the lower triangle is trusted; the matrix is symmetrized
+    /// internally before iteration. Uses cyclic Jacobi sweeps until the
+    /// off-diagonal Frobenius mass falls below `1e-14 · ‖A‖_F`, with a
+    /// 100-sweep budget.
+    ///
+    /// # Errors
+    /// [`MathError::NotSquare`] for non-square input;
+    /// [`MathError::NoConvergence`] if the sweep budget is exhausted.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(MathError::NotSquare { dims: a.dims() });
+        }
+        let n = a.rows();
+        let mut m = a.clone();
+        m.symmetrize_mut();
+        let mut v = Matrix::identity(n);
+        let norm = m.fro_norm().max(f64::MIN_POSITIVE);
+        let tol = 1e-14 * norm;
+
+        const MAX_SWEEPS: usize = 100;
+        for _sweep in 0..MAX_SWEEPS {
+            let mut off = 0.0;
+            for j in 0..n {
+                for i in 0..j {
+                    off += m[(i, j)] * m[(i, j)];
+                }
+            }
+            if (2.0 * off).sqrt() <= tol {
+                return Ok(Self::sorted(m, v));
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= tol / (n as f64) {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    // Classic Jacobi rotation.
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    // Update rows/columns p and q of m (full symmetric update).
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    // Accumulate the rotation into V.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        Err(MathError::NoConvergence {
+            algorithm: "jacobi eigendecomposition",
+            iterations: MAX_SWEEPS,
+        })
+    }
+
+    fn sorted(m: Matrix, v: Matrix) -> Self {
+        let n = m.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+        order.sort_by(|&a, &b| diag[a].partial_cmp(&diag[b]).expect("finite eigenvalues"));
+        let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+        let mut vectors = Matrix::zeros(n, n);
+        for (newj, &oldj) in order.iter().enumerate() {
+            vectors.set_col(newj, v.col(oldj));
+        }
+        SymmetricEigen { values, vectors }
+    }
+
+    /// Applies a scalar function to the eigenvalues and reassembles the
+    /// matrix: returns `V · diag(f(λ)) · Vᵀ`.
+    ///
+    /// This is how the filter computes matrix functions such as `A^{-1/2}`.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        let mut scaled = self.vectors.clone();
+        for (j, &lam) in self.values.iter().enumerate() {
+            let flam = f(lam);
+            for x in scaled.col_mut(j) {
+                *x *= flam;
+            }
+        }
+        scaled
+            .matmul_tr(&self.vectors)
+            .expect("square dims always agree")
+    }
+
+    /// Reconstructs the original matrix `V · diag(λ) · Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        self.map(|x| x)
+    }
+
+    /// Inverse square root `A^{-1/2}`, flooring eigenvalues at `floor` to
+    /// guard against tiny negative values from roundoff.
+    pub fn inv_sqrt(&self, floor: f64) -> Matrix {
+        self.map(|lam| 1.0 / lam.max(floor).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_diagonal(&[3.0, 1.0, 2.0]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let b = Matrix::from_fn(5, 5, |i, j| ((i * j + i + 1) % 7) as f64);
+        let mut a = b.tr_matmul(&b).unwrap();
+        a.symmetrize_mut();
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((&e.reconstruct() - &a).max_abs() < 1e-9);
+        let vtv = e.vectors.tr_matmul(&e.vectors).unwrap();
+        assert!((&vtv - &Matrix::identity(5)).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn inv_sqrt_is_functional_inverse() {
+        let b = Matrix::from_fn(4, 4, |i, j| ((i + 2 * j) % 5) as f64 * 0.5);
+        let mut a = b.tr_matmul(&b).unwrap();
+        a.add_diagonal_mut(2.0);
+        let e = SymmetricEigen::new(&a).unwrap();
+        let s = e.inv_sqrt(1e-12);
+        // s * a * s ≈ I
+        let prod = s.matmul(&a).unwrap().matmul(&s).unwrap();
+        assert!((&prod - &Matrix::identity(4)).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_equals_eigen_sum() {
+        let b = Matrix::from_fn(6, 6, |i, j| ((3 * i + j) % 4) as f64 - 1.5);
+        let mut a = b.tr_matmul(&b).unwrap();
+        a.symmetrize_mut();
+        let e = SymmetricEigen::new(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - a.trace().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(SymmetricEigen::new(&Matrix::zeros(2, 3)).is_err());
+    }
+}

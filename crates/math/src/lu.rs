@@ -1,0 +1,203 @@
+//! LU factorization with partial pivoting.
+//!
+//! Used for general square solves (e.g. biquadratic interpolation systems and
+//! the small Newton systems inside the registration optimizer) where the
+//! matrix is not symmetric positive definite.
+
+use crate::matrix::Matrix;
+use crate::{MathError, Result};
+
+/// Compact LU factorization `P·A = L·U` with partial (row) pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined factors: strict lower triangle holds `L` (unit diagonal
+    /// implied), upper triangle holds `U`.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row index now in row `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    /// [`MathError::NotSquare`] for non-square input and
+    /// [`MathError::Singular`] when no usable pivot exists in a column.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(MathError::NotSquare { dims: a.dims() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Pivot search in column k.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax == 0.0 || !pmax.is_finite() {
+                return Err(MathError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for j in (k + 1)..n {
+                    let v = lu[(k, j)];
+                    lu[(i, j)] -= m * v;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the factor dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "lu solve rhs length mismatch");
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        // Forward substitution with unit lower triangle.
+        for i in 1..n {
+            let mut s = x[i];
+            for k in 0..i {
+                s -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = s;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    /// [`MathError::DimensionMismatch`] if `B` has the wrong row count.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        if b.rows() != self.dim() {
+            return Err(MathError::DimensionMismatch {
+                op: "lu solve_matrix",
+                lhs: (self.dim(), self.dim()),
+                rhs: b.dims(),
+            });
+        }
+        let mut x = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            x.set_col(j, &self.solve(b.col(j)));
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of the factored matrix.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        self.solve_matrix(&Matrix::identity(n))
+            .expect("identity dims always match")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, -1.0],
+            &[-3.0, -1.0, 2.0],
+            &[-2.0, 1.0, 2.0],
+        ]);
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve(&[8.0, -11.0, -3.0]);
+        let expected = [2.0, 3.0, -1.0];
+        for (xi, ei) in x.iter().zip(expected.iter()) {
+            assert!((xi - ei).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!((Lu::new(&a).unwrap().det() + 2.0).abs() < 1e-14);
+        let id = Matrix::identity(6);
+        assert!((Lu::new(&id).unwrap().det() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 7.0, 1.0],
+            &[2.0, 6.0, 0.5],
+            &[1.0, 0.0, 3.0],
+        ]);
+        let inv = Lu::new(&a).unwrap().inverse();
+        let prod = a.matmul(&inv).unwrap();
+        assert!((&prod - &Matrix::identity(3)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::new(&a), Err(MathError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matches!(
+            Lu::new(&Matrix::zeros(2, 3)),
+            Err(MathError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve(&[3.0, 5.0]);
+        assert!((x[0] - 5.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+        assert!((lu.det() + 1.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,705 @@
+//! Dense column-major `f64` matrix.
+//!
+//! States in the ensemble Kalman filter are stored as the *columns* of a
+//! matrix, so column-major layout keeps each ensemble member contiguous in
+//! memory; the hot loops of the analysis step (column axpys, `Xᵀ·X`-style
+//! products) then stream linearly through memory.
+
+use crate::{MathError, Result};
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A dense matrix of `f64` stored in column-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    /// Column-major storage: element `(i, j)` lives at `data[j * rows + i]`.
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows × cols` matrix with every entry set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a function of the index pair `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major nested slices (convenient in tests).
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "row {i} has inconsistent length");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Creates a single-column matrix from a slice.
+    pub fn col_vector(v: &[f64]) -> Self {
+        Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
+    }
+
+    /// Creates a matrix that owns `data` interpreted in column-major order.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_column_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "column-major data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Raw column-major data slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw column-major data slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its column-major storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow of column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.cols);
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutable borrow of column `j` as a contiguous slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.cols);
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Copy of row `i`.
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        (0..self.cols).map(|j| self[(i, j)]).collect()
+    }
+
+    /// Overwrites column `j` with `v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != rows`.
+    pub fn set_col(&mut self, j: usize, v: &[f64]) {
+        assert_eq!(v.len(), self.rows, "set_col length mismatch");
+        self.col_mut(j).copy_from_slice(v);
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Uses a cache-friendly `j-k-i` loop: for each output column we
+    /// accumulate axpys of the columns of `self`, which are contiguous.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(MathError::DimensionMismatch {
+                op: "matmul",
+                lhs: self.dims(),
+                rhs: rhs.dims(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for j in 0..rhs.cols {
+            let out_col = &mut out.data[j * self.rows..(j + 1) * self.rows];
+            for k in 0..self.cols {
+                let alpha = rhs[(k, j)];
+                if alpha == 0.0 {
+                    continue;
+                }
+                let a_col = &self.data[k * self.rows..(k + 1) * self.rows];
+                for (o, &a) in out_col.iter_mut().zip(a_col.iter()) {
+                    *o += alpha * a;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Product `selfᵀ * rhs` without materializing the transpose.
+    ///
+    /// Each output entry is a dot product of two contiguous columns, so this
+    /// is the preferred kernel for ensemble Gram matrices `AᵀA`.
+    pub fn tr_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(MathError::DimensionMismatch {
+                op: "tr_matmul",
+                lhs: self.dims(),
+                rhs: rhs.dims(),
+            });
+        }
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for j in 0..rhs.cols {
+            let b_col = rhs.col(j);
+            for i in 0..self.cols {
+                let a_col = self.col(i);
+                let mut s = 0.0;
+                for (&a, &b) in a_col.iter().zip(b_col.iter()) {
+                    s += a * b;
+                }
+                out[(i, j)] = s;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Product `self * rhsᵀ` without materializing the transpose.
+    pub fn matmul_tr(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(MathError::DimensionMismatch {
+                op: "matmul_tr",
+                lhs: self.dims(),
+                rhs: rhs.dims(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for k in 0..self.cols {
+            let a_col = self.col(k);
+            let b_col = rhs.col(k);
+            for (j, &b) in b_col.iter().enumerate() {
+                if b == 0.0 {
+                    continue;
+                }
+                let out_col = &mut out.data[j * self.rows..(j + 1) * self.rows];
+                for (o, &a) in out_col.iter_mut().zip(a_col.iter()) {
+                    *o += b * a;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(MathError::DimensionMismatch {
+                op: "matvec",
+                lhs: self.dims(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (k, &alpha) in v.iter().enumerate() {
+            if alpha == 0.0 {
+                continue;
+            }
+            let col = self.col(k);
+            for (o, &a) in out.iter_mut().zip(col.iter()) {
+                *o += alpha * a;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * v`.
+    pub fn tr_matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != v.len() {
+            return Err(MathError::DimensionMismatch {
+                op: "tr_matvec",
+                lhs: self.dims(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (j, o) in out.iter_mut().enumerate() {
+            let col = self.col(j);
+            let mut s = 0.0;
+            for (&a, &b) in col.iter().zip(v.iter()) {
+                s += a * b;
+            }
+            *o = s;
+        }
+        Ok(out)
+    }
+
+    /// In-place scaling `self *= alpha`.
+    pub fn scale_mut(&mut self, alpha: f64) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Returns `alpha * self`.
+    pub fn scaled(&self, alpha: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale_mut(alpha);
+        out
+    }
+
+    /// In-place axpy: `self += alpha * other`.
+    pub fn axpy_mut(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
+        if self.dims() != other.dims() {
+            return Err(MathError::DimensionMismatch {
+                op: "axpy",
+                lhs: self.dims(),
+                rhs: other.dims(),
+            });
+        }
+        for (x, &y) in self.data.iter_mut().zip(other.data.iter()) {
+            *x += alpha * y;
+        }
+        Ok(())
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry (∞-norm of the vectorization).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Trace (sum of diagonal entries).
+    ///
+    /// # Errors
+    /// Returns [`MathError::NotSquare`] for non-square matrices.
+    pub fn trace(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(MathError::NotSquare { dims: self.dims() });
+        }
+        Ok((0..self.rows).map(|i| self[(i, i)]).sum())
+    }
+
+    /// Mean of the columns as a vector of length `rows`.
+    pub fn col_mean(&self) -> Vec<f64> {
+        let mut mean = vec![0.0; self.rows];
+        if self.cols == 0 {
+            return mean;
+        }
+        for j in 0..self.cols {
+            for (m, &x) in mean.iter_mut().zip(self.col(j).iter()) {
+                *m += x;
+            }
+        }
+        let inv = 1.0 / self.cols as f64;
+        for m in &mut mean {
+            *m *= inv;
+        }
+        mean
+    }
+
+    /// Subtracts `v` from every column in place (used to form anomalies).
+    ///
+    /// # Panics
+    /// Panics if `v.len() != rows`.
+    pub fn subtract_col_vector(&mut self, v: &[f64]) {
+        assert_eq!(v.len(), self.rows, "subtract_col_vector length mismatch");
+        for j in 0..self.cols {
+            for (x, &m) in self.col_mut(j).iter_mut().zip(v.iter()) {
+                *x -= m;
+            }
+        }
+    }
+
+    /// Returns the column-anomaly matrix `A = X - x̄·1ᵀ` and the mean `x̄`.
+    pub fn anomalies(&self) -> (Matrix, Vec<f64>) {
+        let mean = self.col_mean();
+        let mut a = self.clone();
+        a.subtract_col_vector(&mean);
+        (a, mean)
+    }
+
+    /// Extracts the contiguous sub-matrix with rows `r0..r1` and columns `c0..c1`.
+    ///
+    /// # Panics
+    /// Panics if the ranges are out of bounds or reversed.
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
+        assert!(r0 <= r1 && r1 <= self.rows, "bad row range");
+        assert!(c0 <= c1 && c1 <= self.cols, "bad col range");
+        let mut out = Matrix::zeros(r1 - r0, c1 - c0);
+        for j in c0..c1 {
+            for i in r0..r1 {
+                out[(i - r0, j - c0)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Stacks `top` above `bottom` (they must have equal column counts).
+    pub fn vstack(top: &Matrix, bottom: &Matrix) -> Result<Matrix> {
+        if top.cols != bottom.cols {
+            return Err(MathError::DimensionMismatch {
+                op: "vstack",
+                lhs: top.dims(),
+                rhs: bottom.dims(),
+            });
+        }
+        let mut out = Matrix::zeros(top.rows + bottom.rows, top.cols);
+        for j in 0..top.cols {
+            out.col_mut(j)[..top.rows].copy_from_slice(top.col(j));
+            out.col_mut(j)[top.rows..].copy_from_slice(bottom.col(j));
+        }
+        Ok(out)
+    }
+
+    /// Whether the matrix is symmetric to within `tol` (absolute).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for j in 0..self.cols {
+            for i in 0..j {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Symmetrizes in place: `self = (self + selfᵀ)/2`.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn symmetrize_mut(&mut self) {
+        assert!(self.is_square(), "symmetrize requires a square matrix");
+        for j in 0..self.cols {
+            for i in 0..j {
+                let avg = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = avg;
+                self[(j, i)] = avg;
+            }
+        }
+    }
+
+    /// Adds `alpha` to every diagonal entry (Tikhonov / covariance inflation).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn add_diagonal_mut(&mut self, alpha: f64) {
+        assert!(self.is_square(), "add_diagonal requires a square matrix");
+        for i in 0..self.rows {
+            self[(i, i)] += alpha;
+        }
+    }
+
+    /// True when every entry is finite (no NaN/∞).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[j * self.rows + i]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[j * self.rows + i]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.dims(), rhs.dims(), "add dimension mismatch");
+        let mut out = self.clone();
+        out.axpy_mut(1.0, rhs).expect("dims checked");
+        out
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.dims(), rhs.dims(), "sub dimension mismatch");
+        let mut out = self.clone();
+        out.axpy_mut(-1.0, rhs).expect("dims checked");
+        out
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        self.axpy_mut(1.0, rhs).expect("add_assign dimension mismatch");
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        self.axpy_mut(-1.0, rhs).expect("sub_assign dimension mismatch");
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, alpha: f64) -> Matrix {
+        self.scaled(alpha)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.scaled(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut m = Matrix::zeros(3, 2);
+        assert_eq!(m.dims(), (3, 2));
+        m[(2, 1)] = 5.0;
+        assert_eq!(m[(2, 1)], 5.0);
+        assert_eq!(m[(0, 0)], 0.0);
+        // column-major layout: (2,1) is at offset 1*3+2 = 5
+        assert_eq!(m.as_slice()[5], 5.0);
+    }
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let id = Matrix::identity(4);
+        let v = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(id.matvec(&v).unwrap(), v);
+    }
+
+    #[test]
+    fn from_rows_layout() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(MathError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tr_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i + 2 * j) as f64);
+        let b = Matrix::from_fn(4, 2, |i, j| (3 * i) as f64 - j as f64);
+        let fast = a.tr_matmul(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        assert!((&fast - &slow).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn matmul_tr_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i * j) as f64 + 1.0);
+        let b = Matrix::from_fn(2, 4, |i, j| i as f64 - j as f64);
+        let fast = a.matmul_tr(&b).unwrap();
+        let slow = a.matmul(&b.transpose()).unwrap();
+        assert!((&fast - &slow).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(5, 3, |i, j| (i * 7 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn col_mean_and_anomalies() {
+        let m = Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 6.0]]);
+        let (a, mean) = m.anomalies();
+        assert_eq!(mean, vec![2.0, 4.0]);
+        assert_eq!(a[(0, 0)], -1.0);
+        assert_eq!(a[(0, 1)], 1.0);
+        assert_eq!(a[(1, 0)], -2.0);
+        assert_eq!(a[(1, 1)], 2.0);
+    }
+
+    #[test]
+    fn submatrix_extraction() {
+        let m = Matrix::from_fn(4, 4, |i, j| (10 * i + j) as f64);
+        let s = m.submatrix(1, 3, 2, 4);
+        assert_eq!(s.dims(), (2, 2));
+        assert_eq!(s[(0, 0)], 12.0);
+        assert_eq!(s[(1, 1)], 23.0);
+    }
+
+    #[test]
+    fn vstack_stacks() {
+        let a = Matrix::filled(2, 3, 1.0);
+        let b = Matrix::filled(1, 3, 2.0);
+        let s = Matrix::vstack(&a, &b).unwrap();
+        assert_eq!(s.dims(), (3, 3));
+        assert_eq!(s[(2, 0)], 2.0);
+        assert_eq!(s[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn symmetrize_makes_symmetric() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[4.0, 3.0]]);
+        m.symmetrize_mut();
+        assert!(m.is_symmetric(0.0));
+        assert_eq!(m[(0, 1)], 3.0);
+    }
+
+    #[test]
+    fn trace_and_norms() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert_eq!(m.trace().unwrap(), 7.0);
+        assert!(approx(m.fro_norm(), 5.0, 1e-15));
+        assert_eq!(m.max_abs(), 4.0);
+        assert!(Matrix::zeros(2, 3).trace().is_err());
+    }
+
+    #[test]
+    fn matvec_and_tr_matvec_agree_with_matmul() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i + j) as f64 * 0.5);
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        let mv = a.matvec(&v).unwrap();
+        let mv_ref = a.matmul(&Matrix::col_vector(&v)).unwrap();
+        for i in 0..3 {
+            assert!(approx(mv[i], mv_ref[(i, 0)], 1e-14));
+        }
+        let w = vec![1.0, -1.0, 0.5];
+        let tv = a.tr_matvec(&w).unwrap();
+        let tv_ref = a.transpose().matvec(&w).unwrap();
+        for j in 0..4 {
+            assert!(approx(tv[j], tv_ref[j], 1e-14));
+        }
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(m.all_finite());
+        m[(0, 1)] = f64::NAN;
+        assert!(!m.all_finite());
+    }
+
+    #[test]
+    fn add_diagonal_shifts_eigenvalues() {
+        let mut m = Matrix::identity(3);
+        m.add_diagonal_mut(2.0);
+        assert_eq!(m[(1, 1)], 3.0);
+        assert_eq!(m[(0, 1)], 0.0);
+    }
+}

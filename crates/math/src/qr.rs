@@ -1,0 +1,226 @@
+//! Householder QR factorization and least-squares solves.
+//!
+//! The registration optimizer solves small overdetermined systems (fitting
+//! displacement increments), and the ETKF variant of the filter uses QR to
+//! orthonormalize perturbations.
+
+use crate::matrix::Matrix;
+use crate::{MathError, Result};
+
+/// Householder QR factorization `A = Q·R` for `m × n` matrices with `m ≥ n`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Householder vectors stored below the diagonal; `R` on and above it.
+    qr: Matrix,
+    /// Scalar `τ` coefficients of the Householder reflectors.
+    tau: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorizes `a` (`m × n`, `m ≥ n`).
+    ///
+    /// # Errors
+    /// [`MathError::InvalidArgument`] when `m < n`.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.dims();
+        if m < n {
+            return Err(MathError::InvalidArgument(
+                "QR requires at least as many rows as columns",
+            ));
+        }
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder reflector for column k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // Normalize so v[k] = 1 implicitly; store v[i]/v0 below diagonal.
+            for i in (k + 1)..m {
+                qr[(i, k)] /= v0;
+            }
+            tau[k] = -v0 / alpha;
+            qr[(k, k)] = alpha;
+            // Apply reflector to the trailing columns.
+            for j in (k + 1)..n {
+                let mut s = qr[(k, j)];
+                for i in (k + 1)..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= tau[k];
+                qr[(k, j)] -= s;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+        }
+        Ok(Qr { qr, tau })
+    }
+
+    /// Returns the upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.cols();
+        let mut r = Matrix::zeros(n, n);
+        for j in 0..n {
+            for i in 0..=j {
+                r[(i, j)] = self.qr[(i, j)];
+            }
+        }
+        r
+    }
+
+    /// Returns the thin orthonormal factor `Q` (`m × n`).
+    pub fn q(&self) -> Matrix {
+        let (m, n) = self.qr.dims();
+        let mut q = Matrix::zeros(m, n);
+        for i in 0..n {
+            q[(i, i)] = 1.0;
+        }
+        // Accumulate reflectors in reverse order: Q = H_0 H_1 … H_{n-1} I.
+        for k in (0..n).rev() {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let mut s = q[(k, j)];
+                for i in (k + 1)..m {
+                    s += self.qr[(i, k)] * q[(i, j)];
+                }
+                s *= self.tau[k];
+                q[(k, j)] -= s;
+                for i in (k + 1)..m {
+                    let vik = self.qr[(i, k)];
+                    q[(i, j)] -= s * vik;
+                }
+            }
+        }
+        q
+    }
+
+    /// Applies `Qᵀ` to a vector of length `m` in place.
+    fn apply_qt(&self, b: &mut [f64]) {
+        let (m, n) = self.qr.dims();
+        assert_eq!(b.len(), m, "apply_qt length mismatch");
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut s = b[k];
+            for i in (k + 1)..m {
+                s += self.qr[(i, k)] * b[i];
+            }
+            s *= self.tau[k];
+            b[k] -= s;
+            for i in (k + 1)..m {
+                b[i] -= s * self.qr[(i, k)];
+            }
+        }
+    }
+
+    /// Least-squares solution of `min ‖A x − b‖₂`.
+    ///
+    /// # Errors
+    /// [`MathError::Singular`] when `R` has a zero diagonal entry (rank
+    /// deficiency), [`MathError::DimensionMismatch`] for bad `b` length.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.dims();
+        if b.len() != m {
+            return Err(MathError::DimensionMismatch {
+                op: "qr solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = b.to_vec();
+        self.apply_qt(&mut y);
+        // Back substitution on the leading n × n triangle.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.qr[(i, k)] * x[k];
+            }
+            let rii = self.qr[(i, i)];
+            if rii == 0.0 {
+                return Err(MathError::Singular { pivot: i });
+            }
+            x[i] = s / rii;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = Matrix::from_fn(5, 3, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let qr = Qr::new(&a).unwrap();
+        let rec = qr.q().matmul(&qr.r()).unwrap();
+        assert!((&rec - &a).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = Matrix::from_fn(6, 4, |i, j| (i as f64 + 1.0).powi(j as i32));
+        let q = Qr::new(&a).unwrap().q();
+        let gram = q.tr_matmul(&q).unwrap();
+        assert!((&gram - &Matrix::identity(4)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_fn(4, 4, |i, j| ((i + j) as f64).sin() + 2.0);
+        let r = Qr::new(&a).unwrap().r();
+        for j in 0..4 {
+            for i in (j + 1)..4 {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_exact_system() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[0.0, 0.0]]);
+        let x = Qr::new(&a).unwrap().solve_least_squares(&[3.0, 4.0, 9.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        let a = Matrix::from_fn(8, 3, |i, j| ((i + 1) as f64).powi(j as i32));
+        let b: Vec<f64> = (0..8).map(|i| (i as f64 * 0.7).cos()).collect();
+        let x_qr = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        // Normal equations: (AᵀA) x = Aᵀ b.
+        let ata = a.tr_matmul(&a).unwrap();
+        let atb = a.tr_matvec(&b).unwrap();
+        let x_ne = crate::Cholesky::new(&ata).unwrap().solve(&atb);
+        for (q, n) in x_qr.iter().zip(x_ne.iter()) {
+            assert!((q - n).abs() < 1e-8, "qr {q} vs normal {n}");
+        }
+    }
+
+    #[test]
+    fn rejects_wide_matrix() {
+        assert!(Qr::new(&Matrix::zeros(2, 4)).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_solve_errors() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]);
+        let qr = Qr::new(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

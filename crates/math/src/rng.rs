@@ -1,0 +1,195 @@
+//! Gaussian and multivariate-Gaussian sampling.
+//!
+//! The offline dependency set provides only `rand`'s uniform generators, so
+//! normal variates are produced here with the Marsaglia polar method and
+//! colored into arbitrary covariances through a Cholesky factor. All
+//! ensemble perturbations in the workspace flow through [`GaussianSampler`],
+//! which keeps experiments reproducible from a single `u64` seed.
+
+use crate::cholesky::Cholesky;
+use crate::matrix::Matrix;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic Gaussian sampler seeded from a `u64`.
+#[derive(Debug)]
+pub struct GaussianSampler {
+    rng: StdRng,
+    /// Cached second variate from the Marsaglia polar transform.
+    spare: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// Creates a sampler from a seed; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        GaussianSampler {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// One standard normal variate `N(0, 1)`.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Marsaglia polar method: rejection-sample a point in the unit disk.
+        loop {
+            let u: f64 = self.rng.gen_range(-1.0..1.0);
+            let v: f64 = self.rng.gen_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// One normal variate `N(mean, std²)`.
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.standard_normal()
+    }
+
+    /// One uniform variate in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// A vector of `n` iid standard normals.
+    pub fn standard_normal_vec(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.standard_normal()).collect()
+    }
+
+    /// An `rows × cols` matrix of iid `N(0, std²)` entries.
+    pub fn normal_matrix(&mut self, rows: usize, cols: usize, std: f64) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for j in 0..cols {
+            for x in m.col_mut(j) {
+                *x = std * self.standard_normal();
+            }
+        }
+        m
+    }
+
+    /// Samples from the multivariate normal `N(mean, cov)`.
+    ///
+    /// # Errors
+    /// Propagates Cholesky failure when `cov` is not SPD;
+    /// [`crate::MathError::DimensionMismatch`] if `mean` and `cov` disagree.
+    pub fn multivariate_normal(&mut self, mean: &[f64], cov: &Matrix) -> Result<Vec<f64>> {
+        if cov.rows() != mean.len() || !cov.is_square() {
+            return Err(crate::MathError::DimensionMismatch {
+                op: "multivariate_normal",
+                lhs: (mean.len(), 1),
+                rhs: cov.dims(),
+            });
+        }
+        let chol = Cholesky::new(cov)?;
+        let z = self.standard_normal_vec(mean.len());
+        let mut x = chol.l_times(&z);
+        for (xi, &mi) in x.iter_mut().zip(mean.iter()) {
+            *xi += mi;
+        }
+        Ok(x)
+    }
+
+    /// Reseeds the sampler (used to fork independent per-member streams).
+    pub fn fork(&mut self) -> GaussianSampler {
+        GaussianSampler::new(self.rng.gen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = GaussianSampler::new(42);
+        let mut b = GaussianSampler::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.standard_normal(), b.standard_normal());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = GaussianSampler::new(1);
+        let mut b = GaussianSampler::new(2);
+        let xa: Vec<f64> = (0..10).map(|_| a.standard_normal()).collect();
+        let xb: Vec<f64> = (0..10).map(|_| b.standard_normal()).collect();
+        assert_ne!(xa, xb);
+    }
+
+    #[test]
+    fn sample_moments_match_standard_normal() {
+        let mut s = GaussianSampler::new(7);
+        let xs = s.standard_normal_vec(200_000);
+        let mean = stats::mean(&xs);
+        let var = stats::variance(&xs);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut s = GaussianSampler::new(9);
+        let xs: Vec<f64> = (0..100_000).map(|_| s.normal(5.0, 2.0)).collect();
+        assert!((stats::mean(&xs) - 5.0).abs() < 0.05);
+        assert!((stats::variance(&xs).sqrt() - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn multivariate_normal_covariance() {
+        let cov = Matrix::from_rows(&[&[2.0, 0.6], &[0.6, 1.0]]);
+        let mean = [1.0, -1.0];
+        let mut s = GaussianSampler::new(11);
+        let n = 100_000;
+        let mut sum = [0.0; 2];
+        let mut sum_xx = [[0.0; 2]; 2];
+        for _ in 0..n {
+            let x = s.multivariate_normal(&mean, &cov).unwrap();
+            for i in 0..2 {
+                sum[i] += x[i];
+                for j in 0..2 {
+                    sum_xx[i][j] += (x[i] - mean[i]) * (x[j] - mean[j]);
+                }
+            }
+        }
+        for i in 0..2 {
+            assert!((sum[i] / n as f64 - mean[i]).abs() < 0.03);
+            for j in 0..2 {
+                let c = sum_xx[i][j] / n as f64;
+                assert!((c - cov[(i, j)]).abs() < 0.05, "cov[{i}{j}] = {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn multivariate_rejects_mismatched_dims() {
+        let mut s = GaussianSampler::new(3);
+        let cov = Matrix::identity(3);
+        assert!(s.multivariate_normal(&[0.0; 2], &cov).is_err());
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut s = GaussianSampler::new(5);
+        for _ in 0..1000 {
+            let x = s.uniform(-3.0, 4.0);
+            assert!((-3.0..4.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut a = GaussianSampler::new(10);
+        let mut f = a.fork();
+        let xa: Vec<f64> = (0..5).map(|_| a.standard_normal()).collect();
+        let xf: Vec<f64> = (0..5).map(|_| f.standard_normal()).collect();
+        assert_ne!(xa, xf);
+    }
+}

@@ -1,0 +1,236 @@
+//! Thin singular value decomposition by one-sided Jacobi rotations.
+//!
+//! Used for diagnostics of ensemble anomaly matrices (effective rank, spread
+//! spectra) and for robust pseudo-inverse solves in the registration layer.
+//! One-sided Jacobi is simple, numerically robust, and fast enough for the
+//! tall-skinny (state × ensemble) matrices that arise here.
+
+use crate::matrix::Matrix;
+use crate::{MathError, Result};
+
+/// Thin SVD `A = U · diag(σ) · Vᵀ` with `U: m×n`, `σ: n`, `V: n×n` (`m ≥ n`).
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (thin, `m × n`).
+    pub u: Matrix,
+    /// Singular values in descending order (length `n`).
+    pub sigma: Vec<f64>,
+    /// Right singular vectors (`n × n`).
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Computes the thin SVD of `a` (`m × n` with `m ≥ n`).
+    ///
+    /// One-sided Jacobi: orthogonalize the columns of a working copy of `A`
+    /// by plane rotations accumulated into `V`; converged column norms are
+    /// the singular values.
+    ///
+    /// # Errors
+    /// [`MathError::InvalidArgument`] when `m < n`;
+    /// [`MathError::NoConvergence`] when the sweep budget is exhausted.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.dims();
+        if m < n {
+            return Err(MathError::InvalidArgument(
+                "thin SVD requires at least as many rows as columns (transpose first)",
+            ));
+        }
+        let mut u = a.clone();
+        let mut v = Matrix::identity(n);
+        let eps = 1e-15;
+        const MAX_SWEEPS: usize = 60;
+        let mut converged = false;
+        for _ in 0..MAX_SWEEPS {
+            let mut off = 0.0_f64;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    // Compute the 2x2 Gram block for columns p, q.
+                    let (mut app, mut aqq, mut apq) = (0.0, 0.0, 0.0);
+                    {
+                        let cp = u.col(p);
+                        let cq = u.col(q);
+                        for i in 0..m {
+                            app += cp[i] * cp[i];
+                            aqq += cq[i] * cq[i];
+                            apq += cp[i] * cq[i];
+                        }
+                    }
+                    let denom = (app * aqq).sqrt();
+                    if denom > 0.0 {
+                        off = off.max(apq.abs() / denom);
+                    }
+                    if apq.abs() <= eps * denom || denom == 0.0 {
+                        continue;
+                    }
+                    // Jacobi rotation that annihilates the off-diagonal entry.
+                    let zeta = (aqq - app) / (2.0 * apq);
+                    let t = if zeta >= 0.0 {
+                        1.0 / (zeta + (1.0 + zeta * zeta).sqrt())
+                    } else {
+                        -1.0 / (-zeta + (1.0 + zeta * zeta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    // Rotate columns p and q of U.
+                    for i in 0..m {
+                        let up = u[(i, p)];
+                        let uq = u[(i, q)];
+                        u[(i, p)] = c * up - s * uq;
+                        u[(i, q)] = s * up + c * uq;
+                    }
+                    // Accumulate into V.
+                    for i in 0..n {
+                        let vp = v[(i, p)];
+                        let vq = v[(i, q)];
+                        v[(i, p)] = c * vp - s * vq;
+                        v[(i, q)] = s * vp + c * vq;
+                    }
+                }
+            }
+            if off <= 1e-14 {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(MathError::NoConvergence {
+                algorithm: "one-sided jacobi svd",
+                iterations: MAX_SWEEPS,
+            });
+        }
+
+        // Column norms are singular values; normalize U.
+        let mut sigma: Vec<f64> = (0..n)
+            .map(|j| u.col(j).iter().map(|x| x * x).sum::<f64>().sqrt())
+            .collect();
+        for j in 0..n {
+            let s = sigma[j];
+            if s > 0.0 {
+                for x in u.col_mut(j) {
+                    *x /= s;
+                }
+            }
+        }
+        // Sort descending.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| sigma[b].partial_cmp(&sigma[a]).expect("finite sigma"));
+        let mut u_s = Matrix::zeros(m, n);
+        let mut v_s = Matrix::zeros(n, n);
+        let mut sig_s = vec![0.0; n];
+        for (newj, &oldj) in order.iter().enumerate() {
+            u_s.set_col(newj, u.col(oldj));
+            v_s.set_col(newj, v.col(oldj));
+            sig_s[newj] = sigma[oldj];
+        }
+        sigma = sig_s;
+        Ok(Svd {
+            u: u_s,
+            sigma,
+            v: v_s,
+        })
+    }
+
+    /// Reconstructs `U · diag(σ) · Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let mut us = self.u.clone();
+        for (j, &s) in self.sigma.iter().enumerate() {
+            for x in us.col_mut(j) {
+                *x *= s;
+            }
+        }
+        us.matmul_tr(&self.v).expect("dims agree")
+    }
+
+    /// Effective numerical rank at relative threshold `rel_tol`.
+    pub fn rank(&self, rel_tol: f64) -> usize {
+        let smax = self.sigma.first().copied().unwrap_or(0.0);
+        self.sigma.iter().filter(|&&s| s > rel_tol * smax).count()
+    }
+
+    /// Minimum-norm least squares solution via the pseudo-inverse,
+    /// truncating singular values below `rel_tol · σ_max`.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the row count of `A`.
+    pub fn pinv_solve(&self, b: &[f64], rel_tol: f64) -> Vec<f64> {
+        assert_eq!(b.len(), self.u.rows(), "pinv_solve rhs length mismatch");
+        let smax = self.sigma.first().copied().unwrap_or(0.0);
+        let utb = self.u.tr_matvec(b).expect("dims agree");
+        let mut y = vec![0.0; self.sigma.len()];
+        for (i, (&s, &c)) in self.sigma.iter().zip(utb.iter()).enumerate() {
+            if s > rel_tol * smax {
+                y[i] = c / s;
+            }
+        }
+        self.v.matvec(&y).expect("dims agree")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_singular_values() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0], &[0.0, 0.0]]);
+        let svd = Svd::new(&a).unwrap();
+        assert!((svd.sigma[0] - 4.0).abs() < 1e-12);
+        assert!((svd.sigma[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = Matrix::from_fn(6, 3, |i, j| ((i * 5 + j * 2) % 7) as f64 - 3.0);
+        let svd = Svd::new(&a).unwrap();
+        assert!((&svd.reconstruct() - &a).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn u_and_v_orthonormal() {
+        let a = Matrix::from_fn(5, 4, |i, j| ((i + 1) * (j + 2)) as f64 % 5.0 + 0.3);
+        let svd = Svd::new(&a).unwrap();
+        let utu = svd.u.tr_matmul(&svd.u).unwrap();
+        let vtv = svd.v.tr_matmul(&svd.v).unwrap();
+        assert!((&utu - &Matrix::identity(4)).max_abs() < 1e-10);
+        assert!((&vtv - &Matrix::identity(4)).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn rank_detects_deficiency() {
+        // Third column is the sum of the first two.
+        let mut a = Matrix::from_fn(5, 3, |i, j| ((i * 3 + j + 1) % 7) as f64);
+        for i in 0..5 {
+            let s = a[(i, 0)] + a[(i, 1)];
+            a[(i, 2)] = s;
+        }
+        let svd = Svd::new(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 2);
+    }
+
+    #[test]
+    fn pinv_solve_full_rank_matches_qr() {
+        let a = Matrix::from_fn(7, 3, |i, j| ((i + 1) as f64).powi(j as i32));
+        let b: Vec<f64> = (0..7).map(|i| (i as f64).sin()).collect();
+        let svd = Svd::new(&a).unwrap();
+        let x_svd = svd.pinv_solve(&b, 1e-12);
+        let x_qr = crate::Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        for (s, q) in x_svd.iter().zip(x_qr.iter()) {
+            assert!((s - q).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn rejects_wide() {
+        assert!(Svd::new(&Matrix::zeros(2, 5)).is_err());
+    }
+
+    #[test]
+    fn frobenius_equals_sigma_norm() {
+        let a = Matrix::from_fn(6, 4, |i, j| (i as f64 - j as f64) * 0.37);
+        let svd = Svd::new(&a).unwrap();
+        let fro = a.fro_norm();
+        let sig: f64 = svd.sigma.iter().map(|s| s * s).sum::<f64>().sqrt();
+        assert!((fro - sig).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the linear algebra kernels.
+
+use proptest::prelude::*;
+use wildfire_math::{Cholesky, Lu, Matrix, Qr, Svd, SymmetricEigen};
+
+/// Strategy: matrix dimensions kept small so SPD construction stays well
+/// conditioned and tests stay fast.
+fn small_dim() -> impl Strategy<Value = usize> {
+    1usize..6
+}
+
+/// Generates an n×n matrix with entries in [-1, 1].
+fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n)
+        .prop_map(move |data| Matrix::from_column_major(n, n, data))
+}
+
+/// Generates a tall m×n matrix (m ≥ n) with entries in [-1, 1].
+fn tall_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..5, 0usize..4).prop_flat_map(|(n, extra)| {
+        let m = n + extra;
+        prop::collection::vec(-1.0f64..1.0, m * n)
+            .prop_map(move |data| Matrix::from_column_major(m, n, data))
+    })
+}
+
+/// SPD matrix built as BᵀB + I.
+fn spd_matrix() -> impl Strategy<Value = Matrix> {
+    small_dim().prop_flat_map(|n| {
+        square_matrix(n).prop_map(move |b| {
+            let mut a = b.tr_matmul(&b).expect("square dims");
+            a.add_diagonal_mut(1.0);
+            a.symmetrize_mut();
+            a
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn cholesky_reconstructs(a in spd_matrix()) {
+        let ch = Cholesky::new(&a).unwrap();
+        let rec = ch.l().matmul_tr(ch.l()).unwrap();
+        prop_assert!((&rec - &a).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_solve_is_inverse(a in spd_matrix(), seed in 0u64..1000) {
+        let n = a.rows();
+        let x_true: Vec<f64> = (0..n).map(|i| ((seed as f64 + i as f64) * 0.37).sin()).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = Cholesky::new(&a).unwrap().solve(&b);
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            prop_assert!((xi - ti).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lu_solve_roundtrip(a in spd_matrix(), seed in 0u64..1000) {
+        // SPD implies invertible, so LU must succeed.
+        let n = a.rows();
+        let x_true: Vec<f64> = (0..n).map(|i| ((seed as f64 * 1.3 + i as f64) * 0.7).cos()).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = Lu::new(&a).unwrap().solve(&b);
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            prop_assert!((xi - ti).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lu_det_matches_eigen_product_for_spd(a in spd_matrix()) {
+        let det = Lu::new(&a).unwrap().det();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let prod: f64 = eig.values.iter().product();
+        prop_assert!((det - prod).abs() <= 1e-8 * det.abs().max(1.0));
+    }
+
+    #[test]
+    fn qr_q_orthonormal_and_reconstructs(a in tall_matrix()) {
+        let qr = Qr::new(&a).unwrap();
+        let q = qr.q();
+        let gram = q.tr_matmul(&q).unwrap();
+        prop_assert!((&gram - &Matrix::identity(a.cols())).max_abs() < 1e-9);
+        let rec = q.matmul(&qr.r()).unwrap();
+        prop_assert!((&rec - &a).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn svd_reconstructs_and_sorted(a in tall_matrix()) {
+        let svd = Svd::new(&a).unwrap();
+        prop_assert!((&svd.reconstruct() - &a).max_abs() < 1e-8);
+        for w in svd.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        for &s in &svd.sigma {
+            prop_assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric(a in spd_matrix()) {
+        let e = SymmetricEigen::new(&a).unwrap();
+        prop_assert!((&e.reconstruct() - &a).max_abs() < 1e-8);
+        // SPD ⇒ all eigenvalues ≥ 1 (we added I to BᵀB).
+        for &lam in &e.values {
+            prop_assert!(lam > 0.5);
+        }
+    }
+
+    #[test]
+    fn matmul_associativity(n in 1usize..4, data in prop::collection::vec(-1.0f64..1.0, 64)) {
+        // (AB)C == A(BC) for compatible squares built from the same pool.
+        prop_assume!(data.len() >= 3 * n * n);
+        let a = Matrix::from_column_major(n, n, data[0..n*n].to_vec());
+        let b = Matrix::from_column_major(n, n, data[n*n..2*n*n].to_vec());
+        let c = Matrix::from_column_major(n, n, data[2*n*n..3*n*n].to_vec());
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!((&left - &right).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn transpose_product_identity(a in tall_matrix()) {
+        // (Aᵀ A) symmetric.
+        let g = a.tr_matmul(&a).unwrap();
+        prop_assert!(g.is_symmetric(1e-12));
+    }
+}
+
+#[test]
+fn quadrature_gauss_legendre_weights_positive() {
+    for n in 1..40 {
+        let (_, w) = wildfire_math::quadrature::gauss_legendre(n);
+        assert!(w.iter().all(|&x| x > 0.0), "order {n}");
+    }
+}

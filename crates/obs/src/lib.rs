@@ -1,0 +1,65 @@
+//! # wildfire-obs
+//!
+//! The observation layer of §3.1: everything between the model state and
+//! the "real data pool" of Fig. 2.
+//!
+//! * [`station`] — weather stations reporting location, timestamp,
+//!   temperature, wind, and humidity; the observation operator locates the
+//!   station's grid cell by linear interpolation of the location and
+//!   evaluates model fields at the station by biquadratic interpolation,
+//!   with a fireline-proximity check — all as §3.1 describes.
+//! * [`image_obs`] — thermal-image observations: synthetic images rendered
+//!   from the model state (via [`wildfire_scene`]) and noisy "real" images
+//!   generated from a truth run for identical-twin experiments.
+//! * [`statefile`] — the binary disk-file state exchange of Fig. 2 ("the
+//!   ensemble of model states is maintained in disk files"), with a
+//!   versioned header, named f64 arrays, and atomic writes. A thin software
+//!   layer (the [`statefile::StateCodec`] trait) hides the fire code and
+//!   the transfer method from the assimilation components, as §3.1 requires.
+
+pub mod image_obs;
+pub mod station;
+pub mod statefile;
+
+pub use station::{StationObservation, StationReport, WeatherStation};
+
+/// Errors from the observation layer.
+#[derive(Debug)]
+pub enum ObsError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A state file was malformed or had an unexpected version.
+    BadStateFile(String),
+    /// The requested record is missing from a state file.
+    MissingRecord(String),
+    /// Grid/scene errors from rendering synthetic images.
+    Scene(wildfire_scene::SceneError),
+}
+
+impl std::fmt::Display for ObsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObsError::Io(e) => write!(f, "i/o: {e}"),
+            ObsError::BadStateFile(msg) => write!(f, "bad state file: {msg}"),
+            ObsError::MissingRecord(name) => write!(f, "missing record: {name}"),
+            ObsError::Scene(e) => write!(f, "scene: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ObsError {}
+
+impl From<std::io::Error> for ObsError {
+    fn from(e: std::io::Error) -> Self {
+        ObsError::Io(e)
+    }
+}
+
+impl From<wildfire_scene::SceneError> for ObsError {
+    fn from(e: wildfire_scene::SceneError) -> Self {
+        ObsError::Scene(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, ObsError>;

@@ -1,0 +1,87 @@
+//! The Fig. 4 scenario: identical-twin data assimilation with the ensemble
+//! ignited at an intentionally incorrect location. Compares the standard
+//! EnKF (which the paper shows diverging from the data) with the morphing
+//! EnKF (which keeps close).
+//!
+//! Run with: `cargo run --release --example assimilation_cycle`
+
+use wildfire::atmos::state::AtmosGrid;
+use wildfire::atmos::AtmosParams;
+use wildfire::core::CoupledModel;
+use wildfire::enkf::{MorphingConfig, RegistrationConfig};
+use wildfire::ensemble::driver::{EnsembleDriver, EnsembleSetup, FilterKind};
+use wildfire::ensemble::metrics::evaluate_coupled_ensemble;
+use wildfire::fire::ignition::IgnitionShape;
+use wildfire::fuel::FuelCategory;
+use wildfire::math::GaussianSampler;
+
+fn main() {
+    let model = CoupledModel::new(
+        AtmosGrid { nx: 8, ny: 8, nz: 5, dx: 60.0, dy: 60.0, dz: 50.0 },
+        AtmosParams { ambient_wind: (2.0, 1.0), ..Default::default() },
+        FuelCategory::ShortGrass,
+        5,
+    )
+    .expect("valid configuration");
+    let driver = EnsembleDriver::new(model, 4);
+
+    // Truth fire at (250, 250); the ensemble believes (160, 190).
+    let mut truth = driver
+        .model
+        .ignite(&[IgnitionShape::Circle { center: (250.0, 250.0), radius: 25.0 }], 0.0);
+    let setup = EnsembleSetup {
+        n_members: 25, // the paper's ensemble size
+        center: (160.0, 190.0),
+        radius: 25.0,
+        position_spread: 12.0,
+        seed: 7,
+    };
+
+    let lead_time = 300.0;
+    driver.model.run(&mut truth, lead_time, 0.5, |_, _| {}).expect("truth");
+
+    let morph_cfg = MorphingConfig {
+        registration: RegistrationConfig {
+            max_shift: 150.0,
+            shift_samples: 9,
+            levels: vec![3],
+            iterations: 20,
+            ..Default::default()
+        },
+        sigma_amplitude: 10.0,
+        sigma_displacement: 5.0,
+        observed_fields: vec![0],
+        ..Default::default()
+    };
+
+    for filter in [FilterKind::Standard, FilterKind::Morphing] {
+        let mut members = driver.initial_ensemble(&setup);
+        driver.forecast(&mut members, lead_time, 0.5).expect("forecast");
+        let before = evaluate_coupled_ensemble(&members, &truth);
+        let mut rng = GaussianSampler::new(99);
+        match filter {
+            FilterKind::Standard => driver
+                .analyze_standard(&mut members, &truth.fire, 7, 2.0, 1.02, &mut rng)
+                .expect("analysis"),
+            FilterKind::Morphing => driver
+                .analyze_morphing(&mut members, &truth.fire, &morph_cfg, &mut rng)
+                .expect("analysis"),
+        }
+        let after = evaluate_coupled_ensemble(&members, &truth);
+        println!("=== {filter:?} EnKF ===");
+        println!(
+            "  position error : {:7.1} m -> {:7.1} m",
+            before.mean_position_error, after.mean_position_error
+        );
+        println!(
+            "  shape error    : {:7.0} m2 -> {:7.0} m2",
+            before.mean_shape_error, after.mean_shape_error
+        );
+        println!(
+            "  area ratio     : {:7.2}x -> {:7.2}x of truth\n",
+            before.mean_area_ratio, after.mean_area_ratio
+        );
+    }
+    println!("The morphing EnKF moves the fires toward the observed location;");
+    println!("the standard EnKF's additive update inflates and smears them instead.");
+}

@@ -1,0 +1,239 @@
+//! Cross-crate integration tests: full pipelines spanning the coupled
+//! model, observation layer, state stores, and both filters.
+
+use wildfire::atmos::state::AtmosGrid;
+use wildfire::atmos::AtmosParams;
+use wildfire::core::CoupledModel;
+use wildfire::enkf::{MorphingConfig, RegistrationConfig};
+use wildfire::ensemble::driver::{EnsembleDriver, EnsembleSetup};
+use wildfire::ensemble::metrics::evaluate_coupled_ensemble;
+use wildfire::ensemble::store::{DiskStore, MemStore, StateStore};
+use wildfire::fire::heat::energy_released;
+use wildfire::fire::ignition::IgnitionShape;
+use wildfire::fuel::FuelCategory;
+use wildfire::math::GaussianSampler;
+use wildfire::obs::image_obs::ImageObservation;
+use wildfire::obs::station::WeatherStation;
+
+fn test_model() -> CoupledModel {
+    CoupledModel::new(
+        AtmosGrid {
+            nx: 8,
+            ny: 8,
+            nz: 5,
+            dx: 60.0,
+            dy: 60.0,
+            dz: 50.0,
+        },
+        AtmosParams {
+            ambient_wind: (2.0, 1.0),
+            ..Default::default()
+        },
+        FuelCategory::ShortGrass,
+        5,
+    )
+    .expect("valid configuration")
+}
+
+fn center_fire(model: &CoupledModel) -> wildfire::core::CoupledState {
+    model.ignite(
+        &[IgnitionShape::Circle {
+            center: (240.0, 240.0),
+            radius: 25.0,
+        }],
+        0.0,
+    )
+}
+
+#[test]
+fn coupled_energy_budget_is_sane() {
+    // The heat the atmosphere accumulates must not exceed the chemical
+    // energy the fire has released (some escapes through damping).
+    let model = test_model();
+    let mut state = center_fire(&model);
+    model.run(&mut state, 30.0, 0.5, |_, _| {}).expect("run");
+    let released = energy_released(&model.fire.mesh, &state.fire, state.time());
+    let atmos_energy =
+        state.atmos.thermal_energy(model.atmos.params.rho, model.atmos.params.cp);
+    assert!(released > 0.0);
+    assert!(atmos_energy > 0.0, "fire heat must reach the atmosphere");
+    assert!(
+        atmos_energy <= released * 1.05,
+        "atmosphere gained {atmos_energy} J but fire only released {released} J"
+    );
+}
+
+#[test]
+fn fire_atmosphere_feedback_modifies_spread() {
+    // The Fig. 1 claim end-to-end: with identical setups, coupled and
+    // uncoupled runs produce different fire perimeters.
+    let mut coupled_model = test_model();
+    coupled_model.coupled = true;
+    let mut uncoupled_model = test_model();
+    uncoupled_model.coupled = false;
+    let mut s_coupled = center_fire(&coupled_model);
+    let mut s_uncoupled = center_fire(&uncoupled_model);
+    coupled_model
+        .run(&mut s_coupled, 120.0, 0.5, |_, _| {})
+        .expect("coupled");
+    uncoupled_model
+        .run(&mut s_uncoupled, 120.0, 0.5, |_, _| {})
+        .expect("uncoupled");
+    // The burned-region sign pattern is quantized to 12 m cells, so compare
+    // the continuous level-set field: any feedback must perturb ψ.
+    let psi_diff = s_coupled
+        .fire
+        .psi
+        .rmse(&s_uncoupled.fire.psi)
+        .expect("same grid");
+    assert!(
+        psi_diff > 1e-3,
+        "two-way coupling must alter the level-set field (ψ RMSE {psi_diff})"
+    );
+    assert!(s_coupled.atmos.max_updraft() > 0.01);
+    assert!(s_uncoupled.atmos.max_updraft() < 1e-10);
+}
+
+#[test]
+fn image_observation_distinguishes_fire_positions() {
+    // The assimilation premise: different fire locations produce
+    // distinguishable synthetic images.
+    let model = test_model();
+    let mut a = model.ignite(
+        &[IgnitionShape::Circle {
+            center: (180.0, 240.0),
+            radius: 25.0,
+        }],
+        0.0,
+    );
+    let mut b = model.ignite(
+        &[IgnitionShape::Circle {
+            center: (300.0, 240.0),
+            radius: 25.0,
+        }],
+        0.0,
+    );
+    a.fire.time = 10.0;
+    b.fire.time = 10.0;
+    let obs = ImageObservation::over_fire_domain(&model, 3000.0, 24);
+    let img_a = obs.synthetic_image(&model, &a).expect("render a");
+    let img_b = obs.synthetic_image(&model, &b).expect("render b");
+    let corr = wildfire::math::stats::correlation(&img_a.data, &img_b.data);
+    assert!(
+        corr < 0.9,
+        "images of fires 120 m apart must differ (correlation {corr})"
+    );
+}
+
+#[test]
+fn disk_and_memory_stores_agree_through_forecast() {
+    let model = test_model();
+    let driver = EnsembleDriver::new(model, 2);
+    let setup = EnsembleSetup {
+        n_members: 4,
+        center: (220.0, 220.0),
+        radius: 25.0,
+        position_spread: 10.0,
+        seed: 31,
+    };
+    let mut via_mem = driver.initial_ensemble(&setup);
+    let mut via_disk = via_mem.clone();
+    let mem = MemStore::new();
+    let dir = std::env::temp_dir().join(format!("wf_int_store_{}", std::process::id()));
+    let disk = DiskStore::new(&dir).expect("disk store");
+    driver
+        .forecast_via_store(&mut via_mem, &mem, 5.0, 0.5)
+        .expect("mem forecast");
+    driver
+        .forecast_via_store(&mut via_disk, &disk, 5.0, 0.5)
+        .expect("disk forecast");
+    for (a, b) in via_mem.iter().zip(via_disk.iter()) {
+        assert_eq!(a.fire.psi.as_slice(), b.fire.psi.as_slice());
+        assert_eq!(a.fire.tig.as_slice(), b.fire.tig.as_slice());
+    }
+    // And the stored bytes round-trip identically.
+    let from_mem = mem.load(0).expect("mem load");
+    let from_disk = disk.load(0).expect("disk load");
+    assert_eq!(from_mem.psi.as_slice(), from_disk.psi.as_slice());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn full_assimilation_cycle_improves_displaced_ensemble() {
+    // End-to-end Fig. 4 (small): forecast + morphing analysis reduces both
+    // position and shape error of a misplaced ensemble.
+    let model = test_model();
+    let driver = EnsembleDriver::new(model, 2);
+    let mut truth = driver.model.ignite(
+        &[IgnitionShape::Circle {
+            center: (260.0, 260.0),
+            radius: 25.0,
+        }],
+        0.0,
+    );
+    let setup = EnsembleSetup {
+        n_members: 8,
+        center: (180.0, 200.0),
+        radius: 25.0,
+        position_spread: 10.0,
+        seed: 5,
+    };
+    let mut members = driver.initial_ensemble(&setup);
+    driver
+        .model
+        .run(&mut truth, 60.0, 0.5, |_, _| {})
+        .expect("truth");
+    driver.forecast(&mut members, 60.0, 0.5).expect("forecast");
+    let before = evaluate_coupled_ensemble(&members, &truth);
+    let cfg = MorphingConfig {
+        registration: RegistrationConfig {
+            max_shift: 130.0,
+            shift_samples: 9,
+            levels: vec![3],
+            iterations: 20,
+            ..Default::default()
+        },
+        sigma_amplitude: 10.0,
+        sigma_displacement: 5.0,
+        observed_fields: vec![0],
+        ..Default::default()
+    };
+    let mut rng = GaussianSampler::new(77);
+    driver
+        .analyze_morphing(&mut members, &truth.fire, &cfg, &mut rng)
+        .expect("analysis");
+    let after = evaluate_coupled_ensemble(&members, &truth);
+    assert!(
+        after.mean_position_error < 0.5 * before.mean_position_error,
+        "position error {} → {}",
+        before.mean_position_error,
+        after.mean_position_error
+    );
+    assert!(
+        after.mean_shape_error < before.mean_shape_error,
+        "shape error {} → {}",
+        before.mean_shape_error,
+        after.mean_shape_error
+    );
+    // Members must remain valid model states, able to keep running.
+    for m in members.iter_mut().take(2) {
+        assert!(m.fire.is_consistent());
+        driver.model.run(m, 65.0, 0.5, |_, _| {}).expect("post-analysis run");
+    }
+}
+
+#[test]
+fn station_and_image_observations_coexist() {
+    // The Fig. 2 data pool: both observation kinds evaluated on one state.
+    let model = test_model();
+    let mut state = center_fire(&model);
+    model.run(&mut state, 10.0, 0.5, |_, _| {}).expect("run");
+    let station = WeatherStation::new("MIXED", 250.0, 250.0);
+    let sobs = station.observe(&state, 300.0);
+    assert!(sobs.fire_nearby);
+    assert!(sobs.temperature > 300.0);
+    let iobs = ImageObservation::over_fire_domain(&model, 3000.0, 16);
+    let img = iobs.synthetic_image(&model, &state).expect("render");
+    let (lo, hi) = img.min_max();
+    assert!(hi > lo);
+}
