@@ -41,7 +41,11 @@ pub fn scalar_tendency(state: &AtmosState, q: &[f64]) -> Vec<f64> {
                 let ddy = upwind(vc, q[g.cell(i, jm, k)], q[c], q[g.cell(i, jp, k)], g.dy);
                 // One-sided at the lids.
                 let qm = if k > 0 { q[g.cell(i, j, k - 1)] } else { q[c] };
-                let qp = if k + 1 < g.nz { q[g.cell(i, j, k + 1)] } else { q[c] };
+                let qp = if k + 1 < g.nz {
+                    q[g.cell(i, j, k + 1)]
+                } else {
+                    q[c]
+                };
                 let ddz = upwind(wc, qm, q[c], qp, g.dz);
                 out[c] = -(ddx + ddy + ddz);
             }
@@ -67,8 +71,7 @@ pub fn diffusion_tendency(g: &AtmosGrid, q: &[f64], nu: f64) -> Vec<f64> {
                 let im = q[g.cell((i + g.nx - 1) % g.nx, j, k)];
                 let jp = q[g.cell(i, (j + 1) % g.ny, k)];
                 let jm = q[g.cell(i, (j + g.ny - 1) % g.ny, k)];
-                out[c] = nu
-                    * ((ip - 2.0 * q[c] + im) * inv_dx2 + (jp - 2.0 * q[c] + jm) * inv_dy2);
+                out[c] = nu * ((ip - 2.0 * q[c] + im) * inv_dx2 + (jp - 2.0 * q[c] + jm) * inv_dy2);
             }
         }
     }
@@ -105,10 +108,30 @@ pub fn momentum_tendencies(state: &AtmosState) -> (Vec<f64>, Vec<f64>, Vec<f64>)
                         + state.w[g.wface(i, j, k + 1)]
                         + state.w[g.wface(im, j, k)]
                         + state.w[g.wface(im, j, k + 1)]);
-                let ddx = upwind(uc, state.u[g.cell(im, j, k)], uc, state.u[g.cell(ip, j, k)], g.dx);
-                let ddy = upwind(vc, state.u[g.cell(i, jm, k)], uc, state.u[g.cell(i, jp, k)], g.dy);
-                let um = if k > 0 { state.u[g.cell(i, j, k - 1)] } else { uc };
-                let up = if k + 1 < g.nz { state.u[g.cell(i, j, k + 1)] } else { uc };
+                let ddx = upwind(
+                    uc,
+                    state.u[g.cell(im, j, k)],
+                    uc,
+                    state.u[g.cell(ip, j, k)],
+                    g.dx,
+                );
+                let ddy = upwind(
+                    vc,
+                    state.u[g.cell(i, jm, k)],
+                    uc,
+                    state.u[g.cell(i, jp, k)],
+                    g.dy,
+                );
+                let um = if k > 0 {
+                    state.u[g.cell(i, j, k - 1)]
+                } else {
+                    uc
+                };
+                let up = if k + 1 < g.nz {
+                    state.u[g.cell(i, j, k + 1)]
+                } else {
+                    uc
+                };
                 let ddz = upwind(wc, um, uc, up, g.dz);
                 du[c] = -(ddx + ddy + ddz);
             }
@@ -135,10 +158,30 @@ pub fn momentum_tendencies(state: &AtmosState) -> (Vec<f64>, Vec<f64>, Vec<f64>)
                         + state.w[g.wface(i, j, k + 1)]
                         + state.w[g.wface(i, jm, k)]
                         + state.w[g.wface(i, jm, k + 1)]);
-                let ddx = upwind(uc, state.v[g.cell(im, j, k)], vc, state.v[g.cell(ip, j, k)], g.dx);
-                let ddy = upwind(vc, state.v[g.cell(i, jm, k)], vc, state.v[g.cell(i, jp, k)], g.dy);
-                let vm = if k > 0 { state.v[g.cell(i, j, k - 1)] } else { vc };
-                let vp = if k + 1 < g.nz { state.v[g.cell(i, j, k + 1)] } else { vc };
+                let ddx = upwind(
+                    uc,
+                    state.v[g.cell(im, j, k)],
+                    vc,
+                    state.v[g.cell(ip, j, k)],
+                    g.dx,
+                );
+                let ddy = upwind(
+                    vc,
+                    state.v[g.cell(i, jm, k)],
+                    vc,
+                    state.v[g.cell(i, jp, k)],
+                    g.dy,
+                );
+                let vm = if k > 0 {
+                    state.v[g.cell(i, j, k - 1)]
+                } else {
+                    vc
+                };
+                let vp = if k + 1 < g.nz {
+                    state.v[g.cell(i, j, k + 1)]
+                } else {
+                    vc
+                };
                 let ddz = upwind(wc, vm, vc, vp, g.dz);
                 dv[c] = -(ddx + ddy + ddz);
             }
@@ -167,8 +210,20 @@ pub fn momentum_tendencies(state: &AtmosState) -> (Vec<f64>, Vec<f64>, Vec<f64>)
                         + state.v[g.cell(i, jp, k - 1)]
                         + state.v[g.cell(i, j, k)]
                         + state.v[g.cell(i, jp, k)]);
-                let ddx = upwind(uc, state.w[g.wface(im, j, k)], wc, state.w[g.wface(ip, j, k)], g.dx);
-                let ddy = upwind(vc, state.w[g.wface(i, jm, k)], wc, state.w[g.wface(i, jp, k)], g.dy);
+                let ddx = upwind(
+                    uc,
+                    state.w[g.wface(im, j, k)],
+                    wc,
+                    state.w[g.wface(ip, j, k)],
+                    g.dx,
+                );
+                let ddy = upwind(
+                    vc,
+                    state.w[g.wface(i, jm, k)],
+                    wc,
+                    state.w[g.wface(i, jp, k)],
+                    g.dy,
+                );
                 let ddz = upwind(
                     wc,
                     state.w[g.wface(i, j, k - 1)],

@@ -63,7 +63,10 @@ impl std::fmt::Display for AtmosError {
             }
             AtmosError::GridMismatch(what) => write!(f, "grid mismatch: {what}"),
             AtmosError::PressureSolveFailed { residual } => {
-                write!(f, "pressure projection failed to converge (residual {residual})")
+                write!(
+                    f,
+                    "pressure projection failed to converge (residual {residual})"
+                )
             }
         }
     }

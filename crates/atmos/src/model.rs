@@ -100,7 +100,8 @@ impl AtmosModel {
         for k in 1..g.nz {
             for j in 0..g.ny {
                 for i in 0..g.nx {
-                    let th = 0.5 * (state.theta[g.cell(i, j, k - 1)] + state.theta[g.cell(i, j, k)]);
+                    let th =
+                        0.5 * (state.theta[g.cell(i, j, k - 1)] + state.theta[g.cell(i, j, k)]);
                     let qv = 0.5 * (state.qv[g.cell(i, j, k - 1)] + state.qv[g.cell(i, j, k)]);
                     let b = p.gravity * (th / p.theta0 + 0.61 * qv);
                     state.w[g.wface(i, j, k)] += dt * b;
@@ -325,7 +326,10 @@ mod tests {
             "expected a buoyant updraft, got {} m/s",
             s.max_updraft()
         );
-        assert!(s.max_divergence() < 1e-6, "projection must keep flow solenoidal");
+        assert!(
+            s.max_divergence() < 1e-6,
+            "projection must keep flow solenoidal"
+        );
         assert!(s.all_finite());
         // Updraft must sit above the heated patch.
         let g = model.grid;
@@ -338,8 +342,12 @@ mod tests {
                 }
             }
         }
-        assert!((4..=6).contains(&best.0) && (4..=6).contains(&best.1),
-            "updraft at ({}, {}) not over the fire", best.0, best.1);
+        assert!(
+            (4..=6).contains(&best.0) && (4..=6).contains(&best.1),
+            "updraft at ({}, {}) not over the fire",
+            best.0,
+            best.1
+        );
     }
 
     #[test]

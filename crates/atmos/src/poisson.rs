@@ -24,7 +24,11 @@ fn apply_neg_laplacian(g: &AtmosGrid, x: &[f64], out: &mut [f64]) {
                 let jp = x[g.cell(i, (j + 1) % g.ny, k)];
                 let jm = x[g.cell(i, (j + g.ny - 1) % g.ny, k)];
                 // Neumann lids: mirror ghost (gradient through lid = 0).
-                let kp = if k + 1 < g.nz { x[g.cell(i, j, k + 1)] } else { xc };
+                let kp = if k + 1 < g.nz {
+                    x[g.cell(i, j, k + 1)]
+                } else {
+                    xc
+                };
                 let km = if k > 0 { x[g.cell(i, j, k - 1)] } else { xc };
                 out[c] = -((ip - 2.0 * xc + im) * inv_dx2
                     + (jp - 2.0 * xc + jm) * inv_dy2
@@ -48,12 +52,7 @@ fn remove_mean(v: &mut [f64]) {
 /// # Errors
 /// [`AtmosError::PressureSolveFailed`] if CG does not reach the tolerance
 /// within `max_iter` iterations.
-pub fn solve_poisson(
-    g: &AtmosGrid,
-    rhs: &[f64],
-    tol: f64,
-    max_iter: usize,
-) -> Result<Vec<f64>> {
+pub fn solve_poisson(g: &AtmosGrid, rhs: &[f64], tol: f64, max_iter: usize) -> Result<Vec<f64>> {
     let n = g.n_cells();
     assert_eq!(rhs.len(), n, "poisson rhs length mismatch");
     // −∇²φ = −rhs, mean-free.
@@ -79,11 +78,7 @@ pub fn solve_poisson(
             break;
         }
         let alpha = rs_old / p_ap;
-        for ((xi, &pi), (ri, &api)) in x
-            .iter_mut()
-            .zip(p.iter())
-            .zip(r.iter_mut().zip(ap.iter()))
-        {
+        for ((xi, &pi), (ri, &api)) in x.iter_mut().zip(p.iter()).zip(r.iter_mut().zip(ap.iter())) {
             *xi += alpha * pi;
             *ri -= alpha * api;
         }
@@ -164,7 +159,9 @@ mod tests {
     fn solution_is_mean_free() {
         let g = grid();
         let n = g.n_cells();
-        let rhs: Vec<f64> = (0..n).map(|i| ((i * 37 % 11) as f64 - 5.0) * 1e-3).collect();
+        let rhs: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 % 11) as f64 - 5.0) * 1e-3)
+            .collect();
         let phi = solve_poisson(&g, &rhs, 1e-8, 2000).unwrap();
         let mean = phi.iter().sum::<f64>() / n as f64;
         assert!(mean.abs() < 1e-10);

@@ -61,8 +61,14 @@ impl AtmosGrid {
     /// 2-D grid of the horizontal cell centers (for coupling with the fire
     /// mesh): `nx × ny` nodes spaced `dx, dy`, origin at the first center.
     pub fn horizontal(&self) -> Grid2 {
-        Grid2::with_origin(self.nx, self.ny, self.dx, self.dy, (0.5 * self.dx, 0.5 * self.dy))
-            .expect("atmos grid dims validated at construction")
+        Grid2::with_origin(
+            self.nx,
+            self.ny,
+            self.dx,
+            self.dy,
+            (0.5 * self.dx, 0.5 * self.dy),
+        )
+        .expect("atmos grid dims validated at construction")
     }
 
     /// Domain extent `(Lx, Ly, Lz)` in meters.

@@ -2,24 +2,26 @@
 //! atmosphere) at the paper's 60 m / 6 m resolution, coupled vs uncoupled.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wildfire_bench::standard_model;
 use wildfire_fire::ignition::IgnitionShape;
+use wildfire_sim::SimulationBuilder;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_coupled_step");
     group.sample_size(10);
     for coupled in [true, false] {
-        let mut model = standard_model(10, (3.0, 0.0));
-        model.coupled = coupled;
-        let mut state = model.ignite(
-            &[IgnitionShape::Circle {
+        let mut sim = SimulationBuilder::new()
+            .name("fig1-step-kernel")
+            .ambient_wind(3.0, 0.0)
+            .coupled(coupled)
+            .ignite(IgnitionShape::Circle {
                 center: (300.0, 300.0),
                 radius: 40.0,
-            }],
-            0.0,
-        );
+            })
+            .build()
+            .expect("scenario builds");
         // Warm the fire up so heat fluxes are active.
-        model.run(&mut state, 5.0, 0.5, |_, _| {}).unwrap();
+        sim.run_until(5.0, |_, _| {}).unwrap();
+        let (model, state) = (sim.model, sim.state);
         let label = if coupled { "coupled" } else { "uncoupled" };
         group.bench_function(label, |b| {
             b.iter(|| {

@@ -2,30 +2,31 @@
 //! ensemble (the Fig. 4 comparison kernel).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wildfire_bench::{fig4_morphing_config, small_model};
-use wildfire_ensemble::driver::{EnsembleDriver, EnsembleSetup};
+use wildfire_bench::fig4_morphing_config;
+use wildfire_ensemble::driver::EnsembleDriver;
 use wildfire_fire::ignition::IgnitionShape;
 use wildfire_math::GaussianSampler;
+use wildfire_sim::{perturb, registry, PerturbationSpec};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_analysis");
     group.sample_size(10);
-    let driver = EnsembleDriver::new(small_model((2.0, 1.0)), 4);
-    let setup = EnsembleSetup {
-        n_members: 12,
-        center: (180.0, 180.0),
-        radius: 25.0,
-        position_spread: 12.0,
-        seed: 5,
-    };
-    let members = driver.initial_ensemble(&setup);
-    let truth = driver.model.ignite(
-        &[IgnitionShape::Circle {
+    let base = registry::by_name(registry::CIRCLE_IGNITION)
+        .expect("registry scenario")
+        .with_ambient_wind((2.0, 1.0))
+        .with_ignitions(vec![IgnitionShape::Circle {
+            center: (180.0, 180.0),
+            radius: 25.0,
+        }]);
+    let spec = PerturbationSpec::position_only(12.0, 5);
+    let (model, members) = perturb::build_ensemble(&base, &spec, 12).expect("ensemble");
+    let truth = base
+        .with_ignitions(vec![IgnitionShape::Circle {
             center: (250.0, 250.0),
             radius: 25.0,
-        }],
-        0.0,
-    );
+        }])
+        .ignite(&model);
+    let driver = EnsembleDriver::new(model, 4);
     group.bench_function("standard_enkf", |b| {
         b.iter(|| {
             let mut ms = members.clone();

@@ -2,26 +2,28 @@
 //! amortizes transfer but sub-steps internally).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wildfire_bench::standard_model;
 use wildfire_fire::ignition::IgnitionShape;
+use wildfire_sim::SimulationBuilder;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_dt_sweep");
     group.sample_size(10);
-    let model = standard_model(10, (3.0, 0.0));
-    let mut state0 = model.ignite(
-        &[IgnitionShape::Circle {
+    let mut sim = SimulationBuilder::new()
+        .name("fig6-dt-kernel")
+        .ambient_wind(3.0, 0.0)
+        .ignite(IgnitionShape::Circle {
             center: (300.0, 300.0),
             radius: 30.0,
-        }],
-        0.0,
-    );
-    model.run(&mut state0, 2.0, 0.5, |_, _| {}).unwrap();
+        })
+        .build()
+        .expect("scenario builds");
+    sim.run_until(2.0, |_, _| {}).unwrap();
+    let (model, state0) = (sim.model, sim.state);
     for dt in [0.25f64, 0.5, 1.0] {
         group.bench_function(format!("dt_{dt}"), |b| {
             b.iter(|| {
                 let mut s = state0.clone();
-                model.step(&mut s, dt).unwrap();
+                model.step(&mut s, dt).unwrap()
             })
         });
     }

@@ -1,20 +1,20 @@
 //! Criterion bench for E7: station observation-operator throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wildfire_bench::small_model;
 use wildfire_fire::ignition::IgnitionShape;
 use wildfire_obs::station::WeatherStation;
+use wildfire_sim::registry;
 
 fn bench(c: &mut Criterion) {
-    let model = small_model((3.0, 0.0));
-    let mut state = model.ignite(
-        &[IgnitionShape::Circle {
+    let scenario = registry::by_name(registry::CIRCLE_IGNITION)
+        .expect("registry scenario")
+        .with_ignitions(vec![IgnitionShape::Circle {
             center: (240.0, 240.0),
             radius: 30.0,
-        }],
-        0.0,
-    );
-    model.run(&mut state, 5.0, 0.5, |_, _| {}).unwrap();
+        }]);
+    let mut sim = scenario.build().expect("scenario builds");
+    sim.run_until(5.0, |_, _| {}).unwrap();
+    let state = sim.state;
     let station = WeatherStation::new("BENCH", 250.0, 250.0);
     c.bench_function("fig7_station_observe", |b| {
         b.iter(|| station.observe(&state, 300.0))

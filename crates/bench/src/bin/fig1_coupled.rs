@@ -7,7 +7,11 @@ use wildfire_bench::{run_fig1, Fig1Series};
 fn print_series(s: &Fig1Series) {
     println!(
         "\n== {} run ==",
-        if s.coupled { "COUPLED" } else { "UNCOUPLED (empirical spread alone)" }
+        if s.coupled {
+            "COUPLED"
+        } else {
+            "UNCOUPLED (empirical spread alone)"
+        }
     );
     println!(
         "{:>8} {:>12} {:>10} {:>12} {:>12} {:>6}",
@@ -48,11 +52,23 @@ fn main() {
     println!(
         "merging: started with 3 ignitions, coupled run ends with {} component(s) -> {}",
         lc.components,
-        if lc.components < 3 { "MERGING REPRODUCED" } else { "no merge yet (extend t_end)" }
+        if lc.components < 3 {
+            "MERGING REPRODUCED"
+        } else {
+            "no merge yet (extend t_end)"
+        }
     );
     println!(
         "fire-induced wind: max updraft {:.2} m/s (uncoupled: {:.2})",
-        coupled.samples.iter().map(|p| p.max_updraft).fold(0.0, f64::max),
-        uncoupled.samples.iter().map(|p| p.max_updraft).fold(0.0, f64::max),
+        coupled
+            .samples
+            .iter()
+            .map(|p| p.max_updraft)
+            .fold(0.0, f64::max),
+        uncoupled
+            .samples
+            .iter()
+            .map(|p| p.max_updraft)
+            .fold(0.0, f64::max),
     );
 }

@@ -15,11 +15,24 @@ fn main() {
     println!("== Fig. 3: synthetic mid-wave (3-5 um) scene, {pixels}x{pixels} from 3000 m ==");
     println!("wrote {}", out.display());
     println!("fire/background radiance contrast : {:8.1}x", r.contrast);
-    println!("peak brightness temperature        : {:8.1} K (front constrained to 1075 K)", r.peak_brightness_temp);
-    println!("background brightness temperature  : {:8.1} K (ambient 300 K)", r.background_brightness_temp);
-    println!("radiative fraction of heat release : {:8.3}", r.radiative_fraction);
+    println!(
+        "peak brightness temperature        : {:8.1} K (front constrained to 1075 K)",
+        r.peak_brightness_temp
+    );
+    println!(
+        "background brightness temperature  : {:8.1} K (ambient 300 K)",
+        r.background_brightness_temp
+    );
+    println!(
+        "radiative fraction of heat release : {:8.3}",
+        r.radiative_fraction
+    );
     println!(
         "FRE validation vs published biomass-burning range [0.05, 0.25]: {}",
-        if (0.05..=0.25).contains(&r.radiative_fraction) { "WITHIN RANGE" } else { "OUTSIDE (see EXPERIMENTS.md)" }
+        if (0.05..=0.25).contains(&r.radiative_fraction) {
+            "WITHIN RANGE"
+        } else {
+            "OUTSIDE (see EXPERIMENTS.md)"
+        }
     );
 }

@@ -11,7 +11,11 @@ fn main() {
     println!("atmosphere advective CFL bound : {atmos_bound:.2} s");
     println!(
         "paper's dt = 0.5 s satisfies both: {}",
-        if fire_bound > 0.5 && atmos_bound > 0.5 { "YES (paper reproduced)" } else { "NO" }
+        if fire_bound > 0.5 && atmos_bound > 0.5 {
+            "YES (paper reproduced)"
+        } else {
+            "NO"
+        }
     );
     println!("\n{:>8} {:>8} {:>14}", "dt [s]", "stable", "area [m2]");
     for p in run_fig6(&[0.25, 0.5, 1.0, 2.0, 4.0]) {

@@ -16,6 +16,10 @@ fn main() {
             r.n_stations, r.mean_abs_innovation, r.fire_flags, r.obs_per_sec
         );
     }
-    println!("\nShape check: with synthetic noise sigma = 1 K, the perfect-model mean |innovation|");
-    println!("should be ~= sigma*sqrt(2/pi) ~= 0.80 K; fire flags mark only stations near the burn.");
+    println!(
+        "\nShape check: with synthetic noise sigma = 1 K, the perfect-model mean |innovation|"
+    );
+    println!(
+        "should be ~= sigma*sqrt(2/pi) ~= 0.80 K; fire flags mark only stations near the burn."
+    );
 }

@@ -1,11 +1,13 @@
 //! Experiment implementations, one per reproduced figure/claim.
+//!
+//! All coupled-model setup flows through [`wildfire_sim`]'s [`Scenario`] /
+//! [`SimulationBuilder`] API — experiments state *which* scenario they run
+//! and the measurement they take, never raw grid plumbing.
 
 use std::time::Instant;
-use wildfire_atmos::state::AtmosGrid;
-use wildfire_atmos::AtmosParams;
-use wildfire_core::{CoupledModel, CoupledState};
+use wildfire_core::CoupledState;
 use wildfire_enkf::{MorphingConfig, RegistrationConfig};
-use wildfire_ensemble::driver::{EnsembleDriver, EnsembleSetup, FilterKind};
+use wildfire_ensemble::driver::{EnsembleDriver, FilterKind};
 use wildfire_ensemble::metrics::{evaluate_coupled_ensemble, EnsembleMetrics};
 use wildfire_ensemble::store::{DiskStore, MemStore, StateStore};
 use wildfire_fire::ignition::IgnitionShape;
@@ -17,49 +19,15 @@ use wildfire_math::GaussianSampler;
 use wildfire_obs::image_obs::ImageObservation;
 use wildfire_obs::station::{synthesize_reports, WeatherStation};
 use wildfire_scene::render::{radiative_fraction, SceneConfig};
+use wildfire_sim::{perturb, registry, PerturbationSpec, Scenario, SimulationBuilder};
 
-/// The standard coupled model used across experiments: 600 m × 600 m
-/// domain, 60 m atmosphere cells × 6 levels, fire mesh refined to the
-/// paper's 6 m when `refinement = 10`.
-pub fn standard_model(refinement: usize, ambient_wind: (f64, f64)) -> CoupledModel {
-    CoupledModel::new(
-        AtmosGrid {
-            nx: 10,
-            ny: 10,
-            nz: 6,
-            dx: 60.0,
-            dy: 60.0,
-            dz: 50.0,
-        },
-        AtmosParams {
-            ambient_wind,
-            ..Default::default()
-        },
-        FuelCategory::ShortGrass,
-        refinement,
-    )
-    .expect("standard model configuration is valid")
-}
-
-/// A smaller, faster model for ensemble experiments.
-pub fn small_model(ambient_wind: (f64, f64)) -> CoupledModel {
-    CoupledModel::new(
-        AtmosGrid {
-            nx: 8,
-            ny: 8,
-            nz: 5,
-            dx: 60.0,
-            dy: 60.0,
-            dz: 50.0,
-        },
-        AtmosParams {
-            ambient_wind,
-            ..Default::default()
-        },
-        FuelCategory::ShortGrass,
-        5,
-    )
-    .expect("small model configuration is valid")
+/// The registry scenario behind E2/E4/E7-style ensemble runs, with the
+/// ignition replaced by a circle at `center`.
+fn small_circle_scenario(center: (f64, f64), radius: f64, wind: (f64, f64)) -> Scenario {
+    registry::by_name(registry::CIRCLE_IGNITION)
+        .expect("registry scenario")
+        .with_ambient_wind(wind)
+        .with_ignitions(vec![IgnitionShape::Circle { center, radius }])
 }
 
 // ---------------------------------------------------------------------------
@@ -92,31 +60,20 @@ pub struct Fig1Series {
     pub samples: Vec<Fig1Sample>,
 }
 
-/// Runs the Fig. 1 scenario: two line ignitions and one circle ignition
+/// Runs the Fig. 1 scenario — the registry's `fig1-fireline` (or its
+/// `uncoupled-baseline` twin): two line ignitions and one circle ignition
 /// that merge while the fire couples to the atmosphere.
 pub fn run_fig1(coupled: bool, t_end: f64, sample_every: f64) -> Fig1Series {
-    let mut model = standard_model(10, (3.0, 0.0));
-    model.coupled = coupled;
-    let shapes = vec![
-        IgnitionShape::Line {
-            start: (150.0, 210.0),
-            end: (150.0, 330.0),
-            half_width: 6.0,
-        },
-        IgnitionShape::Line {
-            start: (210.0, 150.0),
-            end: (330.0, 150.0),
-            half_width: 6.0,
-        },
-        IgnitionShape::Circle {
-            center: (330.0, 330.0),
-            radius: 25.0,
-        },
-    ];
-    let mut state = model.ignite(&shapes, 0.0);
+    let name = if coupled {
+        registry::FIG1_FIRELINE
+    } else {
+        registry::UNCOUPLED_BASELINE
+    };
+    let scenario = registry::by_name(name).expect("registry scenario");
+    let mut sim = scenario.build().expect("fig1 scenario builds");
     let mut samples = Vec::new();
     let mut next_sample = 0.0;
-    let g = model.fire_grid;
+    let g = sim.model.fire_grid;
     let center = (
         g.origin.0 + g.extent().0 / 2.0,
         g.origin.1 + g.extent().1 / 2.0,
@@ -142,11 +99,11 @@ pub fn run_fig1(coupled: bool, t_end: f64, sample_every: f64) -> Fig1Series {
             components: wildfire_fire::perimeter::burning_components(&state.fire.psi),
         });
     };
-    push(&state, 0.0);
-    while state.time() < t_end {
-        let diag = model.step(&mut state, 0.5).expect("fig1 step");
-        if state.time() >= next_sample {
-            push(&state, diag.max_updraft);
+    push(&sim.state, 0.0);
+    while sim.time() < t_end {
+        let diag = sim.step().expect("fig1 step");
+        if sim.time() >= next_sample {
+            push(&sim.state, diag.max_updraft);
             next_sample += sample_every;
         }
     }
@@ -173,23 +130,17 @@ pub struct Fig2Point {
 /// Measures the forecast + analysis wall time for `n_members` members on
 /// `threads` workers, optionally routing states through a disk store.
 pub fn run_fig2(n_members: usize, threads: usize, disk: bool) -> Fig2Point {
-    let model = small_model((3.0, 0.0));
-    let driver = EnsembleDriver::new(model, threads);
-    let setup = EnsembleSetup {
-        n_members,
-        center: (200.0, 200.0),
-        radius: 25.0,
-        position_spread: 12.0,
-        seed: 42,
-    };
-    let mut members = driver.initial_ensemble(&setup);
-    let truth = driver.model.ignite(
-        &[IgnitionShape::Circle {
+    let base = small_circle_scenario((200.0, 200.0), 25.0, (3.0, 0.0));
+    let spec = PerturbationSpec::position_only(12.0, 42);
+    let (model, mut members) =
+        perturb::build_ensemble(&base, &spec, n_members).expect("fig2 ensemble");
+    let truth = base
+        .with_ignitions(vec![IgnitionShape::Circle {
             center: (230.0, 230.0),
             radius: 25.0,
-        }],
-        0.0,
-    );
+        }])
+        .ignite(&model);
+    let driver = EnsembleDriver::new(model, threads);
 
     let t0 = Instant::now();
     if disk {
@@ -247,21 +198,18 @@ pub struct Fig3Result {
 }
 
 /// Renders the Fig. 3 grass-fire scene from 3000 m and computes the FRE
-/// validation quantities.
+/// validation quantities. Uses the registry's `grass-scene` geometry on
+/// short grass (the harness's historical fuel; the registry entry itself
+/// uses tall grass for the example).
 pub fn run_fig3(pixels: usize, burn_time: f64) -> Fig3Result {
-    let model = standard_model(10, (4.0, 0.0));
-    let mut state = model.ignite(
-        &[IgnitionShape::Circle {
-            center: (300.0, 300.0),
-            radius: 40.0,
-        }],
-        0.0,
-    );
-    model
-        .run(&mut state, burn_time, 0.5, |_, _| {})
-        .expect("fig3 run");
-    let obs = ImageObservation::over_fire_domain(&model, 3000.0, pixels);
-    let image = obs.synthetic_image(&model, &state).expect("render");
+    let scenario = registry::by_name(registry::GRASS_SCENE)
+        .expect("registry scenario")
+        .with_fuel(wildfire_sim::FuelSpec::Uniform(FuelCategory::ShortGrass));
+    let mut sim = scenario.build().expect("fig3 scenario builds");
+    sim.run_until(burn_time, |_, _| {}).expect("fig3 run");
+    let (model, state) = (&sim.model, &sim.state);
+    let obs = ImageObservation::over_fire_domain(model, 3000.0, pixels);
+    let image = obs.synthetic_image(model, state).expect("render");
     let mut sorted = image.data.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite radiance"));
     let median = sorted[sorted.len() / 2];
@@ -273,7 +221,7 @@ pub fn run_fig3(pixels: usize, burn_time: f64) -> Fig3Result {
         s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         s[s.len() / 2]
     };
-    let wind = model.fire_wind(&state).expect("wind");
+    let wind = model.fire_wind(state).expect("wind");
     // FRP/HRR is meaningful while the front actively burns; evaluated late,
     // the slowly cooling scar (75 s / 250 s double exponential) still
     // radiates long after the exponential mass loss has ended, and the
@@ -344,24 +292,14 @@ pub fn run_fig4(
     lead_time: f64,
     seed: u64,
 ) -> Fig4Outcome {
-    let model = small_model((2.0, 1.0));
-    let driver = EnsembleDriver::new(model, 4);
     let truth_center = (250.0, 250.0);
-    let mut truth = driver.model.ignite(
-        &[IgnitionShape::Circle {
-            center: truth_center,
-            radius: 25.0,
-        }],
-        0.0,
-    );
-    let setup = EnsembleSetup {
-        n_members,
-        center: (truth_center.0 - offset.0, truth_center.1 - offset.1),
-        radius: 25.0,
-        position_spread: 12.0,
-        seed,
-    };
-    let mut members = driver.initial_ensemble(&setup);
+    let truth_scenario = small_circle_scenario(truth_center, 25.0, (2.0, 1.0));
+    let displaced = truth_scenario.translated(-offset.0, -offset.1);
+    let spec = PerturbationSpec::position_only(12.0, seed);
+    let (model, mut members) =
+        perturb::build_ensemble(&displaced, &spec, n_members).expect("fig4 ensemble");
+    let mut truth = truth_scenario.ignite(&model);
+    let driver = EnsembleDriver::new(model, 4);
     let initial = evaluate_coupled_ensemble(&members, &truth);
 
     driver
@@ -409,7 +347,9 @@ pub struct Fig5Point {
 }
 
 /// Runs a circular grass fire under wind for 120 s with the given scheme
-/// and time step; returns the burned area.
+/// and time step; returns the burned area. (Operates on the bare level-set
+/// solver below the coupled/Scenario layer: the ablation isolates the fire
+/// integrator from atmospheric feedback by design.)
 fn fig5_single(integ: Integrator, grad: GradientScheme, cfl_multiple: f64) -> f64 {
     let grid = Grid2::new(81, 81, 2.0, 2.0).expect("grid");
     let mesh = FireMesh::flat(grid, FuelCategory::ShortGrass);
@@ -468,6 +408,19 @@ pub fn run_fig5(cfl_multiples: &[f64]) -> Vec<Fig5Point> {
 // E6 — §2.3: CFL stability of the coupled configuration.
 // ---------------------------------------------------------------------------
 
+/// The E6 scenario: the paper configuration with a 30 m circle at
+/// (300, 300).
+fn fig6_scenario() -> Scenario {
+    SimulationBuilder::new()
+        .name("fig6-cfl")
+        .ambient_wind(3.0, 0.0)
+        .ignite(IgnitionShape::Circle {
+            center: (300.0, 300.0),
+            radius: 30.0,
+        })
+        .into_scenario()
+}
+
 /// Outcome of one coupled run at a fixed requested step.
 #[derive(Debug, Clone, Copy)]
 pub struct Fig6Point {
@@ -486,26 +439,14 @@ pub struct Fig6Point {
 pub fn run_fig6(dts: &[f64]) -> Vec<Fig6Point> {
     dts.iter()
         .map(|&dt| {
-            let model = standard_model(10, (3.0, 0.0));
-            let mut state = model.ignite(
-                &[IgnitionShape::Circle {
-                    center: (300.0, 300.0),
-                    radius: 30.0,
-                }],
-                0.0,
-            );
+            let mut sim = fig6_scenario().build().expect("fig6 scenario builds");
             let mut ok = true;
-            let mut t = 0.0;
-            while t < 60.0 {
-                match model.step(&mut state, dt) {
-                    Ok(_) => {}
-                    Err(_) => {
-                        ok = false;
-                        break;
-                    }
+            while sim.time() < 60.0 {
+                if sim.step_by(dt).is_err() {
+                    ok = false;
+                    break;
                 }
-                t = state.time();
-                if !state.atmos.all_finite() || !state.fire.psi.all_finite() {
+                if !sim.state.atmos.all_finite() || !sim.state.fire.psi.all_finite() {
                     ok = false;
                     break;
                 }
@@ -513,7 +454,11 @@ pub fn run_fig6(dts: &[f64]) -> Vec<Fig6Point> {
             Fig6Point {
                 dt,
                 stable: ok,
-                burned_area: if ok { state.fire.burned_area() } else { f64::NAN },
+                burned_area: if ok {
+                    sim.state.fire.burned_area()
+                } else {
+                    f64::NAN
+                },
             }
         })
         .collect()
@@ -522,17 +467,10 @@ pub fn run_fig6(dts: &[f64]) -> Vec<Fig6Point> {
 /// Verifies that the paper's native step (0.5 s) respects both CFL bounds
 /// without sub-stepping; returns (fire bound, atmosphere bound) in seconds.
 pub fn fig6_native_bounds() -> (f64, f64) {
-    let model = standard_model(10, (3.0, 0.0));
-    let state = model.ignite(
-        &[IgnitionShape::Circle {
-            center: (300.0, 300.0),
-            radius: 30.0,
-        }],
-        0.0,
-    );
-    let wind = model.fire_wind(&state).expect("wind");
-    let fire_bound = model.fire.max_stable_dt(&state.fire, &wind);
-    let atmos_bound = model.atmos.max_stable_dt(&state.atmos);
+    let sim = fig6_scenario().build().expect("fig6 scenario builds");
+    let wind = sim.model.fire_wind(&sim.state).expect("wind");
+    let fire_bound = sim.model.fire.max_stable_dt(&sim.state.fire, &wind);
+    let atmos_bound = sim.model.atmos.max_stable_dt(&sim.state.atmos);
     (fire_bound, atmos_bound)
 }
 
@@ -554,17 +492,13 @@ pub struct Fig7Result {
     pub obs_per_sec: f64,
 }
 
-/// Runs the station-network experiment over a short coupled burn.
+/// Runs the station-network experiment over a short coupled burn of the
+/// registry circle-ignition scenario (radius widened to 30 m).
 pub fn run_fig7(n_stations: usize, noise_temp: f64) -> Fig7Result {
-    let model = small_model((3.0, 0.0));
-    let mut truth = model.ignite(
-        &[IgnitionShape::Circle {
-            center: (240.0, 240.0),
-            radius: 30.0,
-        }],
-        0.0,
-    );
-    model.run(&mut truth, 20.0, 0.5, |_, _| {}).expect("run");
+    let scenario = small_circle_scenario((240.0, 240.0), 30.0, (3.0, 0.0));
+    let mut sim = scenario.build().expect("fig7 scenario builds");
+    sim.run_until(20.0, |_, _| {}).expect("run");
+    let truth = &sim.state;
     let mut rng = GaussianSampler::new(17);
     let stations: Vec<WeatherStation> = (0..n_stations)
         .map(|i| {
@@ -573,12 +507,12 @@ pub fn run_fig7(n_stations: usize, noise_temp: f64) -> Fig7Result {
             WeatherStation::new(format!("S{i:02}"), 80.0 + fx * 80.0, 80.0 + fy * 80.0)
         })
         .collect();
-    let reports = synthesize_reports(&stations, &truth, 300.0, noise_temp, 0.5, &mut rng);
+    let reports = synthesize_reports(&stations, truth, 300.0, noise_temp, 0.5, &mut rng);
     let t0 = Instant::now();
     let mut total_innov = 0.0;
     let mut fire_flags = 0;
     for (s, r) in stations.iter().zip(reports.iter()) {
-        let obs = s.observe(&truth, 300.0);
+        let obs = s.observe(truth, 300.0);
         total_innov += (r.temperature - obs.temperature).abs();
         if obs.fire_nearby {
             fire_flags += 1;
@@ -608,7 +542,8 @@ pub struct Fig8Point {
     pub relative_misfit: f64,
 }
 
-/// Registers displaced fire-like cones over a range of shifts.
+/// Registers displaced fire-like cones over a range of shifts. (Pure
+/// field-registration experiment — no coupled model, hence no scenario.)
 pub fn run_fig8(shifts: &[f64]) -> Vec<Fig8Point> {
     let grid = Grid2::new(61, 61, 2.0, 2.0).expect("grid");
     let cone = |cx: f64, cy: f64| {

@@ -151,17 +151,13 @@ impl CoupledModel {
 
         // 1–3: wind to the fire mesh, advance the fire.
         let wind = self.fire_wind(state)?;
-        self.fire
-            .advance_to(&mut state.fire, &wind, t_target, dt)?;
+        self.fire.advance_to(&mut state.fire, &wind, t_target, dt)?;
 
         // 4–5: heat fluxes, restricted to the atmosphere's horizontal grid.
         let h = self.atmos.grid.horizontal();
         let (sensible, latent) = if self.coupled {
             let fluxes = heat_fluxes(&self.fire.mesh, &state.fire);
-            (
-                restrict(&fluxes.sensible, h)?,
-                restrict(&fluxes.latent, h)?,
-            )
+            (restrict(&fluxes.sensible, h)?, restrict(&fluxes.latent, h)?)
         } else {
             (Field2::zeros(h), Field2::zeros(h))
         };
@@ -285,11 +281,7 @@ mod tests {
             let m = model(coupled);
             let mut s = m.ignite(&center_ignition(&m), 0.0);
             m.run(&mut s, 10.0, 0.5, |_, _| {}).unwrap();
-            let theta_max = s
-                .atmos
-                .theta
-                .iter()
-                .fold(0.0_f64, |acc, &x| acc.max(x));
+            let theta_max = s.atmos.theta.iter().fold(0.0_f64, |acc, &x| acc.max(x));
             (theta_max, s.atmos.max_updraft())
         };
         let (theta_coupled, w_coupled) = run(true);

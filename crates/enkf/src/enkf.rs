@@ -220,7 +220,10 @@ mod tests {
         let m0 = stats::mean(&x.row(0));
         let m1 = stats::mean(&x.row(1));
         assert!((m0 - 4.0).abs() < 0.3, "observed component {m0}");
-        assert!((m1 - 4.0).abs() < 0.3, "unobserved component {m1} must follow");
+        assert!(
+            (m1 - 4.0).abs() < 0.3,
+            "unobserved component {m1} must follow"
+        );
     }
 
     #[test]
@@ -252,7 +255,8 @@ mod tests {
         let mut rng = GaussianSampler::new(1);
         let mut x = Matrix::zeros(3, 10);
         let y = Matrix::zeros(2, 9);
-        let err = EnsembleKalmanFilter::default().analyze(&mut x, &y, &[0.0; 2], &[1.0; 2], &mut rng);
+        let err =
+            EnsembleKalmanFilter::default().analyze(&mut x, &y, &[0.0; 2], &[1.0; 2], &mut rng);
         assert!(matches!(err, Err(EnkfError::DimensionMismatch { .. })));
         let y2 = Matrix::zeros(2, 10);
         let err2 =

@@ -55,7 +55,11 @@ impl Etkf {
         if m == 0 || n == 0 {
             return Ok(());
         }
-        let inflation = if self.inflation > 0.0 { self.inflation } else { 1.0 };
+        let inflation = if self.inflation > 0.0 {
+            self.inflation
+        } else {
+            1.0
+        };
 
         let (mut a, mean_x) = ensemble.anomalies();
         a.scale_mut(inflation);

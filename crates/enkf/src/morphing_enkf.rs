@@ -90,7 +90,11 @@ impl MorphingEnkf {
                 what: "member and reference field counts differ",
             });
         }
-        let t = register(&fields[reg_index], &reference[reg_index], &self.config.registration)?;
+        let t = register(
+            &fields[reg_index],
+            &reference[reg_index],
+            &self.config.registration,
+        )?;
         let residuals = fields
             .iter()
             .zip(reference.iter())
@@ -227,8 +231,7 @@ impl MorphingEnkf {
                     .copy_from_slice(&col[t_start..t_start + 2 * ctrl_len]);
             }
             d[off..off + ctrl_len].copy_from_slice(data_ext.t.control.u.as_slice());
-            d[off + ctrl_len..off + 2 * ctrl_len]
-                .copy_from_slice(data_ext.t.control.v.as_slice());
+            d[off + ctrl_len..off + 2 * ctrl_len].copy_from_slice(data_ext.t.control.v.as_slice());
             let var = self.config.sigma_displacement * self.config.sigma_displacement;
             for v in &mut obs_var[off..off + 2 * ctrl_len] {
                 *v = var;
@@ -248,10 +251,7 @@ impl MorphingEnkf {
             let mut off = 0;
             let mut residuals = Vec::with_capacity(n_fields);
             for f in 0..n_fields {
-                let r = Field2::from_vec(
-                    reference[f].grid(),
-                    col[off..off + field_len].to_vec(),
-                );
+                let r = Field2::from_vec(reference[f].grid(), col[off..off + field_len].to_vec());
                 residuals.push(r);
                 off += field_len;
             }
@@ -327,9 +327,7 @@ mod tests {
         // analysis must MOVE the members toward the data location.
         let filter = MorphingEnkf::new(cfg());
         let reference = vec![cone(24.0, 32.0)];
-        let members: Vec<Vec<Field2>> = (0..8)
-            .map(|i| vec![cone(20.0 + i as f64, 32.0)])
-            .collect();
+        let members: Vec<Vec<Field2>> = (0..8).map(|i| vec![cone(20.0 + i as f64, 32.0)]).collect();
         let data = vec![cone(44.0, 32.0)];
         let mut rng = GaussianSampler::new(31);
         let analyzed = filter
@@ -348,8 +346,7 @@ mod tests {
             }
             g.world(best.0, 0).0
         };
-        let before: f64 =
-            members.iter().map(|m| locate(&m[0])).sum::<f64>() / members.len() as f64;
+        let before: f64 = members.iter().map(|m| locate(&m[0])).sum::<f64>() / members.len() as f64;
         let after: f64 =
             analyzed.iter().map(|m| locate(&m[0])).sum::<f64>() / analyzed.len() as f64;
         assert!(before < 30.0);

@@ -271,9 +271,9 @@ fn gradient_fields(u0: &Field2) -> (Field2, Field2) {
 /// [`crate::EnkfError::Grid`] when the grids differ.
 pub fn register(u: &Field2, u0: &Field2, cfg: &RegistrationConfig) -> Result<DisplacementField> {
     if u.grid() != u0.grid() {
-        return Err(crate::EnkfError::Grid(wildfire_grid::GridError::GridMismatch(
-            "registration fields",
-        )));
+        return Err(crate::EnkfError::Grid(
+            wildfire_grid::GridError::GridMismatch("registration fields"),
+        ));
     }
     let fg = u.grid();
 
@@ -387,10 +387,14 @@ mod tests {
     fn identity_registration_stays_near_zero() {
         let g = test_grid();
         let u0 = bump(g, 20.0, 20.0);
-        let t = register(&u0.clone(), &u0, &RegistrationConfig {
-            max_shift: 10.0,
-            ..Default::default()
-        })
+        let t = register(
+            &u0.clone(),
+            &u0,
+            &RegistrationConfig {
+                max_shift: 10.0,
+                ..Default::default()
+            },
+        )
         .unwrap();
         assert!(t.max_magnitude() < 1.0, "magnitude {}", t.max_magnitude());
     }

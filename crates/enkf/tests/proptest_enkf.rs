@@ -49,7 +49,7 @@ proptest! {
         let y = x.clone();
         let before = stats::ensemble_spread(&x);
         Etkf::new(1.0)
-            .analyze(&mut x, &y, &[0.0; 5], &vec![obs_var; 5])
+            .analyze(&mut x, &y, &[0.0; 5], &[obs_var; 5])
             .unwrap();
         let after = stats::ensemble_spread(&x);
         prop_assert!(after <= before + 1e-9, "{before} -> {after}");

@@ -76,20 +76,20 @@ impl EnsembleDriver {
     }
 
     /// Builds the initial ensemble per `setup`: every member ignited at the
-    /// nominal center plus a Gaussian displacement.
+    /// nominal center plus a Gaussian displacement. Draws go through the
+    /// canonical [`wildfire_fire::ignition::displaced`] primitive, so this
+    /// is bit-identical to `wildfire_sim::perturb` for equal seeds.
     pub fn initial_ensemble(&self, setup: &EnsembleSetup) -> Vec<CoupledState> {
         let mut rng = GaussianSampler::new(setup.seed);
+        let nominal = [IgnitionShape::Circle {
+            center: setup.center,
+            radius: setup.radius,
+        }];
         (0..setup.n_members)
             .map(|_| {
-                let cx = setup.center.0 + rng.normal(0.0, setup.position_spread);
-                let cy = setup.center.1 + rng.normal(0.0, setup.position_spread);
-                self.model.ignite(
-                    &[IgnitionShape::Circle {
-                        center: (cx, cy),
-                        radius: setup.radius,
-                    }],
-                    0.0,
-                )
+                let shapes =
+                    wildfire_fire::ignition::displaced(&nominal, setup.position_spread, &mut rng);
+                self.model.ignite(&shapes, 0.0)
             })
             .collect()
     }
@@ -99,12 +99,7 @@ impl EnsembleDriver {
     ///
     /// # Errors
     /// The first member failure, if any.
-    pub fn forecast(
-        &self,
-        members: &mut [CoupledState],
-        t_target: f64,
-        dt: f64,
-    ) -> Result<()> {
+    pub fn forecast(&self, members: &mut [CoupledState], t_target: f64, dt: f64) -> Result<()> {
         let errors = parking_lot::Mutex::new(Vec::new());
         parallel_for_each(members, self.threads, |i, state| {
             if let Err(e) = self.model.run(state, t_target, dt, |_, _| {}) {
@@ -240,8 +235,7 @@ impl EnsembleDriver {
         let data = to_fields(truth_fire);
 
         // Parallel registrations (the expensive transform phase).
-        let member_fields: Vec<Vec<Field2>> =
-            members.iter().map(|m| to_fields(&m.fire)).collect();
+        let member_fields: Vec<Vec<Field2>> = members.iter().map(|m| to_fields(&m.fire)).collect();
         let extended: Vec<std::result::Result<ExtendedState, wildfire_enkf::EnkfError>> =
             parallel_map(&member_fields, self.threads, |_, fields| {
                 filter.to_extended(fields, &reference, 0)
@@ -258,7 +252,7 @@ impl EnsembleDriver {
             .analyze_extended(&ext_states, &data_ext, &reference, rng)
             .map_err(EnsembleError::Filter)?;
 
-        for (m, fields) in members.iter_mut().zip(analyzed.into_iter()) {
+        for (m, fields) in members.iter_mut().zip(analyzed) {
             let g = fields[0].grid();
             let tig = Field2::from_vec(
                 g,
@@ -377,7 +371,10 @@ mod tests {
         d1.forecast(&mut serial, 2.0, 0.5).unwrap();
         d4.forecast(&mut parallel, 2.0, 0.5).unwrap();
         for (a, b) in serial.iter().zip(parallel.iter()) {
-            assert_eq!(a.fire.psi, b.fire.psi, "parallel forecast must be deterministic");
+            assert_eq!(
+                a.fire.psi, b.fire.psi,
+                "parallel forecast must be deterministic"
+            );
             assert_eq!(a.atmos.theta, b.atmos.theta);
         }
     }

@@ -149,7 +149,7 @@ mod tests {
         let y = x.clone();
         let data = vec![6.0; 10];
         ParallelEnkf::new(4, 1.0)
-            .analyze(&mut x, &y, &data, &vec![0.1; 10], &mut rng)
+            .analyze(&mut x, &y, &data, &[0.1; 10], &mut rng)
             .unwrap();
         let mean: f64 = x.col_mean().iter().sum::<f64>() / 10.0;
         assert!(mean > 3.0, "analysis mean {mean}");

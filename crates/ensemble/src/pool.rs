@@ -115,4 +115,52 @@ mod tests {
         });
         assert_eq!(counter.load(Ordering::Relaxed), 2);
     }
+
+    #[test]
+    fn zero_threads_clamps_to_sequential() {
+        // threads = 0 must behave exactly like the single-threaded path,
+        // not spawn nothing or divide by zero.
+        let mut via_zero: Vec<f64> = (0..23).map(|i| i as f64).collect();
+        let mut via_one = via_zero.clone();
+        let f = |i: usize, x: &mut f64| *x = (*x + i as f64).cos();
+        parallel_for_each(&mut via_zero, 0, f);
+        parallel_for_each(&mut via_one, 1, f);
+        assert_eq!(via_zero, via_one);
+
+        let items: Vec<usize> = (0..23).collect();
+        let m0 = parallel_map(&items, 0, |i, &x| i * x);
+        let m1 = parallel_map(&items, 1, |i, &x| i * x);
+        assert_eq!(m0, m1);
+    }
+
+    #[test]
+    fn map_sequential_matches_parallel_bitwise() {
+        // Bit-for-bit determinism of parallel_map vs the sequential path:
+        // floating-point outputs must be identical, not just close, because
+        // each index's computation is independent of the partitioning.
+        let items: Vec<f64> = (0..257).map(|i| (i as f64) * 0.731 - 40.0).collect();
+        let f = |i: usize, x: &f64| (x * 1.000003 + i as f64).sin() * x.exp2();
+        let seq = parallel_map(&items, 1, f);
+        for threads in [2, 3, 7, 16, 300] {
+            let par = parallel_map(&items, threads, f);
+            let seq_bits: Vec<u64> = seq.iter().map(|v| v.to_bits()).collect();
+            let par_bits: Vec<u64> = par.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(seq_bits, par_bits, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_sequential_matches_parallel_bitwise_across_thread_counts() {
+        let init: Vec<f64> = (0..101).map(|i| (i as f64) * 1.37 - 60.0).collect();
+        let f = |i: usize, x: &mut f64| *x = (*x * 0.9999 + i as f64).tanh();
+        let mut seq = init.clone();
+        parallel_for_each(&mut seq, 1, f);
+        for threads in [2, 5, 8, 64, 200] {
+            let mut par = init.clone();
+            parallel_for_each(&mut par, threads, f);
+            let seq_bits: Vec<u64> = seq.iter().map(|v| v.to_bits()).collect();
+            let par_bits: Vec<u64> = par.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(seq_bits, par_bits, "threads = {threads}");
+        }
+    }
 }

@@ -6,6 +6,7 @@
 //! signed distance to an arbitrary union of shapes.
 
 use wildfire_grid::{Field2, Grid2};
+use wildfire_math::GaussianSampler;
 
 /// A single ignition shape in world coordinates.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +62,41 @@ impl IgnitionShape {
             }
         }
     }
+
+    /// The shape rigidly translated by `(dx, dy)` (m).
+    pub fn translated(&self, dx: f64, dy: f64) -> IgnitionShape {
+        match *self {
+            IgnitionShape::Circle { center, radius } => IgnitionShape::Circle {
+                center: (center.0 + dx, center.1 + dy),
+                radius,
+            },
+            IgnitionShape::Line {
+                start,
+                end,
+                half_width,
+            } => IgnitionShape::Line {
+                start: (start.0 + dx, start.1 + dy),
+                end: (end.0 + dx, end.1 + dy),
+                half_width,
+            },
+        }
+    }
+}
+
+/// One random rigid displacement of an ignition set: draws Δx then Δy from
+/// `rng` as `N(0, spread²)` and translates every shape by it.
+///
+/// This is the canonical draw order for ensemble initialization — both
+/// `wildfire_sim::perturb` and `EnsembleDriver::initial_ensemble` call it,
+/// so equal seeds produce bit-identical member families through either API.
+pub fn displaced(
+    shapes: &[IgnitionShape],
+    spread: f64,
+    rng: &mut GaussianSampler,
+) -> Vec<IgnitionShape> {
+    let dx = rng.normal(0.0, spread);
+    let dy = rng.normal(0.0, spread);
+    shapes.iter().map(|s| s.translated(dx, dy)).collect()
 }
 
 /// Signed distance to the union of shapes (pointwise minimum); positive

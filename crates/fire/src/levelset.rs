@@ -99,13 +99,7 @@ impl LevelSetSolver {
     /// upwinded gradient vanishes (flat plateau of ψ, e.g. deep inside the
     /// burned region) the directional terms drop and `S` reduces to the
     /// clipped `R0` — nothing propagates there anyway since `‖∇ψ‖ = 0`.
-    fn spread_rate_at(
-        &self,
-        ix: usize,
-        iy: usize,
-        grad: (f64, f64),
-        wind: &VectorField2,
-    ) -> f64 {
+    fn spread_rate_at(&self, ix: usize, iy: usize, grad: (f64, f64), wind: &VectorField2) -> f64 {
         let fuel = self.mesh.fuel.at(ix, iy);
         let norm = (grad.0 * grad.0 + grad.1 * grad.1).sqrt();
         if norm == 0.0 {
@@ -377,7 +371,10 @@ mod tests {
         let r_expected = 10.0 + s * t_end;
         let r_measured = (state.burned_area() / std::f64::consts::PI).sqrt();
         let rel = (r_measured - r_expected).abs() / r_expected;
-        assert!(rel < 0.10, "radius {r_measured} vs {r_expected} (rel {rel})");
+        assert!(
+            rel < 0.10,
+            "radius {r_measured} vs {r_expected} (rel {rel})"
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ pub fn reinitialize(psi: &Field2) -> Field2 {
     // Phase 2: fast sweeping for the unsigned distance.
     let eikonal_update = |a: f64, b: f64, hx: f64, hy: f64| -> f64 {
         // Solve max(0,(d−a)/hx)² + max(0,(d−b)/hy)² = 1 for d ≥ max(a,b).
-        let (amin, bmin, h1, h2) = if a <= b { (a, b, hx, hy) } else { (b, a, hy, hx) };
+        let (amin, bmin, h1, h2) = if a <= b {
+            (a, b, hx, hy)
+        } else {
+            (b, a, hy, hx)
+        };
         let d1 = amin + h1;
         if d1 <= bmin {
             return d1;
@@ -89,9 +93,9 @@ pub fn reinitialize(psi: &Field2) -> Field2 {
     let nx = g.nx as isize;
     let ny = g.ny as isize;
     let sweep_orders: [(isize, isize, isize, isize); 4] = [
-        (0, nx, 0, ny),     // +x +y
-        (nx - 1, -1, 0, ny), // −x +y
-        (0, nx, ny - 1, -1), // +x −y
+        (0, nx, 0, ny),           // +x +y
+        (nx - 1, -1, 0, ny),      // −x +y
+        (0, nx, ny - 1, -1),      // +x −y
         (nx - 1, -1, ny - 1, -1), // −x −y
     ];
     for _ in 0..2 {

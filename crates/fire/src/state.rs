@@ -111,7 +111,7 @@ impl FireState {
                 let burning = self.psi.get(ix, iy) < 0.0;
                 let tig = self.tig.get(ix, iy);
                 if burning {
-                    if !(tig < time_cap) {
+                    if tig >= time_cap || tig.is_nan() {
                         self.tig.set(ix, iy, fallback_time);
                     } else if tig < 0.0 {
                         self.tig.set(ix, iy, 0.0);

@@ -173,8 +173,7 @@ impl FuelModel {
     pub fn spread_rate(&self, wind_along_normal: f64, slope_along_normal: f64) -> f64 {
         let wind_term = self.wind_factor * wind_along_normal.max(0.0).powf(self.wind_exponent);
         let slope_term = self.slope_factor * slope_along_normal;
-        let moisture_damping =
-            (1.0 - self.moisture / self.moisture_extinction).clamp(0.0, 1.0);
+        let moisture_damping = (1.0 - self.moisture / self.moisture_extinction).clamp(0.0, 1.0);
         let s = (self.r0 + wind_term + slope_term) * moisture_damping;
         s.clamp(0.0, self.max_spread)
     }

@@ -278,7 +278,10 @@ mod tests {
         for &(x, y, z) in &[(0.3, 1.7, 2.9), (1.0, 0.0, 0.0), (1.49, 2.99, 5.9)] {
             let v = f.sample_trilinear(x, y, z);
             let expected = 2.0 * x - 3.0 * y + 0.5 * z + 1.0;
-            assert!((v - expected).abs() < 1e-12, "at ({x},{y},{z}): {v} vs {expected}");
+            assert!(
+                (v - expected).abs() < 1e-12,
+                "at ({x},{y},{z}): {v} vs {expected}"
+            );
         }
     }
 

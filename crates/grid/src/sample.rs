@@ -103,8 +103,7 @@ impl Field2 {
             }
             if ej > 0 {
                 let inner = if cj == 0 { 1 } else { ny - 2 } as usize;
-                let slope = self.get(ci as usize, cj as usize)
-                    - self.get(ci as usize, inner);
+                let slope = self.get(ci as usize, cj as usize) - self.get(ci as usize, inner);
                 v += ej as f64 * slope;
             }
             v

@@ -94,10 +94,26 @@ impl Field2 {
             return 0.0;
         }
         let here = self.get(ix, iy);
-        let xm = if ix > 0 { self.get(ix - 1, iy) } else { self.get(ix + 1, iy) };
-        let xp = if ix + 1 < g.nx { self.get(ix + 1, iy) } else { self.get(ix - 1, iy) };
-        let ym = if iy > 0 { self.get(ix, iy - 1) } else { self.get(ix, iy + 1) };
-        let yp = if iy + 1 < g.ny { self.get(ix, iy + 1) } else { self.get(ix, iy - 1) };
+        let xm = if ix > 0 {
+            self.get(ix - 1, iy)
+        } else {
+            self.get(ix + 1, iy)
+        };
+        let xp = if ix + 1 < g.nx {
+            self.get(ix + 1, iy)
+        } else {
+            self.get(ix - 1, iy)
+        };
+        let ym = if iy > 0 {
+            self.get(ix, iy - 1)
+        } else {
+            self.get(ix, iy + 1)
+        };
+        let yp = if iy + 1 < g.ny {
+            self.get(ix, iy + 1)
+        } else {
+            self.get(ix, iy - 1)
+        };
         (xp - 2.0 * here + xm) / (g.dx * g.dx) + (yp - 2.0 * here + ym) / (g.dy * g.dy)
     }
 

@@ -32,12 +32,18 @@ pub fn refinement_between(fine: &Grid2, coarse: &Grid2) -> Result<Refinement> {
     }
     let ratio = |nf: usize, nc: usize| -> Result<usize> {
         if nc < 2 || nf < nc {
-            return Err(GridError::NonIntegerRefinement { fine: nf, coarse: nc });
+            return Err(GridError::NonIntegerRefinement {
+                fine: nf,
+                coarse: nc,
+            });
         }
         let intervals_f = nf - 1;
         let intervals_c = nc - 1;
-        if intervals_f % intervals_c != 0 {
-            return Err(GridError::NonIntegerRefinement { fine: nf, coarse: nc });
+        if !intervals_f.is_multiple_of(intervals_c) {
+            return Err(GridError::NonIntegerRefinement {
+                fine: nf,
+                coarse: nc,
+            });
         }
         Ok(intervals_f / intervals_c)
     };
@@ -128,8 +134,13 @@ mod tests {
 
     fn pair(r: usize, nc: usize) -> (Grid2, Grid2) {
         let coarse = Grid2::new(nc, nc, 10.0, 10.0).unwrap();
-        let fine = Grid2::new(r * (nc - 1) + 1, r * (nc - 1) + 1, 10.0 / r as f64, 10.0 / r as f64)
-            .unwrap();
+        let fine = Grid2::new(
+            r * (nc - 1) + 1,
+            r * (nc - 1) + 1,
+            10.0 / r as f64,
+            10.0 / r as f64,
+        )
+        .unwrap();
         (fine, coarse)
     }
 

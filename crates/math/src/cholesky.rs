@@ -37,7 +37,7 @@ impl Cholesky {
             for k in 0..j {
                 d -= l[(j, k)] * l[(j, k)];
             }
-            if !(d > 0.0) || !d.is_finite() {
+            if d <= 0.0 || !d.is_finite() {
                 return Err(MathError::NotPositiveDefinite { pivot: j, value: d });
             }
             let dj = d.sqrt();
@@ -198,7 +198,10 @@ mod tests {
     #[test]
     fn rejects_non_square() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(Cholesky::new(&a), Err(MathError::NotSquare { .. })));
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(MathError::NotSquare { .. })
+        ));
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub fn linear_table(xs: &[f64], ys: &[f64], x: f64) -> f64 {
 pub fn quadratic_uniform(x0: f64, h: f64, y: [f64; 3], x: f64) -> f64 {
     debug_assert!(h > 0.0, "quadratic_uniform requires positive spacing");
     let s = (x - x0) / h; // s ∈ [0, 2] inside the stencil
-    // Lagrange basis on nodes s = 0, 1, 2.
+                          // Lagrange basis on nodes s = 0, 1, 2.
     let l0 = 0.5 * (s - 1.0) * (s - 2.0);
     let l1 = -s * (s - 2.0);
     let l2 = 0.5 * s * (s - 1.0);

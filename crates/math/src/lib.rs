@@ -95,9 +95,16 @@ impl std::fmt::Display for MathError {
             MathError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} failed to converge in {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} failed to converge in {iterations} iterations"
+            ),
             MathError::NotSquare { dims } => {
-                write!(f, "operation requires a square matrix, got {}x{}", dims.0, dims.1)
+                write!(
+                    f,
+                    "operation requires a square matrix, got {}x{}",
+                    dims.0, dims.1
+                )
             }
             MathError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }

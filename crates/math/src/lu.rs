@@ -144,11 +144,7 @@ mod tests {
 
     #[test]
     fn solve_recovers_known_solution() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
         let lu = Lu::new(&a).unwrap();
         let x = lu.solve(&[8.0, -11.0, -3.0]);
         let expected = [2.0, 3.0, -1.0];
@@ -167,11 +163,7 @@ mod tests {
 
     #[test]
     fn inverse_times_matrix_is_identity() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 7.0, 1.0],
-            &[2.0, 6.0, 0.5],
-            &[1.0, 0.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 7.0, 1.0], &[2.0, 6.0, 0.5], &[1.0, 0.0, 3.0]]);
         let inv = Lu::new(&a).unwrap().inverse();
         let prod = a.matmul(&inv).unwrap();
         assert!((&prod - &Matrix::identity(3)).max_abs() < 1e-12);

@@ -519,13 +519,15 @@ impl Sub for &Matrix {
 
 impl AddAssign<&Matrix> for Matrix {
     fn add_assign(&mut self, rhs: &Matrix) {
-        self.axpy_mut(1.0, rhs).expect("add_assign dimension mismatch");
+        self.axpy_mut(1.0, rhs)
+            .expect("add_assign dimension mismatch");
     }
 }
 
 impl SubAssign<&Matrix> for Matrix {
     fn sub_assign(&mut self, rhs: &Matrix) {
-        self.axpy_mut(-1.0, rhs).expect("sub_assign dimension mismatch");
+        self.axpy_mut(-1.0, rhs)
+            .expect("sub_assign dimension mismatch");
     }
 }
 

@@ -193,7 +193,10 @@ mod tests {
     #[test]
     fn least_squares_exact_system() {
         let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[0.0, 0.0]]);
-        let x = Qr::new(&a).unwrap().solve_least_squares(&[3.0, 4.0, 9.0]).unwrap();
+        let x = Qr::new(&a)
+            .unwrap()
+            .solve_least_squares(&[3.0, 4.0, 9.0])
+            .unwrap();
         assert!((x[0] - 3.0).abs() < 1e-14);
         assert!((x[1] - 2.0).abs() < 1e-14);
     }

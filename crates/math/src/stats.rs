@@ -55,9 +55,10 @@ pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
 
 /// Minimum and maximum of a slice; `(inf, -inf)` for an empty slice.
 pub fn min_max(xs: &[f64]) -> (f64, f64) {
-    xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
-        (lo.min(x), hi.max(x))
-    })
+    xs.iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        })
 }
 
 /// `q`-quantile (0 ≤ q ≤ 1) by linear interpolation of order statistics.

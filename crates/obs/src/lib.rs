@@ -18,8 +18,8 @@
 //!   the transfer method from the assimilation components, as §3.1 requires.
 
 pub mod image_obs;
-pub mod station;
 pub mod statefile;
+pub mod station;
 
 pub use station::{StationObservation, StationReport, WeatherStation};
 

@@ -110,8 +110,7 @@ impl StateFile {
             let name = std::str::from_utf8(take(&mut pos, name_len)?)
                 .map_err(|_| ObsError::BadStateFile("non-utf8 record name".into()))?
                 .to_string();
-            let len =
-                u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
+            let len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
             let payload = take(&mut pos, len * 8)?;
             let mut data = Vec::with_capacity(len);
             for chunk in payload.chunks_exact(8) {
@@ -168,14 +167,7 @@ impl StateCodec for FireState {
         let g = self.psi.grid();
         file.put(
             "fire/grid",
-            vec![
-                g.nx as f64,
-                g.ny as f64,
-                g.dx,
-                g.dy,
-                g.origin.0,
-                g.origin.1,
-            ],
+            vec![g.nx as f64, g.ny as f64, g.dx, g.dy, g.origin.0, g.origin.1],
         );
         file.put("fire/psi", self.psi.as_slice().to_vec());
         // Encode UNBURNED as a sentinel that is exactly representable.
@@ -193,7 +185,9 @@ impl StateCodec for FireState {
     fn decode(file: &StateFile) -> Result<Self> {
         let gdesc = file.get("fire/grid")?;
         if gdesc.len() != 6 {
-            return Err(ObsError::BadStateFile("fire/grid must have 6 entries".into()));
+            return Err(ObsError::BadStateFile(
+                "fire/grid must have 6 entries".into(),
+            ));
         }
         let grid = Grid2::with_origin(
             gdesc[0] as usize,
@@ -217,7 +211,13 @@ impl StateCodec for FireState {
             tig: Field2::from_vec(
                 grid,
                 tig.iter()
-                    .map(|&t| if t >= f64::MAX { wildfire_fire::UNBURNED } else { t })
+                    .map(|&t| {
+                        if t >= f64::MAX {
+                            wildfire_fire::UNBURNED
+                        } else {
+                            t
+                        }
+                    })
                     .collect(),
             ),
             time,

@@ -64,18 +64,12 @@ impl WeatherStation {
     /// coupled state: cell lookup by linear interpolation of the location,
     /// biquadratic interpolation of the surface fields, fireline check in
     /// the cell and its 8 neighbors.
-    pub fn observe(
-        &self,
-        state: &CoupledState,
-        theta0: f64,
-    ) -> StationObservation {
+    pub fn observe(&self, state: &CoupledState, theta0: f64) -> StationObservation {
         let agrid = state.atmos.grid;
         let h = agrid.horizontal();
 
         // Surface fields on the horizontal grid.
-        let temp = Field2::from_fn(h, |i, j| {
-            theta0 + state.atmos.theta[agrid.cell(i, j, 0)]
-        });
+        let temp = Field2::from_fn(h, |i, j| theta0 + state.atmos.theta[agrid.cell(i, j, 0)]);
         let qv = Field2::from_fn(h, |i, j| state.atmos.qv[agrid.cell(i, j, 0)]);
         let (uf, vf) = {
             let mut u = Field2::zeros(h);
@@ -128,10 +122,7 @@ fn fireline_near_cell(state: &CoupledState, ci: usize, cj: usize) -> bool {
     let fgrid = fire_psi.grid();
     // World bounds of the 3×3 cell neighborhood.
     let (cx0, cy0) = h.world(ci.saturating_sub(1), cj.saturating_sub(1));
-    let (cx1, cy1) = h.world(
-        (ci + 1).min(h.nx - 1),
-        (cj + 1).min(h.ny - 1),
-    );
+    let (cx1, cy1) = h.world((ci + 1).min(h.nx - 1), (cj + 1).min(h.ny - 1));
     // Scan fire-mesh nodes in the bounding box for burning and non-burning
     // nodes; a mixed region contains the fireline.
     let mut any_burn = false;
@@ -311,11 +302,12 @@ mod tests {
         let mut rng = wildfire_math::GaussianSampler::new(3);
         let reports = synthesize_reports(&stations, &s, 300.0, 1.0, 0.5, &mut rng);
         assert_eq!(reports.len(), 20);
-        let mean_t: f64 =
-            reports.iter().map(|r| r.temperature).sum::<f64>() / reports.len() as f64;
+        let mean_t: f64 = reports.iter().map(|r| r.temperature).sum::<f64>() / reports.len() as f64;
         assert!((mean_t - 300.0).abs() < 1.5, "mean temp {mean_t}");
         // Not all identical (noise applied).
-        assert!(reports.windows(2).any(|w| w[0].temperature != w[1].temperature));
+        assert!(reports
+            .windows(2)
+            .any(|w| w[0].temperature != w[1].temperature));
     }
 
     #[test]

@@ -94,8 +94,7 @@ mod tests {
     fn double_exponential_structure() {
         let m = GroundThermalModel::default();
         // At one fast time constant, the fast mode has decayed to 1/e.
-        let expected = 300.0
-            + 775.0 * (0.6 * (-1.0_f64).exp() + 0.4 * (-75.0_f64 / 250.0).exp());
+        let expected = 300.0 + 775.0 * (0.6 * (-1.0_f64).exp() + 0.4 * (-75.0_f64 / 250.0).exp());
         assert!((m.temperature(75.0) - expected).abs() < 1e-9);
     }
 

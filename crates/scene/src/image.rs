@@ -80,7 +80,8 @@ impl SceneImage {
     /// # Errors
     /// [`SceneError::EmptyImage`] when the factor does not divide the size.
     pub fn downsample(&self, factor: usize) -> Result<SceneImage> {
-        if factor == 0 || self.width % factor != 0 || self.height % factor != 0 {
+        if factor == 0 || !self.width.is_multiple_of(factor) || !self.height.is_multiple_of(factor)
+        {
             return Err(SceneError::EmptyImage);
         }
         let w = self.width / factor;
@@ -117,11 +118,11 @@ impl SceneImage {
             let t = ((v.max(lo).ln() - log_lo) / (log_hi - log_lo)).clamp(0.0, 1.0);
             bytes.push((t * 255.0).round() as u8);
         }
-        let mut f =
-            std::fs::File::create(path).map_err(|e| SceneError::Io(e.to_string()))?;
+        let mut f = std::fs::File::create(path).map_err(|e| SceneError::Io(e.to_string()))?;
         write!(f, "P5\n{} {}\n255\n", self.width, self.height)
             .map_err(|e| SceneError::Io(e.to_string()))?;
-        f.write_all(&bytes).map_err(|e| SceneError::Io(e.to_string()))?;
+        f.write_all(&bytes)
+            .map_err(|e| SceneError::Io(e.to_string()))?;
         Ok(())
     }
 }

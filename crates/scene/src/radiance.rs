@@ -131,8 +131,14 @@ mod tests {
 
     #[test]
     fn brightness_temperature_clamps() {
-        assert_eq!(brightness_temperature(3e-6, 5e-6, 0.0, 250.0, 1400.0), 250.0);
-        assert_eq!(brightness_temperature(3e-6, 5e-6, 1e12, 250.0, 1400.0), 1400.0);
+        assert_eq!(
+            brightness_temperature(3e-6, 5e-6, 0.0, 250.0, 1400.0),
+            250.0
+        );
+        assert_eq!(
+            brightness_temperature(3e-6, 5e-6, 1e12, 250.0, 1400.0),
+            1400.0
+        );
     }
 
     #[test]

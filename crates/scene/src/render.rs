@@ -70,9 +70,9 @@ pub fn render_scene(
     let ground_temp = config.ground.temperature_field(mesh, state, t);
     let flames = FlameVolume::build(mesh, state, wind, t, config.flame);
     let fg3 = flames.emission.grid();
-    let flame_band_radiance = band_radiance(config.band.0, config.band.1, config.flame.flame_temperature);
-    let ambient_radiance =
-        band_radiance(config.band.0, config.band.1, config.ground.ambient);
+    let flame_band_radiance =
+        band_radiance(config.band.0, config.band.1, config.flame.flame_temperature);
+    let ambient_radiance = band_radiance(config.band.0, config.band.1, config.ground.ambient);
 
     // Precompute, per flame voxel, its band power for the reflection term:
     // P = ε_vox · B_band(T_f) · π · A_cross (W/sr integrated over the
@@ -88,8 +88,8 @@ pub fn render_scene(
                 // A flame above a fire-mesh node is at most flame_depth wide,
                 // which can be well below the mesh cell — use the smaller
                 // cross-section as the emitting face.
-                let face = (config.flame.flame_depth * config.flame.flame_depth)
-                    .min(fg3.dx * fg3.dy);
+                let face =
+                    (config.flame.flame_depth * config.flame.flame_depth).min(fg3.dx * fg3.dy);
                 let p_band = eps * flame_band_radiance * std::f64::consts::PI * face;
                 let g2 = mesh.grid;
                 let (ox, oy) = g2.origin;
@@ -132,8 +132,7 @@ pub fn render_scene(
                 let cos_inc = sz / d2.sqrt();
                 irradiance += p * cos_inc / (4.0 * std::f64::consts::PI * d2);
             }
-            let l_reflected =
-                config.ground_reflectivity * irradiance / std::f64::consts::PI;
+            let l_reflected = config.ground_reflectivity * irradiance / std::f64::consts::PI;
 
             // (2) Direct flame emission + flame transmittance along the ray.
             // March upward from the ground point along the (reversed) view
@@ -177,7 +176,11 @@ pub fn render_scene(
             // direct flame, all attenuated by the atmosphere.
             let path = camera.path_length(px, py);
             let tau_atm = (-config.atm_extinction * path).exp();
-            img.set(px, py, tau_atm * (trans * (l_ground + l_reflected) + l_flame));
+            img.set(
+                px,
+                py,
+                tau_atm * (trans * (l_ground + l_reflected) + l_flame),
+            );
         }
     }
     Ok(img)
@@ -215,7 +218,8 @@ pub fn fire_radiative_power(
     // Same face-area bound as the renderer: the flame is at most
     // flame_depth wide regardless of the mesh cell size.
     let face_area = (config.flame.flame_depth * config.flame.flame_depth).min(fg3.dx * fg3.dy);
-    let flame_power_per_voxel = eps * total_emissive_power(config.flame.flame_temperature) * face_area;
+    let flame_power_per_voxel =
+        eps * total_emissive_power(config.flame.flame_temperature) * face_area;
     let n_vox = flames
         .emission
         .as_slice()
@@ -273,8 +277,8 @@ mod tests {
     #[test]
     fn fire_pixels_vastly_brighter_than_background() {
         let (mesh, state, wind, camera) = setup();
-        let img = render_scene(&mesh, &state, &wind, 20.0, &camera, &SceneConfig::default())
-            .unwrap();
+        let img =
+            render_scene(&mesh, &state, &wind, 20.0, &camera, &SceneConfig::default()).unwrap();
         let center = img.get(16, 16); // over the fire
         let corner = img.get(0, 0); // unburned
         assert!(center > 10.0 * corner, "contrast {center} vs {corner}");
@@ -284,8 +288,8 @@ mod tests {
     #[test]
     fn brightness_temperature_sensible() {
         let (mesh, state, wind, camera) = setup();
-        let img = render_scene(&mesh, &state, &wind, 20.0, &camera, &SceneConfig::default())
-            .unwrap();
+        let img =
+            render_scene(&mesh, &state, &wind, 20.0, &camera, &SceneConfig::default()).unwrap();
         let t_corner = img.brightness_temperature_at(0, 0);
         let t_center = img.brightness_temperature_at(16, 16);
         assert!(

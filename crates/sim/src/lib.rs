@@ -1,0 +1,62 @@
+//! # wildfire-sim
+//!
+//! Scenario-level simulation setup: the single place where coupled-model
+//! configuration (domain, fuel, wind, ignition geometry, coupling mode)
+//! lives. Every example, harness binary, benchmark, and integration test in
+//! the workspace builds its models through this crate instead of hand-rolling
+//! `CoupledModel::new(...)` calls.
+//!
+//! The companion paper (*Real-Time Data Driven Wildland Fire Modeling*,
+//! arXiv:0802.1615) stresses exactly this kind of reusable scenario/ensemble
+//! harness: reproducible named experiments plus systematic perturbations of
+//! them for ensemble initialization.
+//!
+//! * [`scenario`] — the [`Scenario`] descriptor and its component specs
+//!   ([`DomainSpec`], [`FuelSpec`], [`WindSpec`]);
+//! * [`builder`] — [`SimulationBuilder`], a fluent constructor, and
+//!   [`Simulation`], a model + state pair that applies scheduled wind
+//!   shifts while stepping;
+//! * [`registry`] — named, ready-to-run scenarios (the paper's Fig. 1
+//!   fireline, circle ignition, multi-ignition merge, mid-run wind shift,
+//!   heterogeneous fuel map, uncoupled baseline, …);
+//! * [`perturb`] — ensemble-perturbation hooks turning one scenario into a
+//!   member family (displaced ignitions, jittered winds).
+
+pub mod builder;
+pub mod perturb;
+pub mod registry;
+pub mod scenario;
+
+pub use builder::{Simulation, SimulationBuilder};
+pub use perturb::{perturbed_scenarios, PerturbationSpec};
+pub use scenario::{DomainSpec, FuelPatch, FuelSpec, Scenario, WindShift, WindSpec};
+
+/// Errors from scenario construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The underlying coupled model rejected the configuration.
+    Model(wildfire_core::CoupledError),
+    /// The scenario itself is malformed (empty ignition list, bad shift
+    /// schedule, unknown fuel patch, …).
+    Scenario(&'static str),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Model(e) => write!(f, "coupled model rejected scenario: {e:?}"),
+            SimError::Scenario(msg) => write!(f, "invalid scenario: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<wildfire_core::CoupledError> for SimError {
+    fn from(e: wildfire_core::CoupledError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -5,40 +5,41 @@
 //!
 //! Run with: `cargo run --release --example assimilation_cycle`
 
-use wildfire::atmos::state::AtmosGrid;
-use wildfire::atmos::AtmosParams;
-use wildfire::core::CoupledModel;
 use wildfire::enkf::{MorphingConfig, RegistrationConfig};
-use wildfire::ensemble::driver::{EnsembleDriver, EnsembleSetup, FilterKind};
+use wildfire::ensemble::driver::{EnsembleDriver, FilterKind};
 use wildfire::ensemble::metrics::evaluate_coupled_ensemble;
 use wildfire::fire::ignition::IgnitionShape;
-use wildfire::fuel::FuelCategory;
 use wildfire::math::GaussianSampler;
+use wildfire::sim::{perturb, registry, PerturbationSpec};
 
 fn main() {
-    let model = CoupledModel::new(
-        AtmosGrid { nx: 8, ny: 8, nz: 5, dx: 60.0, dy: 60.0, dz: 50.0 },
-        AtmosParams { ambient_wind: (2.0, 1.0), ..Default::default() },
-        FuelCategory::ShortGrass,
-        5,
-    )
-    .expect("valid configuration");
+    // Truth fire at (250, 250); the ensemble believes (160, 190). Both are
+    // variations of the registry's circle-ignition scenario.
+    let truth_scenario = registry::by_name(registry::CIRCLE_IGNITION)
+        .expect("registry scenario")
+        .with_ambient_wind((2.0, 1.0))
+        .with_ignitions(vec![IgnitionShape::Circle {
+            center: (250.0, 250.0),
+            radius: 25.0,
+        }]);
+    let believed = truth_scenario
+        .clone()
+        .with_ignitions(vec![IgnitionShape::Circle {
+            center: (160.0, 190.0),
+            radius: 25.0,
+        }]);
+    let spec = PerturbationSpec::position_only(12.0, 7);
+    let n_members = 25; // the paper's ensemble size
+
+    let model = truth_scenario.model().expect("valid scenario");
+    let mut truth = truth_scenario.ignite(&model);
     let driver = EnsembleDriver::new(model, 4);
 
-    // Truth fire at (250, 250); the ensemble believes (160, 190).
-    let mut truth = driver
-        .model
-        .ignite(&[IgnitionShape::Circle { center: (250.0, 250.0), radius: 25.0 }], 0.0);
-    let setup = EnsembleSetup {
-        n_members: 25, // the paper's ensemble size
-        center: (160.0, 190.0),
-        radius: 25.0,
-        position_spread: 12.0,
-        seed: 7,
-    };
-
     let lead_time = 300.0;
-    driver.model.run(&mut truth, lead_time, 0.5, |_, _| {}).expect("truth");
+    driver
+        .model
+        .run(&mut truth, lead_time, 0.5, |_, _| {})
+        .expect("truth");
 
     let morph_cfg = MorphingConfig {
         registration: RegistrationConfig {
@@ -55,8 +56,11 @@ fn main() {
     };
 
     for filter in [FilterKind::Standard, FilterKind::Morphing] {
-        let mut members = driver.initial_ensemble(&setup);
-        driver.forecast(&mut members, lead_time, 0.5).expect("forecast");
+        let mut members = perturb::perturbed_states(&believed, &spec, n_members, &driver.model)
+            .expect("position-only perturbation");
+        driver
+            .forecast(&mut members, lead_time, 0.5)
+            .expect("forecast");
         let before = evaluate_coupled_ensemble(&members, &truth);
         let mut rng = GaussianSampler::new(99);
         match filter {

@@ -7,8 +7,8 @@
 
 use wildfire::core::CoupledModel;
 use wildfire::fire::heat::heat_fluxes;
-use wildfire::fire::ignition::IgnitionShape;
 use wildfire::fire::perimeter::burning_components;
+use wildfire::sim::registry;
 
 fn ascii_render(model: &CoupledModel, state: &wildfire::core::CoupledState) {
     let fluxes = heat_fluxes(&model.fire.mesh, &state.fire);
@@ -37,44 +37,33 @@ fn ascii_render(model: &CoupledModel, state: &wildfire::core::CoupledState) {
         println!("|{line}|");
     }
     println!("+{}+", "-".repeat(cols));
-    println!("  # intense heat flux   + moderate   . burned over   (fire mesh {}x{})", g.nx, g.ny);
+    println!(
+        "  # intense heat flux   + moderate   . burned over   (fire mesh {}x{})",
+        g.nx, g.ny
+    );
 }
 
 fn main() {
-    let shapes = vec![
-        IgnitionShape::Line { start: (150.0, 210.0), end: (150.0, 330.0), half_width: 6.0 },
-        IgnitionShape::Line { start: (210.0, 150.0), end: (330.0, 150.0), half_width: 6.0 },
-        IgnitionShape::Circle { center: (330.0, 330.0), radius: 25.0 },
-    ];
-    let model = wildfire_bench_model();
-    let mut state = model.ignite(&shapes, 0.0);
-    println!("Initial configuration: {} separate fires", burning_components(&state.fire.psi));
+    // The E1 configuration straight from the scenario registry (600 m
+    // domain, 6 m fire mesh, Fig. 1 ignition geometry).
+    let scenario = registry::by_name(registry::FIG1_FIRELINE).expect("registry scenario");
+    let mut sim = scenario.build().expect("valid scenario");
+    println!(
+        "Initial configuration: {} separate fires",
+        burning_components(&sim.state.fire.psi)
+    );
 
     for checkpoint in [60.0, 180.0, 300.0] {
-        model.run(&mut state, checkpoint, 0.5, |_, _| {}).expect("run");
+        sim.run_until(checkpoint, |_, _| {}).expect("run");
         println!("\n=== t = {checkpoint} s ===");
-        ascii_render(&model, &state);
+        ascii_render(&sim.model, &sim.state);
         println!(
             "burning components: {}   burned area: {:.0} m2   max updraft: {:.2} m/s",
-            burning_components(&state.fire.psi),
-            state.fire.burned_area(),
-            state.atmos.max_updraft(),
+            burning_components(&sim.state.fire.psi),
+            sim.state.fire.burned_area(),
+            sim.state.atmos.max_updraft(),
         );
     }
     println!("\nThe fronts merge into a single perimeter and the coupled updraft");
     println!("slows/roughens the downwind front (compare the fig1_coupled harness).");
-}
-
-/// Same configuration as the E1 harness (600 m domain, 6 m fire mesh).
-fn wildfire_bench_model() -> CoupledModel {
-    use wildfire::atmos::state::AtmosGrid;
-    use wildfire::atmos::AtmosParams;
-    use wildfire::fuel::FuelCategory;
-    CoupledModel::new(
-        AtmosGrid { nx: 10, ny: 10, nz: 6, dx: 60.0, dy: 60.0, dz: 50.0 },
-        AtmosParams { ambient_wind: (3.0, 0.0), ..Default::default() },
-        FuelCategory::ShortGrass,
-        10,
-    )
-    .expect("valid configuration")
 }

@@ -3,46 +3,51 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use wildfire::atmos::state::AtmosGrid;
-use wildfire::atmos::AtmosParams;
-use wildfire::core::CoupledModel;
 use wildfire::fire::ignition::IgnitionShape;
-use wildfire::fuel::FuelCategory;
+use wildfire::sim::{DomainSpec, SimulationBuilder};
 
 fn main() {
     // A 480 m x 480 m domain: 8x8 atmosphere cells of 60 m x 5 levels,
-    // fire mesh refined 10x to 6 m (the paper's configuration, Sec. 2.3).
-    let model = CoupledModel::new(
-        AtmosGrid { nx: 8, ny: 8, nz: 5, dx: 60.0, dy: 60.0, dz: 50.0 },
-        AtmosParams { ambient_wind: (3.0, 0.0), ..Default::default() },
-        FuelCategory::ShortGrass,
-        10,
-    )
-    .expect("valid configuration");
-
-    // Light a 25 m circle in the middle of the domain.
-    let mut state = model.ignite(
-        &[IgnitionShape::Circle { center: (240.0, 240.0), radius: 25.0 }],
-        0.0,
-    );
-
-    println!("{:>7} {:>12} {:>10} {:>12} {:>12}", "t [s]", "area [m2]", "w_max", "P_sens [MW]", "max wind");
-    model
-        .run(&mut state, 120.0, 0.5, |_, diag| {
-            if (diag.time / 10.0).fract() < 1e-9 {
-                println!(
-                    "{:7.1} {:12.0} {:10.3} {:12.2} {:12.2}",
-                    diag.time,
-                    diag.burned_area,
-                    diag.max_updraft,
-                    diag.total_sensible_power / 1e6,
-                    diag.max_surface_wind,
-                );
-            }
+    // fire mesh refined 10x to 6 m (the paper's configuration, Sec. 2.3),
+    // with a 25 m ignition circle lit in the middle of the domain.
+    let mut sim = SimulationBuilder::new()
+        .name("quickstart")
+        .domain(DomainSpec::SMALL.with_refinement(10))
+        .ambient_wind(3.0, 0.0)
+        .ignite(IgnitionShape::Circle {
+            center: (240.0, 240.0),
+            radius: 25.0,
         })
-        .expect("simulation");
+        .build()
+        .expect("valid scenario");
 
-    println!("\nFinal burned area: {:.0} m2", state.fire.burned_area());
-    println!("Fire-induced updraft: {:.2} m/s", state.atmos.max_updraft());
-    println!("The updraft is the two-way coupling at work: fire heat -> buoyancy -> modified winds.");
+    println!(
+        "{:>7} {:>12} {:>10} {:>12} {:>12}",
+        "t [s]", "area [m2]", "w_max", "P_sens [MW]", "max wind"
+    );
+    sim.run_until(120.0, |_, diag| {
+        if (diag.time / 10.0).fract() < 1e-9 {
+            println!(
+                "{:7.1} {:12.0} {:10.3} {:12.2} {:12.2}",
+                diag.time,
+                diag.burned_area,
+                diag.max_updraft,
+                diag.total_sensible_power / 1e6,
+                diag.max_surface_wind,
+            );
+        }
+    })
+    .expect("simulation");
+
+    println!(
+        "\nFinal burned area: {:.0} m2",
+        sim.state.fire.burned_area()
+    );
+    println!(
+        "Fire-induced updraft: {:.2} m/s",
+        sim.state.atmos.max_updraft()
+    );
+    println!(
+        "The updraft is the two-way coupling at work: fire heat -> buoyancy -> modified winds."
+    );
 }

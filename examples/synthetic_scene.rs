@@ -5,41 +5,41 @@
 //! Run with: `cargo run --release --example synthetic_scene`
 
 use std::path::Path;
-use wildfire::atmos::state::AtmosGrid;
-use wildfire::atmos::AtmosParams;
-use wildfire::core::CoupledModel;
-use wildfire::fire::ignition::IgnitionShape;
-use wildfire::fuel::FuelCategory;
 use wildfire::obs::image_obs::ImageObservation;
 use wildfire::scene::render::{radiative_fraction, SceneConfig};
+use wildfire::sim::registry;
 
 fn main() {
-    let model = CoupledModel::new(
-        AtmosGrid { nx: 10, ny: 10, nz: 6, dx: 60.0, dy: 60.0, dz: 50.0 },
-        AtmosParams { ambient_wind: (4.0, 0.0), ..Default::default() },
-        FuelCategory::TallGrass,
-        10,
-    )
-    .expect("valid configuration");
-    let mut state = model.ignite(
-        &[IgnitionShape::Circle { center: (300.0, 300.0), radius: 40.0 }],
-        0.0,
-    );
-    model.run(&mut state, 60.0, 0.5, |_, _| {}).expect("burn");
+    // The registry's tall-grass burn framed for the Fig. 3 scene.
+    let scenario = registry::by_name(registry::GRASS_SCENE).expect("registry scenario");
+    let mut sim = scenario.build().expect("valid scenario");
+    sim.run_until(60.0, |_, _| {}).expect("burn");
+    let (model, state) = (&sim.model, &sim.state);
 
     // The paper's geometry: WASP-like camera ~3000 m above ground.
-    let obs = ImageObservation::over_fire_domain(&model, 3000.0, 128);
-    let img = obs.synthetic_image(&model, &state).expect("render");
+    let obs = ImageObservation::over_fire_domain(model, 3000.0, 128);
+    let img = obs.synthetic_image(model, state).expect("render");
     let out = Path::new("synthetic_scene.pgm");
     img.write_pgm(out).expect("write");
 
     let bt = img.to_brightness_temperature();
     let peak = bt.iter().cloned().fold(0.0_f64, f64::max);
-    println!("Rendered {}x{} mid-wave IR image -> {}", img.width, img.height, out.display());
+    println!(
+        "Rendered {}x{} mid-wave IR image -> {}",
+        img.width,
+        img.height,
+        out.display()
+    );
     println!("Peak brightness temperature: {peak:.0} K (front model constrained to 1075 K)");
 
-    let wind = model.fire_wind(&state).expect("wind");
-    let frac = radiative_fraction(&model.fire.mesh, &state.fire, &wind, state.time(), &SceneConfig::default());
+    let wind = model.fire_wind(state).expect("wind");
+    let frac = radiative_fraction(
+        &model.fire.mesh,
+        &state.fire,
+        &wind,
+        state.time(),
+        &SceneConfig::default(),
+    );
     println!("Radiative fraction of total heat release: {frac:.3}");
     println!("Published biomass-burning range (Wooster et al. 2003 lineage): ~0.05-0.25");
 }

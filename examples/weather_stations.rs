@@ -6,29 +6,24 @@
 //!
 //! Run with: `cargo run --release --example weather_stations`
 
-use wildfire::atmos::state::AtmosGrid;
-use wildfire::atmos::AtmosParams;
-use wildfire::core::CoupledModel;
 use wildfire::fire::ignition::IgnitionShape;
-use wildfire::fuel::FuelCategory;
 use wildfire::math::GaussianSampler;
 use wildfire::obs::station::{synthesize_reports, WeatherStation};
+use wildfire::sim::registry;
 
 fn main() {
-    let model = CoupledModel::new(
-        AtmosGrid { nx: 8, ny: 8, nz: 5, dx: 60.0, dy: 60.0, dz: 50.0 },
-        AtmosParams { ambient_wind: (3.0, 0.0), ..Default::default() },
-        FuelCategory::ShortGrass,
-        5,
-    )
-    .expect("valid configuration");
+    // The registry circle-ignition scenario, radius widened to 30 m.
+    let scenario = registry::by_name(registry::CIRCLE_IGNITION)
+        .expect("registry scenario")
+        .with_ignitions(vec![IgnitionShape::Circle {
+            center: (240.0, 240.0),
+            radius: 30.0,
+        }]);
+    let mut sim = scenario.build().expect("valid scenario");
 
     // Burn for 20 s so the fire has heated the boundary layer.
-    let mut state = model.ignite(
-        &[IgnitionShape::Circle { center: (240.0, 240.0), radius: 30.0 }],
-        0.0,
-    );
-    model.run(&mut state, 20.0, 0.5, |_, _| {}).expect("run");
+    sim.run_until(20.0, |_, _| {}).expect("run");
+    let state = &sim.state;
 
     // A 4x4 station network across the domain.
     let stations: Vec<WeatherStation> = (0..16)
@@ -41,14 +36,14 @@ fn main() {
 
     // Synthetic "real data" from the truth run with 1 K / 0.5 m/s noise.
     let mut rng = GaussianSampler::new(42);
-    let reports = synthesize_reports(&stations, &state, 300.0, 1.0, 0.5, &mut rng);
+    let reports = synthesize_reports(&stations, state, 300.0, 1.0, 0.5, &mut rng);
 
     println!(
         "{:>7} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6}",
         "station", "T_obs [K]", "T_mod [K]", "innov", "wind mod", "cell", "fire?"
     );
     for (s, r) in stations.iter().zip(reports.iter()) {
-        let o = s.observe(&state, 300.0);
+        let o = s.observe(state, 300.0);
         println!(
             "{:>7} {:9.2} {:9.2} {:9.2} {:5.1},{:4.1} {:>3},{:<3} {:>6}",
             s.id,

@@ -26,6 +26,7 @@
 //! | [`obs`] | observation functions & disk state exchange (§3.1) |
 //! | [`enkf`] | EnKF, registration, morphing EnKF (§3.3) |
 //! | [`ensemble`] | parallel ensemble driver, assimilation cycles (Fig. 2) |
+//! | [`sim`] | scenario descriptors, builder, registry, ensemble hooks |
 
 pub use wildfire_atmos as atmos;
 pub use wildfire_core as core;
@@ -37,3 +38,4 @@ pub use wildfire_grid as grid;
 pub use wildfire_math as math;
 pub use wildfire_obs as obs;
 pub use wildfire_scene as scene;
+pub use wildfire_sim as sim;

@@ -1,48 +1,33 @@
 //! Cross-crate integration tests: full pipelines spanning the coupled
-//! model, observation layer, state stores, and both filters.
+//! model, observation layer, state stores, and both filters. All model
+//! setup flows through the `wildfire::sim` Scenario API.
 
-use wildfire::atmos::state::AtmosGrid;
-use wildfire::atmos::AtmosParams;
 use wildfire::core::CoupledModel;
 use wildfire::enkf::{MorphingConfig, RegistrationConfig};
-use wildfire::ensemble::driver::{EnsembleDriver, EnsembleSetup};
+use wildfire::ensemble::driver::EnsembleDriver;
 use wildfire::ensemble::metrics::evaluate_coupled_ensemble;
 use wildfire::ensemble::store::{DiskStore, MemStore, StateStore};
 use wildfire::fire::heat::energy_released;
 use wildfire::fire::ignition::IgnitionShape;
-use wildfire::fuel::FuelCategory;
 use wildfire::math::GaussianSampler;
 use wildfire::obs::image_obs::ImageObservation;
 use wildfire::obs::station::WeatherStation;
+use wildfire::sim::{perturb, registry, PerturbationSpec, Scenario};
+
+/// The shared test scenario: the registry circle ignition with the (2, 1)
+/// m/s test wind of the original suite.
+fn test_scenario() -> Scenario {
+    registry::by_name(registry::CIRCLE_IGNITION)
+        .expect("registry scenario")
+        .with_ambient_wind((2.0, 1.0))
+}
 
 fn test_model() -> CoupledModel {
-    CoupledModel::new(
-        AtmosGrid {
-            nx: 8,
-            ny: 8,
-            nz: 5,
-            dx: 60.0,
-            dy: 60.0,
-            dz: 50.0,
-        },
-        AtmosParams {
-            ambient_wind: (2.0, 1.0),
-            ..Default::default()
-        },
-        FuelCategory::ShortGrass,
-        5,
-    )
-    .expect("valid configuration")
+    test_scenario().model().expect("valid scenario")
 }
 
 fn center_fire(model: &CoupledModel) -> wildfire::core::CoupledState {
-    model.ignite(
-        &[IgnitionShape::Circle {
-            center: (240.0, 240.0),
-            radius: 25.0,
-        }],
-        0.0,
-    )
+    test_scenario().ignite(model)
 }
 
 #[test]
@@ -53,8 +38,9 @@ fn coupled_energy_budget_is_sane() {
     let mut state = center_fire(&model);
     model.run(&mut state, 30.0, 0.5, |_, _| {}).expect("run");
     let released = energy_released(&model.fire.mesh, &state.fire, state.time());
-    let atmos_energy =
-        state.atmos.thermal_energy(model.atmos.params.rho, model.atmos.params.cp);
+    let atmos_energy = state
+        .atmos
+        .thermal_energy(model.atmos.params.rho, model.atmos.params.cp);
     assert!(released > 0.0);
     assert!(atmos_energy > 0.0, "fire heat must reach the atmosphere");
     assert!(
@@ -67,52 +53,48 @@ fn coupled_energy_budget_is_sane() {
 fn fire_atmosphere_feedback_modifies_spread() {
     // The Fig. 1 claim end-to-end: with identical setups, coupled and
     // uncoupled runs produce different fire perimeters.
-    let mut coupled_model = test_model();
-    coupled_model.coupled = true;
-    let mut uncoupled_model = test_model();
-    uncoupled_model.coupled = false;
-    let mut s_coupled = center_fire(&coupled_model);
-    let mut s_uncoupled = center_fire(&uncoupled_model);
-    coupled_model
-        .run(&mut s_coupled, 120.0, 0.5, |_, _| {})
-        .expect("coupled");
-    uncoupled_model
-        .run(&mut s_uncoupled, 120.0, 0.5, |_, _| {})
-        .expect("uncoupled");
+    let mut s_coupled = test_scenario().build().expect("coupled sim");
+    let mut s_uncoupled = test_scenario()
+        .with_coupling(false)
+        .build()
+        .expect("uncoupled sim");
+    s_coupled.run_until(120.0, |_, _| {}).expect("coupled");
+    s_uncoupled.run_until(120.0, |_, _| {}).expect("uncoupled");
     // The burned-region sign pattern is quantized to 12 m cells, so compare
     // the continuous level-set field: any feedback must perturb ψ.
     let psi_diff = s_coupled
+        .state
         .fire
         .psi
-        .rmse(&s_uncoupled.fire.psi)
+        .rmse(&s_uncoupled.state.fire.psi)
         .expect("same grid");
     assert!(
         psi_diff > 1e-3,
         "two-way coupling must alter the level-set field (ψ RMSE {psi_diff})"
     );
-    assert!(s_coupled.atmos.max_updraft() > 0.01);
-    assert!(s_uncoupled.atmos.max_updraft() < 1e-10);
+    assert!(s_coupled.state.atmos.max_updraft() > 0.01);
+    assert!(s_uncoupled.state.atmos.max_updraft() < 1e-10);
 }
 
 #[test]
 fn image_observation_distinguishes_fire_positions() {
     // The assimilation premise: different fire locations produce
     // distinguishable synthetic images.
-    let model = test_model();
-    let mut a = model.ignite(
-        &[IgnitionShape::Circle {
+    let scenario = test_scenario();
+    let model = scenario.model().expect("valid scenario");
+    let mut a = scenario
+        .clone()
+        .with_ignitions(vec![IgnitionShape::Circle {
             center: (180.0, 240.0),
             radius: 25.0,
-        }],
-        0.0,
-    );
-    let mut b = model.ignite(
-        &[IgnitionShape::Circle {
+        }])
+        .ignite(&model);
+    let mut b = scenario
+        .with_ignitions(vec![IgnitionShape::Circle {
             center: (300.0, 240.0),
             radius: 25.0,
-        }],
-        0.0,
-    );
+        }])
+        .ignite(&model);
     a.fire.time = 10.0;
     b.fire.time = 10.0;
     let obs = ImageObservation::over_fire_domain(&model, 3000.0, 24);
@@ -127,16 +109,13 @@ fn image_observation_distinguishes_fire_positions() {
 
 #[test]
 fn disk_and_memory_stores_agree_through_forecast() {
-    let model = test_model();
-    let driver = EnsembleDriver::new(model, 2);
-    let setup = EnsembleSetup {
-        n_members: 4,
+    let believed = test_scenario().with_ignitions(vec![IgnitionShape::Circle {
         center: (220.0, 220.0),
         radius: 25.0,
-        position_spread: 10.0,
-        seed: 31,
-    };
-    let mut via_mem = driver.initial_ensemble(&setup);
+    }]);
+    let spec = PerturbationSpec::position_only(10.0, 31);
+    let (model, mut via_mem) = perturb::build_ensemble(&believed, &spec, 4).expect("ensemble");
+    let driver = EnsembleDriver::new(model, 2);
     let mut via_disk = via_mem.clone();
     let mem = MemStore::new();
     let dir = std::env::temp_dir().join(format!("wf_int_store_{}", std::process::id()));
@@ -162,23 +141,20 @@ fn disk_and_memory_stores_agree_through_forecast() {
 fn full_assimilation_cycle_improves_displaced_ensemble() {
     // End-to-end Fig. 4 (small): forecast + morphing analysis reduces both
     // position and shape error of a misplaced ensemble.
-    let model = test_model();
-    let driver = EnsembleDriver::new(model, 2);
-    let mut truth = driver.model.ignite(
-        &[IgnitionShape::Circle {
-            center: (260.0, 260.0),
-            radius: 25.0,
-        }],
-        0.0,
-    );
-    let setup = EnsembleSetup {
-        n_members: 8,
-        center: (180.0, 200.0),
+    let truth_scenario = test_scenario().with_ignitions(vec![IgnitionShape::Circle {
+        center: (260.0, 260.0),
         radius: 25.0,
-        position_spread: 10.0,
-        seed: 5,
-    };
-    let mut members = driver.initial_ensemble(&setup);
+    }]);
+    let believed = truth_scenario
+        .clone()
+        .with_ignitions(vec![IgnitionShape::Circle {
+            center: (180.0, 200.0),
+            radius: 25.0,
+        }]);
+    let spec = PerturbationSpec::position_only(10.0, 5);
+    let (model, mut members) = perturb::build_ensemble(&believed, &spec, 8).expect("ensemble");
+    let mut truth = truth_scenario.ignite(&model);
+    let driver = EnsembleDriver::new(model, 2);
     driver
         .model
         .run(&mut truth, 60.0, 0.5, |_, _| {})
@@ -218,7 +194,10 @@ fn full_assimilation_cycle_improves_displaced_ensemble() {
     // Members must remain valid model states, able to keep running.
     for m in members.iter_mut().take(2) {
         assert!(m.fire.is_consistent());
-        driver.model.run(m, 65.0, 0.5, |_, _| {}).expect("post-analysis run");
+        driver
+            .model
+            .run(m, 65.0, 0.5, |_, _| {})
+            .expect("post-analysis run");
     }
 }
 
@@ -236,4 +215,111 @@ fn station_and_image_observations_coexist() {
     let img = iobs.synthetic_image(&model, &state).expect("render");
     let (lo, hi) = img.min_max();
     assert!(hi > lo);
+}
+
+#[test]
+fn sim_perturbation_matches_driver_initial_ensemble_bitwise() {
+    // Both ensemble-bootstrap APIs promise the same draw order through
+    // fire::ignition::displaced; equal seeds must give byte-identical
+    // member states.
+    let believed = test_scenario().with_ignitions(vec![IgnitionShape::Circle {
+        center: (200.0, 210.0),
+        radius: 25.0,
+    }]);
+    let spec = PerturbationSpec::position_only(12.0, 4242);
+    let (model, via_sim) = perturb::build_ensemble(&believed, &spec, 6).expect("ensemble");
+    let driver = EnsembleDriver::new(model, 1);
+    let via_driver = driver.initial_ensemble(&wildfire::ensemble::EnsembleSetup {
+        n_members: 6,
+        center: (200.0, 210.0),
+        radius: 25.0,
+        position_spread: 12.0,
+        seed: 4242,
+    });
+    for (a, b) in via_sim.iter().zip(via_driver.iter()) {
+        assert_eq!(a.fire.psi.as_slice(), b.fire.psi.as_slice());
+        assert_eq!(a.fire.tig.as_slice(), b.fire.tig.as_slice());
+    }
+}
+
+#[test]
+fn every_registry_scenario_survives_a_short_coupled_burn() {
+    // Scenario-diversity smoke: each named scenario builds through the
+    // public umbrella API and stays physical over a short burn.
+    for scenario in registry::all() {
+        let mut sim = scenario
+            .build()
+            .unwrap_or_else(|e| panic!("{} failed to build: {e}", scenario.name));
+        let burned0 = sim.state.fire.burned_area();
+        sim.run_until(3.0, |_, _| {})
+            .unwrap_or_else(|e| panic!("{} failed to run: {e:?}", scenario.name));
+        assert!(
+            sim.state.fire.psi.all_finite() && sim.state.atmos.all_finite(),
+            "{} produced non-finite fields",
+            scenario.name
+        );
+        assert!(
+            sim.state.fire.burned_area() >= burned0,
+            "{} burned area shrank",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn wind_shift_scenario_turns_the_spread_direction() {
+    // The wind-shift scenario must actually change fire behavior: compare
+    // against the same scenario with the shift stripped, well past the
+    // shift time. (Uncoupled so the ambient wind acts on the fire
+    // directly and the runs stay cheap.)
+    let shifted = registry::by_name(registry::WIND_SHIFT)
+        .expect("registry scenario")
+        .with_coupling(false);
+    let mut steady = shifted.clone();
+    steady.wind.shifts.clear();
+    let mut sim_shifted = shifted.build().expect("builds");
+    let mut sim_steady = steady.build().expect("builds");
+    for sim in [&mut sim_shifted, &mut sim_steady] {
+        while sim.time() < 90.0 {
+            sim.step_by(2.0).expect("step");
+        }
+    }
+    let diff = sim_shifted
+        .state
+        .fire
+        .psi
+        .rmse(&sim_steady.state.fire.psi)
+        .expect("same grid");
+    assert!(
+        diff > 1e-6,
+        "a 90-degree wind shift must alter the front (ψ RMSE {diff})"
+    );
+}
+
+#[test]
+fn heterogeneous_fuel_slows_the_front_in_the_timber_break() {
+    // The fuel-break strip must change spread relative to uniform grass.
+    // Translate the registry ignition right up against the timber strip
+    // (x ∈ [270, 300]) and run uncoupled so the ambient wind pushes the
+    // front into it quickly; timber litter spreads ~4× slower than grass.
+    let hetero = registry::by_name(registry::HETEROGENEOUS_FUEL)
+        .expect("registry scenario")
+        .translated(120.0, 0.0)
+        .with_coupling(false);
+    let uniform = hetero.clone().with_fuel(wildfire::sim::FuelSpec::Uniform(
+        wildfire::fuel::FuelCategory::ShortGrass,
+    ));
+    let mut sim_h = hetero.build().expect("builds");
+    let mut sim_u = uniform.build().expect("builds");
+    for sim in [&mut sim_h, &mut sim_u] {
+        while sim.time() < 90.0 {
+            sim.step_by(2.0).expect("step");
+        }
+    }
+    assert!(
+        sim_h.state.fire.burned_area() < sim_u.state.fire.burned_area(),
+        "slower fuels downwind must reduce burned area ({} vs {})",
+        sim_h.state.fire.burned_area(),
+        sim_u.state.fire.burned_area()
+    );
 }

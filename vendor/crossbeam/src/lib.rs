@@ -1,0 +1,79 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, covering only `crossbeam::thread::scope` — the one API this
+//! workspace uses. Implemented as a thin wrapper over [`std::thread::scope`]
+//! (stable since Rust 1.63), which provides the same borrow-checked scoped
+//! spawning.
+//!
+//! Divergence from upstream: a panicking child thread propagates through
+//! `std::thread::scope` and unwinds the caller rather than surfacing as
+//! `Err` — callers here immediately `.expect()` the result, so observable
+//! behavior (abort with a panic message) is unchanged.
+
+pub mod thread {
+    //! Scoped threads.
+
+    /// Handle passed to the closure of [`scope`] and to every spawned
+    /// closure, mirroring crossbeam's `Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again so
+        /// nested spawns work, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment can
+    /// be spawned; all are joined before `scope` returns.
+    ///
+    /// # Errors
+    /// Upstream crossbeam reports child panics as `Err`; this shim lets the
+    /// panic propagate instead, so the `Ok` is unconditional.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_disjoint_chunks() {
+        let mut data = vec![0usize; 64];
+        super::thread::scope(|scope| {
+            for (c, chunk) in data.chunks_mut(16).enumerate() {
+                scope.spawn(move |_| {
+                    for (k, v) in chunk.iter_mut().enumerate() {
+                        *v = c * 16 + k;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i);
+        }
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}
