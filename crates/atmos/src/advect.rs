@@ -25,8 +25,17 @@ fn upwind(vel: f64, vm: f64, vc: f64, vp: f64, h: f64) -> f64 {
 /// The advecting velocity at the cell center is the average of the adjacent
 /// face velocities.
 pub fn scalar_tendency(state: &AtmosState, q: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    scalar_tendency_into(state, q, &mut out);
+    out
+}
+
+/// Allocation-free [`scalar_tendency`]: resizes `out` (reusing its storage)
+/// and overwrites it.
+pub fn scalar_tendency_into(state: &AtmosState, q: &[f64], out: &mut Vec<f64>) {
     let g = &state.grid;
-    let mut out = vec![0.0; g.n_cells()];
+    out.clear();
+    out.resize(g.n_cells(), 0.0);
     for k in 0..g.nz {
         for j in 0..g.ny {
             for i in 0..g.nx {
@@ -51,15 +60,23 @@ pub fn scalar_tendency(state: &AtmosState, q: &[f64]) -> Vec<f64> {
             }
         }
     }
-    out
 }
 
 /// Horizontal Laplacian diffusion tendency `ν ∇²_h q` for a cell-centered
 /// scalar (periodic lateral boundaries).
 pub fn diffusion_tendency(g: &AtmosGrid, q: &[f64], nu: f64) -> Vec<f64> {
-    let mut out = vec![0.0; g.n_cells()];
+    let mut out = Vec::new();
+    diffusion_tendency_into(g, q, nu, &mut out);
+    out
+}
+
+/// Allocation-free [`diffusion_tendency`]: resizes `out` (reusing its
+/// storage) and overwrites it.
+pub fn diffusion_tendency_into(g: &AtmosGrid, q: &[f64], nu: f64, out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(g.n_cells(), 0.0);
     if nu == 0.0 {
-        return out;
+        return;
     }
     let inv_dx2 = 1.0 / (g.dx * g.dx);
     let inv_dy2 = 1.0 / (g.dy * g.dy);
@@ -75,17 +92,32 @@ pub fn diffusion_tendency(g: &AtmosGrid, q: &[f64], nu: f64) -> Vec<f64> {
             }
         }
     }
-    out
 }
 
 /// Advective tendencies for the three staggered velocity components,
 /// `−(u⃗·∇)u`, `−(u⃗·∇)v`, `−(u⃗·∇)w`, each evaluated at its own face set.
 pub fn momentum_tendencies(state: &AtmosState) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let (mut du, mut dv, mut dw) = (Vec::new(), Vec::new(), Vec::new());
+    momentum_tendencies_into(state, &mut du, &mut dv, &mut dw);
+    (du, dv, dw)
+}
+
+/// Allocation-free [`momentum_tendencies`]: resizes the three output buffers
+/// (reusing their storage) and overwrites them.
+pub fn momentum_tendencies_into(
+    state: &AtmosState,
+    du: &mut Vec<f64>,
+    dv: &mut Vec<f64>,
+    dw: &mut Vec<f64>,
+) {
     let g = &state.grid;
     let n = g.n_cells();
-    let mut du = vec![0.0; n];
-    let mut dv = vec![0.0; n];
-    let mut dw = vec![0.0; g.nx * g.ny * (g.nz + 1)];
+    du.clear();
+    du.resize(n, 0.0);
+    dv.clear();
+    dv.resize(n, 0.0);
+    dw.clear();
+    dw.resize(g.nx * g.ny * (g.nz + 1), 0.0);
 
     // u-faces: advecting v and w averaged to the u-face location.
     for k in 0..g.nz {
@@ -235,8 +267,6 @@ pub fn momentum_tendencies(state: &AtmosState) -> (Vec<f64>, Vec<f64>, Vec<f64>)
             }
         }
     }
-
-    (du, dv, dw)
 }
 
 #[cfg(test)]

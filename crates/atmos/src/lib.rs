@@ -28,10 +28,12 @@ pub mod model;
 pub mod params;
 pub mod poisson;
 pub mod state;
+pub mod workspace;
 
 pub use model::AtmosModel;
 pub use params::AtmosParams;
 pub use state::AtmosState;
+pub use workspace::{AtmosWorkspace, PoissonWorkspace};
 
 /// Errors from atmospheric model construction and stepping.
 #[derive(Debug, Clone, PartialEq)]

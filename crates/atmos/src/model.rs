@@ -1,9 +1,10 @@
 //! The atmospheric model driver: tendencies, forcing, projection.
 
-use crate::advect::{diffusion_tendency, momentum_tendencies, scalar_tendency};
+use crate::advect::{diffusion_tendency_into, momentum_tendencies_into, scalar_tendency_into};
 use crate::params::AtmosParams;
-use crate::poisson::solve_poisson;
+use crate::poisson::solve_poisson_into;
 use crate::state::{AtmosGrid, AtmosState};
+use crate::workspace::AtmosWorkspace;
 use crate::{AtmosError, Result};
 use wildfire_grid::{Field2, VectorField2};
 
@@ -59,6 +60,24 @@ impl AtmosModel {
         latent: &Field2,
         dt: f64,
     ) -> Result<()> {
+        let mut ws = AtmosWorkspace::new();
+        self.step_ws(state, sensible, latent, dt, &mut ws)
+    }
+
+    /// Allocation-free [`AtmosModel::step`]: all tendency and CG buffers
+    /// come from `ws`, which is sized on first use and reused thereafter.
+    /// Bit-identical to the allocating wrapper.
+    ///
+    /// # Errors
+    /// Same as [`AtmosModel::step`].
+    pub fn step_ws(
+        &self,
+        state: &mut AtmosState,
+        sensible: &Field2,
+        latent: &Field2,
+        dt: f64,
+        ws: &mut AtmosWorkspace,
+    ) -> Result<()> {
         let g = self.grid;
         let h2 = g.horizontal();
         if sensible.grid() != h2 || latent.grid() != h2 {
@@ -71,13 +90,17 @@ impl AtmosModel {
         let p = &self.params;
 
         // --- 1. Advective + diffusive tendencies (explicit). -------------
-        let (du_adv, dv_adv, dw_adv) = momentum_tendencies(state);
-        let dtheta_adv = scalar_tendency(state, &state.theta);
-        let dqv_adv = scalar_tendency(state, &state.qv);
-        let du_dif = diffusion_tendency(&g, &state.u, p.eddy_viscosity);
-        let dv_dif = diffusion_tendency(&g, &state.v, p.eddy_viscosity);
-        let dtheta_dif = diffusion_tendency(&g, &state.theta, p.eddy_viscosity);
-        let dqv_dif = diffusion_tendency(&g, &state.qv, p.eddy_viscosity);
+        momentum_tendencies_into(state, &mut ws.du_adv, &mut ws.dv_adv, &mut ws.dw_adv);
+        scalar_tendency_into(state, &state.theta, &mut ws.dtheta_adv);
+        scalar_tendency_into(state, &state.qv, &mut ws.dqv_adv);
+        diffusion_tendency_into(&g, &state.u, p.eddy_viscosity, &mut ws.du_dif);
+        diffusion_tendency_into(&g, &state.v, p.eddy_viscosity, &mut ws.dv_dif);
+        diffusion_tendency_into(&g, &state.theta, p.eddy_viscosity, &mut ws.dtheta_dif);
+        diffusion_tendency_into(&g, &state.qv, p.eddy_viscosity, &mut ws.dqv_dif);
+        let (du_adv, dv_adv, dw_adv) = (&ws.du_adv, &ws.dv_adv, &ws.dw_adv);
+        let (dtheta_adv, dqv_adv) = (&ws.dtheta_adv, &ws.dqv_adv);
+        let (du_dif, dv_dif) = (&ws.du_dif, &ws.dv_dif);
+        let (dtheta_dif, dqv_dif) = (&ws.dtheta_dif, &ws.dqv_dif);
 
         for (i, (a, d)) in du_adv.iter().zip(du_dif.iter()).enumerate() {
             state.u[i] += dt * (a + d);
@@ -112,7 +135,8 @@ impl AtmosModel {
         // --- 3. Fire heat and moisture insertion (§2.3). ------------------
         // Exponential profile over depth, column-normalized so the
         // column-integrated heating equals the surface flux.
-        let mut weights = Vec::with_capacity(g.nz);
+        let weights = &mut ws.weights;
+        weights.clear();
         let mut norm = 0.0;
         for k in 0..g.nz {
             let zc = (k as f64 + 0.5) * g.dz;
@@ -190,7 +214,9 @@ impl AtmosModel {
         }
 
         // --- 6. Pressure projection. --------------------------------------
-        let mut div = vec![0.0; g.n_cells()];
+        let div = &mut ws.div;
+        div.clear();
+        div.resize(g.n_cells(), 0.0);
         for k in 0..g.nz {
             for j in 0..g.ny {
                 for i in 0..g.nx {
@@ -198,7 +224,15 @@ impl AtmosModel {
                 }
             }
         }
-        let phi = solve_poisson(&g, &div, p.pressure_tol, p.pressure_max_iter)?;
+        solve_poisson_into(
+            &g,
+            div,
+            p.pressure_tol,
+            p.pressure_max_iter,
+            &mut ws.poisson,
+            &mut ws.phi,
+        )?;
+        let phi = &ws.phi;
         for k in 0..g.nz {
             for j in 0..g.ny {
                 for i in 0..g.nx {
@@ -228,8 +262,21 @@ impl AtmosModel {
     /// interpolated to cell centers) as a vector field on
     /// [`AtmosGrid::horizontal`] — the wind the fire model consumes.
     pub fn surface_wind(&self, state: &AtmosState) -> VectorField2 {
-        let g = self.grid;
-        VectorField2::from_fn(g.horizontal(), |i, j| state.wind_at_center(i, j, 0))
+        let mut out = VectorField2::default();
+        self.surface_wind_into(state, &mut out);
+        out
+    }
+
+    /// Allocation-free [`AtmosModel::surface_wind`]: re-targets `out` to the
+    /// horizontal grid and overwrites it.
+    pub fn surface_wind_into(&self, state: &AtmosState, out: &mut VectorField2) {
+        let h = self.grid.horizontal();
+        out.resize_zeroed(h);
+        for j in 0..h.ny {
+            for i in 0..h.nx {
+                out.set(i, j, state.wind_at_center(i, j, 0));
+            }
+        }
     }
 }
 
@@ -404,6 +451,27 @@ mod tests {
             }
         }
         assert!(s.theta[g.cell(0, 0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn workspace_step_matches_allocating_step_bitwise() {
+        let model = small_model();
+        let h = model.grid.horizontal();
+        let qs = Field2::from_fn(h, |i, j| if i == 4 && j == 5 { 30_000.0 } else { 0.0 });
+        let ql = Field2::from_fn(h, |i, j| if i == 5 && j == 4 { 6_000.0 } else { 0.0 });
+        let mut alloc = model.initial_state();
+        let mut with_ws = model.initial_state();
+        let mut ws = AtmosWorkspace::new();
+        for _ in 0..8 {
+            let dt = model.max_stable_dt(&alloc).min(0.5);
+            model.step(&mut alloc, &qs, &ql, dt).unwrap();
+            model.step_ws(&mut with_ws, &qs, &ql, dt, &mut ws).unwrap();
+        }
+        assert_eq!(alloc.u, with_ws.u);
+        assert_eq!(alloc.v, with_ws.v);
+        assert_eq!(alloc.w, with_ws.w);
+        assert_eq!(alloc.theta, with_ws.theta);
+        assert_eq!(alloc.qv, with_ws.qv);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! out of both the right-hand side and the iterates).
 
 use crate::state::AtmosGrid;
+use crate::workspace::PoissonWorkspace;
 use crate::{AtmosError, Result};
 
 /// Matrix-free application of `−∇²` with the model's boundary conditions.
@@ -53,25 +54,56 @@ fn remove_mean(v: &mut [f64]) {
 /// [`AtmosError::PressureSolveFailed`] if CG does not reach the tolerance
 /// within `max_iter` iterations.
 pub fn solve_poisson(g: &AtmosGrid, rhs: &[f64], tol: f64, max_iter: usize) -> Result<Vec<f64>> {
+    let mut out = Vec::new();
+    let mut ws = PoissonWorkspace::default();
+    solve_poisson_into(g, rhs, tol, max_iter, &mut ws, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`solve_poisson`]: the CG vectors come from `ws` and the
+/// solution is written into `out` (both reuse their storage across calls).
+///
+/// # Errors
+/// Same as [`solve_poisson`].
+pub fn solve_poisson_into(
+    g: &AtmosGrid,
+    rhs: &[f64],
+    tol: f64,
+    max_iter: usize,
+    ws: &mut PoissonWorkspace,
+    out: &mut Vec<f64>,
+) -> Result<()> {
     let n = g.n_cells();
     assert_eq!(rhs.len(), n, "poisson rhs length mismatch");
     // −∇²φ = −rhs, mean-free.
-    let mut b: Vec<f64> = rhs.iter().map(|&x| -x).collect();
-    remove_mean(&mut b);
+    let b = &mut ws.b;
+    b.clear();
+    b.extend(rhs.iter().map(|&x| -x));
+    remove_mean(b);
 
     let b_norm = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    out.clear();
+    out.resize(n, 0.0);
+    // Size the CG vectors before the trivial-solve return so a workspace
+    // warmed on a quiescent state is already steady for later calls.
+    let x = out;
+    let r = &mut ws.r;
+    r.clear();
+    r.extend_from_slice(b);
+    let p = &mut ws.p;
+    p.clear();
+    p.extend_from_slice(r);
+    let ap = &mut ws.ap;
+    ap.clear();
+    ap.resize(n, 0.0);
     if b_norm == 0.0 {
-        return Ok(vec![0.0; n]);
+        return Ok(());
     }
-    let mut x = vec![0.0; n];
-    let mut r = b.clone();
-    let mut p = r.clone();
-    let mut ap = vec![0.0; n];
     let mut rs_old: f64 = r.iter().map(|v| v * v).sum();
     let target = (tol * b_norm) * (tol * b_norm);
 
     for _ in 0..max_iter {
-        apply_neg_laplacian(g, &p, &mut ap);
+        apply_neg_laplacian(g, p, ap);
         let p_ap: f64 = p.iter().zip(ap.iter()).map(|(a, b)| a * b).sum();
         if p_ap <= 0.0 {
             // Can only happen within the (projected-out) null space.
@@ -84,8 +116,8 @@ pub fn solve_poisson(g: &AtmosGrid, rhs: &[f64], tol: f64, max_iter: usize) -> R
         }
         let rs_new: f64 = r.iter().map(|v| v * v).sum();
         if rs_new <= target {
-            remove_mean(&mut x);
-            return Ok(x);
+            remove_mean(x);
+            return Ok(());
         }
         let beta = rs_new / rs_old;
         for (pi, &ri) in p.iter_mut().zip(r.iter()) {
@@ -97,8 +129,8 @@ pub fn solve_poisson(g: &AtmosGrid, rhs: &[f64], tol: f64, max_iter: usize) -> R
     if residual <= tol * 10.0 {
         // Close enough for the projection to be effective; accept with the
         // slightly relaxed tolerance rather than aborting a long run.
-        remove_mean(&mut x);
-        return Ok(x);
+        remove_mean(x);
+        return Ok(());
     }
     Err(AtmosError::PressureSolveFailed { residual })
 }

@@ -1,0 +1,58 @@
+//! Reusable scratch buffers for allocation-free atmospheric stepping.
+//!
+//! One [`AtmosModel::step`](crate::AtmosModel::step) allocated eleven
+//! tendency vectors plus the pressure-solver's CG vectors — every substep,
+//! every member. An [`AtmosWorkspace`] owns all of them; buffers are sized
+//! lazily from the grid on first use and reused thereafter, so steady-state
+//! stepping performs no heap allocation. Hold one workspace per thread.
+
+/// Conjugate-gradient scratch for [`crate::poisson::solve_poisson_into`].
+#[derive(Debug, Clone, Default)]
+pub struct PoissonWorkspace {
+    /// Mean-free negated right-hand side.
+    pub(crate) b: Vec<f64>,
+    /// Residual vector.
+    pub(crate) r: Vec<f64>,
+    /// Search direction.
+    pub(crate) p: Vec<f64>,
+    /// Operator application `A·p`.
+    pub(crate) ap: Vec<f64>,
+}
+
+/// Scratch buffers for [`crate::AtmosModel`] stepping.
+#[derive(Debug, Clone, Default)]
+pub struct AtmosWorkspace {
+    /// Advective tendency of `u`.
+    pub(crate) du_adv: Vec<f64>,
+    /// Advective tendency of `v`.
+    pub(crate) dv_adv: Vec<f64>,
+    /// Advective tendency of `w` (face-count length).
+    pub(crate) dw_adv: Vec<f64>,
+    /// Advective tendency of θ′.
+    pub(crate) dtheta_adv: Vec<f64>,
+    /// Advective tendency of q′.
+    pub(crate) dqv_adv: Vec<f64>,
+    /// Diffusive tendency of `u`.
+    pub(crate) du_dif: Vec<f64>,
+    /// Diffusive tendency of `v`.
+    pub(crate) dv_dif: Vec<f64>,
+    /// Diffusive tendency of θ′.
+    pub(crate) dtheta_dif: Vec<f64>,
+    /// Diffusive tendency of q′.
+    pub(crate) dqv_dif: Vec<f64>,
+    /// Vertical heat-insertion profile weights (length `nz`).
+    pub(crate) weights: Vec<f64>,
+    /// Velocity divergence (pressure-solver right-hand side).
+    pub(crate) div: Vec<f64>,
+    /// Pressure potential φ.
+    pub(crate) phi: Vec<f64>,
+    /// CG scratch for the Poisson solve.
+    pub(crate) poisson: PoissonWorkspace,
+}
+
+impl AtmosWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -1,0 +1,211 @@
+//! Steady-state zero-allocation guarantees of the workspace layer.
+//!
+//! A counting global allocator tallies allocations **per thread** (a
+//! thread-local counter, so concurrently running tests cannot interfere).
+//! Each test warms a workspace with one call — sizing every buffer — and
+//! then asserts that the next call performs zero heap allocations: the
+//! acceptance bar for the real-time stepping paths of ISSUE 2.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use wildfire_atmos::AtmosWorkspace;
+use wildfire_core::{CoupledModel, CoupledWorkspace};
+use wildfire_enkf::{AnalysisWorkspace, EnsembleKalmanFilter};
+use wildfire_fire::{FireWorkspace, IgnitionShape};
+use wildfire_grid::{Field2, VectorField2};
+use wildfire_math::GaussianSampler;
+
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+// SAFETY: delegates every operation to `System`; the bookkeeping is a
+// per-thread counter with a const (non-allocating, non-dropping)
+// initializer, so it is safe to touch from inside the allocator.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Number of heap allocations performed by `f` on this thread.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.with(|c| c.get());
+    f();
+    ALLOCATIONS.with(|c| c.get()) - before
+}
+
+fn small_atmos_grid() -> wildfire_atmos::state::AtmosGrid {
+    wildfire_atmos::state::AtmosGrid {
+        nx: 8,
+        ny: 8,
+        nz: 5,
+        dx: 60.0,
+        dy: 60.0,
+        dz: 50.0,
+    }
+}
+
+#[test]
+fn level_set_step_is_allocation_free_after_warmup() {
+    let grid = wildfire_grid::Grid2::new(41, 41, 2.0, 2.0).unwrap();
+    let mesh = wildfire_fire::FireMesh::flat(grid, wildfire_fuel::FuelCategory::ShortGrass);
+    let solver = wildfire_fire::LevelSetSolver::new(mesh);
+    let mut state = wildfire_fire::FireState::ignite(
+        grid,
+        &[IgnitionShape::Circle {
+            center: (40.0, 40.0),
+            radius: 10.0,
+        }],
+        0.0,
+    );
+    let wind = VectorField2::from_fn(grid, |_, _| (3.0, 1.0));
+    let mut ws = FireWorkspace::new();
+    solver.step_ws(&mut state, &wind, 0.5, &mut ws).unwrap();
+    let n = allocations_during(|| {
+        for _ in 0..5 {
+            solver.step_ws(&mut state, &wind, 0.5, &mut ws).unwrap();
+        }
+    });
+    assert_eq!(n, 0, "level-set step_ws must not allocate in steady state");
+}
+
+#[test]
+fn atmos_step_is_allocation_free_after_warmup() {
+    let model = wildfire_atmos::AtmosModel::new(small_atmos_grid(), Default::default()).unwrap();
+    let h = model.grid.horizontal();
+    let qs = Field2::from_fn(h, |i, j| if i == 4 && j == 4 { 40_000.0 } else { 0.0 });
+    let ql = Field2::zeros(h);
+    let mut state = model.initial_state();
+    let mut ws = AtmosWorkspace::new();
+    model.step_ws(&mut state, &qs, &ql, 0.5, &mut ws).unwrap();
+    let n = allocations_during(|| {
+        for _ in 0..5 {
+            model.step_ws(&mut state, &qs, &ql, 0.5, &mut ws).unwrap();
+        }
+    });
+    assert_eq!(n, 0, "atmos step_ws must not allocate in steady state");
+}
+
+#[test]
+fn coupled_step_is_allocation_free_after_warmup() {
+    for coupled in [true, false] {
+        let mut model = CoupledModel::new(
+            small_atmos_grid(),
+            Default::default(),
+            wildfire_fuel::FuelCategory::ShortGrass,
+            5,
+        )
+        .unwrap();
+        model.coupled = coupled;
+        let (ex, ey) = model.fire_grid.extent();
+        let mut state = model.ignite(
+            &[IgnitionShape::Circle {
+                center: (ex / 2.0, ey / 2.0),
+                radius: 20.0,
+            }],
+            0.0,
+        );
+        let mut ws = CoupledWorkspace::new();
+        model.step_ws(&mut state, 0.5, &mut ws).unwrap();
+        let n = allocations_during(|| {
+            for _ in 0..4 {
+                model.step_ws(&mut state, 0.5, &mut ws).unwrap();
+            }
+        });
+        assert_eq!(
+            n, 0,
+            "coupled step_ws (coupled = {coupled}) must not allocate in steady state"
+        );
+    }
+}
+
+#[test]
+fn standard_enkf_analysis_is_allocation_free_after_warmup() {
+    let mut rng = GaussianSampler::new(42);
+    let n_state = 200;
+    let m_obs = 30;
+    let n_ens = 16;
+    let mut x = rng.normal_matrix(n_state, n_ens, 1.0);
+    let y = x.submatrix(0, m_obs, 0, n_ens);
+    let data = vec![0.5; m_obs];
+    let obs_var = vec![0.3; m_obs];
+    let filter = EnsembleKalmanFilter::default();
+    let mut ws = AnalysisWorkspace::new();
+    filter
+        .analyze_ws(&mut x, &y, &data, &obs_var, &mut rng, &mut ws)
+        .unwrap();
+    let n = allocations_during(|| {
+        for _ in 0..3 {
+            filter
+                .analyze_ws(&mut x, &y, &data, &obs_var, &mut rng, &mut ws)
+                .unwrap();
+        }
+    });
+    assert_eq!(n, 0, "EnKF analyze_ws must not allocate in steady state");
+}
+
+#[test]
+fn workspace_buffers_are_reused_not_reallocated_across_sizes() {
+    // Shrinking re-targets the same storage: stepping a smaller domain
+    // through a workspace warmed on a larger one performs no allocation.
+    let big = wildfire_grid::Grid2::new(61, 61, 2.0, 2.0).unwrap();
+    let small = wildfire_grid::Grid2::new(31, 31, 2.0, 2.0).unwrap();
+    let mk = |g| {
+        let mesh = wildfire_fire::FireMesh::flat(g, wildfire_fuel::FuelCategory::ShortGrass);
+        wildfire_fire::LevelSetSolver::new(mesh)
+    };
+    let ignite = |g: wildfire_grid::Grid2| {
+        let (ex, ey) = g.extent();
+        wildfire_fire::FireState::ignite(
+            g,
+            &[IgnitionShape::Circle {
+                center: (ex / 2.0, ey / 2.0),
+                radius: 8.0,
+            }],
+            0.0,
+        )
+    };
+    let (solver_big, solver_small) = (mk(big), mk(small));
+    let mut state_big = ignite(big);
+    let mut state_small = ignite(small);
+    let wind_big = VectorField2::from_fn(big, |_, _| (3.0, 0.0));
+    let wind_small = VectorField2::from_fn(small, |_, _| (3.0, 0.0));
+    let mut ws = FireWorkspace::new();
+    solver_big
+        .step_ws(&mut state_big, &wind_big, 0.5, &mut ws)
+        .unwrap();
+    let n = allocations_during(|| {
+        solver_small
+            .step_ws(&mut state_small, &wind_small, 0.5, &mut ws)
+            .unwrap();
+        solver_big
+            .step_ws(&mut state_big, &wind_big, 0.5, &mut ws)
+            .unwrap();
+    });
+    assert_eq!(
+        n, 0,
+        "switching to a smaller grid and back must reuse the workspace storage"
+    );
+}

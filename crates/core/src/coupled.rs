@@ -1,15 +1,16 @@
 //! The two-way coupled fire–atmosphere model.
 
 use crate::diagnostics::StepDiagnostics;
+use crate::workspace::CoupledWorkspace;
 use crate::{CoupledError, Result};
 use wildfire_atmos::state::AtmosGrid;
 use wildfire_atmos::{AtmosModel, AtmosParams, AtmosState};
-use wildfire_fire::heat::heat_fluxes;
+use wildfire_fire::heat::heat_fluxes_into;
 use wildfire_fire::ignition::IgnitionShape;
 use wildfire_fire::{FireMesh, FireState, FuelMap, LevelSetSolver};
 use wildfire_fuel::FuelCategory;
-use wildfire_grid::transfer::{prolong, restrict};
-use wildfire_grid::{Field2, Grid2, VectorField2};
+use wildfire_grid::transfer::{prolong_into, restrict_into};
+use wildfire_grid::{Grid2, VectorField2};
 
 /// Joint state of the coupled system.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,14 +131,32 @@ impl CoupledModel {
     /// Propagates mesh-transfer failures (cannot happen once construction
     /// validated alignment).
     pub fn fire_wind(&self, state: &CoupledState) -> Result<VectorField2> {
+        let mut wind = VectorField2::default();
+        let mut surface = VectorField2::default();
+        self.fire_wind_into(state, &mut surface, &mut wind)?;
+        Ok(wind)
+    }
+
+    /// Allocation-free [`CoupledModel::fire_wind`]: writes the fine-mesh
+    /// wind into `out`, using `surface` as the coarse-grid scratch.
+    ///
+    /// # Errors
+    /// As [`CoupledModel::fire_wind`].
+    pub fn fire_wind_into(
+        &self,
+        state: &CoupledState,
+        surface: &mut VectorField2,
+        out: &mut VectorField2,
+    ) -> Result<()> {
+        out.resize_zeroed(self.fire_grid);
         if !self.coupled {
-            let (au, av) = self.atmos.params.ambient_wind;
-            return Ok(VectorField2::from_fn(self.fire_grid, |_, _| (au, av)));
+            out.fill(self.atmos.params.ambient_wind);
+            return Ok(());
         }
-        let coarse = self.atmos.surface_wind(&state.atmos);
-        let u = prolong(&coarse.u, self.fire_grid)?;
-        let v = prolong(&coarse.v, self.fire_grid)?;
-        VectorField2::new(u, v).map_err(CoupledError::Grid)
+        self.atmos.surface_wind_into(&state.atmos, surface);
+        prolong_into(&surface.u, &mut out.u)?;
+        prolong_into(&surface.v, &mut out.v)?;
+        Ok(())
     }
 
     /// Advances the coupled system by `dt` (both components sub-step to
@@ -147,27 +166,64 @@ impl CoupledModel {
     /// # Errors
     /// Propagates component failures.
     pub fn step(&self, state: &mut CoupledState, dt: f64) -> Result<StepDiagnostics> {
+        let mut ws = CoupledWorkspace::new();
+        self.step_ws(state, dt, &mut ws)
+    }
+
+    /// Allocation-free [`CoupledModel::step`]: every temporary — fire Heun
+    /// stages, mesh-transfer fields, heat fluxes, atmosphere tendencies and
+    /// CG vectors — comes from `ws`, sized on first use and reused
+    /// thereafter. Bit-identical to the allocating wrapper.
+    ///
+    /// The heat fluxes are evaluated once per step (the fire state does not
+    /// change while the atmosphere sub-steps) and shared between the
+    /// atmospheric forcing and the step diagnostics, in both the coupled and
+    /// the uncoupled configuration.
+    ///
+    /// # Errors
+    /// Same as [`CoupledModel::step`].
+    pub fn step_ws(
+        &self,
+        state: &mut CoupledState,
+        dt: f64,
+        ws: &mut CoupledWorkspace,
+    ) -> Result<StepDiagnostics> {
         let t_target = state.fire.time + dt;
 
         // 1–3: wind to the fire mesh, advance the fire.
-        let wind = self.fire_wind(state)?;
-        self.fire.advance_to(&mut state.fire, &wind, t_target, dt)?;
+        self.fire_wind_into(state, &mut ws.surface_wind, &mut ws.wind)?;
+        self.fire
+            .advance_to_ws(&mut state.fire, &ws.wind, t_target, dt, &mut ws.fire)?;
 
-        // 4–5: heat fluxes, restricted to the atmosphere's horizontal grid.
+        // 4–5: heat fluxes (evaluated once per step, after the fire
+        // advance), restricted to the atmosphere's horizontal grid when the
+        // feedback is on.
         let h = self.atmos.grid.horizontal();
-        let (sensible, latent) = if self.coupled {
-            let fluxes = heat_fluxes(&self.fire.mesh, &state.fire);
-            (restrict(&fluxes.sensible, h)?, restrict(&fluxes.latent, h)?)
-        } else {
-            (Field2::zeros(h), Field2::zeros(h))
-        };
+        heat_fluxes_into(
+            &self.fire.mesh,
+            &state.fire,
+            state.fire.time,
+            &mut ws.fluxes,
+        );
+        ws.sensible_coarse.resize_zeroed(h);
+        ws.latent_coarse.resize_zeroed(h);
+        if self.coupled {
+            restrict_into(&ws.fluxes.sensible, &mut ws.sensible_coarse)?;
+            restrict_into(&ws.fluxes.latent, &mut ws.latent_coarse)?;
+        }
 
         // 6: advance the atmosphere with sub-stepping to its CFL bound.
         let mut guard = 0;
         while state.atmos.time < t_target - 1e-9 {
             let dt_max = self.atmos.max_stable_dt(&state.atmos);
             let sub = dt_max.min(t_target - state.atmos.time);
-            self.atmos.step(&mut state.atmos, &sensible, &latent, sub)?;
+            self.atmos.step_ws(
+                &mut state.atmos,
+                &ws.sensible_coarse,
+                &ws.latent_coarse,
+                sub,
+                &mut ws.atmos,
+            )?;
             guard += 1;
             if guard > 10_000 {
                 return Err(CoupledError::Config(
@@ -176,14 +232,15 @@ impl CoupledModel {
             }
         }
 
-        let fluxes = heat_fluxes(&self.fire.mesh, &state.fire);
+        self.atmos
+            .surface_wind_into(&state.atmos, &mut ws.surface_wind);
         Ok(StepDiagnostics {
             time: state.fire.time,
             burned_area: state.fire.burned_area(),
             max_updraft: state.atmos.max_updraft(),
-            total_sensible_power: fluxes.sensible.integral(),
-            total_latent_power: fluxes.latent.integral(),
-            max_surface_wind: self.atmos.surface_wind(&state.atmos).max_magnitude(),
+            total_sensible_power: ws.fluxes.sensible.integral(),
+            total_latent_power: ws.fluxes.latent.integral(),
+            max_surface_wind: ws.surface_wind.max_magnitude(),
         })
     }
 
@@ -196,11 +253,28 @@ impl CoupledModel {
         state: &mut CoupledState,
         t_end: f64,
         dt: f64,
+        on_step: impl FnMut(&CoupledState, &StepDiagnostics),
+    ) -> Result<()> {
+        let mut ws = CoupledWorkspace::new();
+        self.run_ws(state, t_end, dt, &mut ws, on_step)
+    }
+
+    /// Allocation-free [`CoupledModel::run`] driving
+    /// [`CoupledModel::step_ws`] with one reusable workspace.
+    ///
+    /// # Errors
+    /// Propagates stepping failures.
+    pub fn run_ws(
+        &self,
+        state: &mut CoupledState,
+        t_end: f64,
+        dt: f64,
+        ws: &mut CoupledWorkspace,
         mut on_step: impl FnMut(&CoupledState, &StepDiagnostics),
     ) -> Result<()> {
         while state.time() < t_end - 1e-9 {
             let step = dt.min(t_end - state.time());
-            let diag = self.step(state, step)?;
+            let diag = self.step_ws(state, step, ws)?;
             on_step(state, &diag);
         }
         Ok(())
@@ -326,6 +400,49 @@ mod tests {
         m.run(&mut s, 3.0, 0.5, |_, _| count += 1).unwrap();
         assert_eq!(count, 6);
         assert!((s.time() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workspace_step_matches_allocating_step_bitwise() {
+        for coupled in [true, false] {
+            let m = model(coupled);
+            let mut alloc = m.ignite(&center_ignition(&m), 0.0);
+            let mut with_ws = alloc.clone();
+            let mut ws = CoupledWorkspace::new();
+            for _ in 0..6 {
+                let da = m.step(&mut alloc, 0.5).unwrap();
+                let dw = m.step_ws(&mut with_ws, 0.5, &mut ws).unwrap();
+                assert_eq!(da, dw, "diagnostics must match (coupled = {coupled})");
+            }
+            assert_eq!(alloc.fire.psi, with_ws.fire.psi);
+            assert_eq!(alloc.fire.tig, with_ws.fire.tig);
+            assert_eq!(alloc.atmos.u, with_ws.atmos.u);
+            assert_eq!(alloc.atmos.theta, with_ws.atmos.theta);
+            assert_eq!(alloc.atmos.qv, with_ws.atmos.qv);
+        }
+    }
+
+    #[test]
+    fn one_workspace_serves_two_domain_sizes() {
+        // A workspace first used on the larger domain must transparently
+        // resize for the smaller one (and vice versa) with results identical
+        // to a fresh workspace.
+        let mut ws = CoupledWorkspace::new();
+        for refinement in [5, 3] {
+            let m = CoupledModel::new(
+                small_grid(),
+                AtmosParams::default(),
+                FuelCategory::ShortGrass,
+                refinement,
+            )
+            .unwrap();
+            let mut shared = m.ignite(&center_ignition(&m), 0.0);
+            let mut fresh = shared.clone();
+            m.step_ws(&mut shared, 0.5, &mut ws).unwrap();
+            m.step(&mut fresh, 0.5).unwrap();
+            assert_eq!(shared.fire.psi, fresh.fire.psi, "refinement {refinement}");
+            assert_eq!(shared.atmos.w, fresh.atmos.w, "refinement {refinement}");
+        }
     }
 
     #[test]

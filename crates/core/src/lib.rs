@@ -22,9 +22,11 @@
 
 pub mod coupled;
 pub mod diagnostics;
+pub mod workspace;
 
 pub use coupled::{CoupledModel, CoupledState};
 pub use diagnostics::StepDiagnostics;
+pub use workspace::CoupledWorkspace;
 
 /// Errors from the coupled model.
 #[derive(Debug, Clone, PartialEq)]

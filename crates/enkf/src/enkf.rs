@@ -9,6 +9,7 @@
 //! balance the change in the state and the difference from the data" of
 //! §3.3.
 
+use crate::workspace::AnalysisWorkspace;
 use crate::{EnkfError, Result};
 use wildfire_math::{Cholesky, GaussianSampler, Matrix};
 
@@ -68,6 +69,26 @@ impl EnsembleKalmanFilter {
         obs_var: &[f64],
         rng: &mut GaussianSampler,
     ) -> Result<()> {
+        let mut ws = AnalysisWorkspace::new();
+        self.analyze_ws(ensemble, synthetic, data, obs_var, rng, &mut ws)
+    }
+
+    /// Allocation-free [`EnsembleKalmanFilter::analyze`]: every dense
+    /// temporary comes from `ws`, sized on the first call with a given shape
+    /// and reused thereafter (zero heap allocation in steady state).
+    /// Bit-identical to the allocating wrapper.
+    ///
+    /// # Errors
+    /// Same as [`EnsembleKalmanFilter::analyze`].
+    pub fn analyze_ws(
+        &self,
+        ensemble: &mut Matrix,
+        synthetic: &Matrix,
+        data: &[f64],
+        obs_var: &[f64],
+        rng: &mut GaussianSampler,
+        ws: &mut AnalysisWorkspace,
+    ) -> Result<()> {
         let (n, n_ens) = ensemble.dims();
         let (m, n_ens2) = synthetic.dims();
         if n_ens < 2 {
@@ -88,30 +109,34 @@ impl EnsembleKalmanFilter {
         }
 
         // Anomalies, with optional inflation of the state ensemble.
-        let (mut a, mean) = ensemble.anomalies();
+        ensemble.anomalies_into(&mut ws.a, &mut ws.mean_x);
+        let a = &mut ws.a;
         if self.config.inflation != 1.0 {
             a.scale_mut(self.config.inflation);
             // Rebuild the inflated ensemble around its mean.
             for j in 0..n_ens {
                 for i in 0..n {
-                    ensemble[(i, j)] = mean[i] + a[(i, j)];
+                    ensemble[(i, j)] = ws.mean_x[i] + a[(i, j)];
                 }
             }
         }
-        let (ha, _) = synthetic.anomalies();
+        synthetic.anomalies_into(&mut ws.ha, &mut ws.mean_y);
+        let ha = &ws.ha;
 
         // Innovation covariance C = HA·HAᵀ/(N−1) + R (+ ridge).
         let scale = 1.0 / (n_ens as f64 - 1.0);
-        let mut c = ha.matmul_tr(&ha)?;
+        let c = &mut ws.c;
+        ha.matmul_tr_into(ha, c)?;
         c.scale_mut(scale);
         let mean_var = obs_var.iter().sum::<f64>() / m as f64;
         for i in 0..m {
             c[(i, i)] += obs_var[i] + self.config.ridge * mean_var.max(f64::MIN_POSITIVE);
         }
-        let chol = Cholesky::new(&c)?;
+        Cholesky::factor_into(c, &mut ws.l)?;
 
         // Perturbed innovations Δ (m × N): δ_j = d + ε_j − y_j.
-        let mut delta = Matrix::zeros(m, n_ens);
+        let delta = &mut ws.delta;
+        delta.resize_zeroed(m, n_ens);
         for j in 0..n_ens {
             for i in 0..m {
                 let eps = rng.normal(0.0, obs_var[i].sqrt());
@@ -119,12 +144,15 @@ impl EnsembleKalmanFilter {
             }
         }
 
-        // Z = C⁻¹ Δ, W = HAᵀ Z / (N−1), X ← X + A W.
-        let z = chol.solve_matrix(&delta)?;
-        let mut w = ha.tr_matmul(&z)?;
+        // Z = C⁻¹ Δ (solved in place), W = HAᵀ Z / (N−1), X ← X + A W.
+        for j in 0..n_ens {
+            Cholesky::solve_in_place_with(&ws.l, delta.col_mut(j));
+        }
+        let w = &mut ws.w;
+        ha.tr_matmul_into(delta, w)?;
         w.scale_mut(scale);
-        let update = a.matmul(&w)?;
-        ensemble.axpy_mut(1.0, &update)?;
+        ws.a.matmul_into(w, &mut ws.update)?;
+        ensemble.axpy_mut(1.0, &ws.update)?;
         Ok(())
     }
 }
@@ -248,6 +276,41 @@ mod tests {
             "inflation ratio {} should be ≈1.5",
             s2 / s1
         );
+    }
+
+    #[test]
+    fn workspace_analysis_matches_allocating_analysis_bitwise() {
+        let mut rng_init = GaussianSampler::new(101);
+        let filter = EnsembleKalmanFilter::new(EnkfConfig {
+            inflation: 1.2,
+            ..Default::default()
+        });
+        let mut ws = AnalysisWorkspace::new();
+        // Two rounds with different shapes through ONE workspace: the second
+        // round checks the resize path stays bit-identical too.
+        for (n, m, n_ens) in [(60, 12, 10), (90, 20, 14)] {
+            let x0 = rng_init.normal_matrix(n, n_ens, 1.0);
+            let y0 = x0.submatrix(0, m, 0, n_ens);
+            let data: Vec<f64> = (0..m).map(|i| (i as f64 * 0.3).cos()).collect();
+            let obs_var = vec![0.4; m];
+
+            let mut x_alloc = x0.clone();
+            let mut rng_a = GaussianSampler::new(55);
+            filter
+                .analyze(&mut x_alloc, &y0, &data, &obs_var, &mut rng_a)
+                .unwrap();
+
+            let mut x_ws = x0.clone();
+            let mut rng_b = GaussianSampler::new(55);
+            filter
+                .analyze_ws(&mut x_ws, &y0, &data, &obs_var, &mut rng_b, &mut ws)
+                .unwrap();
+            assert_eq!(
+                x_alloc.as_slice(),
+                x_ws.as_slice(),
+                "workspace path must be bit-identical ({n}x{n_ens}, m={m})"
+            );
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! at small ensemble sizes. Useful as a cross-check baseline in the filter
 //! experiments.
 
+use crate::workspace::AnalysisWorkspace;
 use crate::{EnkfError, Result};
 use wildfire_math::{Matrix, SymmetricEigen};
 
@@ -37,6 +38,28 @@ impl Etkf {
         data: &[f64],
         obs_var: &[f64],
     ) -> Result<()> {
+        let mut ws = AnalysisWorkspace::new();
+        self.analyze_ws(ensemble, synthetic, data, obs_var, &mut ws)
+    }
+
+    /// Workspace-backed [`Etkf::analyze`]: the state-sized temporaries (the
+    /// anomaly matrices, the scaled observation anomalies, and the
+    /// transformed ensemble) come from `ws` and are reused across calls.
+    /// The `N × N` ensemble-space eigendecomposition still allocates — its
+    /// footprint is independent of the state dimension, which is what
+    /// dominates for grid-sized states. Bit-identical to the allocating
+    /// wrapper.
+    ///
+    /// # Errors
+    /// Same classes as the stochastic filter.
+    pub fn analyze_ws(
+        &self,
+        ensemble: &mut Matrix,
+        synthetic: &Matrix,
+        data: &[f64],
+        obs_var: &[f64],
+        ws: &mut AnalysisWorkspace,
+    ) -> Result<()> {
         let (n, n_ens) = ensemble.dims();
         let (m, n_ens2) = synthetic.dims();
         if n_ens < 2 {
@@ -61,13 +84,15 @@ impl Etkf {
             1.0
         };
 
-        let (mut a, mean_x) = ensemble.anomalies();
+        ensemble.anomalies_into(&mut ws.a, &mut ws.mean_x);
+        let a = &mut ws.a;
         a.scale_mut(inflation);
-        let (ha, mean_y) = synthetic.anomalies();
+        synthetic.anomalies_into(&mut ws.ha, &mut ws.mean_y);
 
         // S = R^{-1/2} HA / √(N−1)  (m × N), with diagonal R.
         let scale = 1.0 / ((n_ens as f64 - 1.0).sqrt());
-        let mut s = ha.clone();
+        let s = &mut ws.delta;
+        s.copy_from(&ws.ha);
         for i in 0..m {
             let inv_sqrt_r = 1.0 / obs_var[i].sqrt();
             for j in 0..n_ens {
@@ -75,28 +100,38 @@ impl Etkf {
             }
         }
         // Ensemble-space matrix M = I + SᵀS (N × N, SPD).
-        let mut m_mat = s.tr_matmul(&s)?;
+        let m_mat = &mut ws.c;
+        s.tr_matmul_into(s, m_mat)?;
         m_mat.add_diagonal_mut(1.0);
-        let eig = SymmetricEigen::new(&m_mat)?;
+        let eig = SymmetricEigen::new(m_mat)?;
         let m_inv = eig.map(|lam| 1.0 / lam.max(1e-14));
         let m_inv_sqrt = eig.map(|lam| 1.0 / lam.max(1e-14).sqrt());
 
         // Mean update: x̄ ← x̄ + A·M⁻¹·Sᵀ·R^{-1/2}(d − ȳ)/√(N−1).
-        let mut innov = vec![0.0; m];
+        let innov = &mut ws.innov;
+        innov.clear();
+        innov.resize(m, 0.0);
         for i in 0..m {
-            innov[i] = (data[i] - mean_y[i]) / obs_var[i].sqrt() * scale;
+            innov[i] = (data[i] - ws.mean_y[i]) / obs_var[i].sqrt() * scale;
         }
-        let st_innov = s.tr_matvec(&innov)?;
-        let wbar = m_inv.matvec(&st_innov)?;
-        let dx = a.matvec(&wbar)?;
+        let st_innov = &mut ws.wvec;
+        st_innov.clear();
+        st_innov.resize(n_ens, 0.0);
+        s.tr_matvec_into(innov, st_innov)?;
+        let wbar = m_inv.matvec(st_innov)?;
+        let dx = &mut ws.xvec;
+        dx.clear();
+        dx.resize(n, 0.0);
+        ws.a.matvec_into(&wbar, dx)?;
 
         // Anomaly update: A ← A·M^{-1/2} (symmetric square root keeps the
         // ensemble mean-free).
-        let a_new = a.matmul(&m_inv_sqrt)?;
+        ws.a.matmul_into(&m_inv_sqrt, &mut ws.update)?;
+        let a_new = &ws.update;
 
         for j in 0..n_ens {
             for i in 0..n {
-                ensemble[(i, j)] = mean_x[i] + dx[i] + a_new[(i, j)];
+                ensemble[(i, j)] = ws.mean_x[i] + dx[i] + a_new[(i, j)];
             }
         }
         Ok(())
@@ -164,6 +199,23 @@ mod tests {
             .unwrap();
         let after = stats::ensemble_spread(&x);
         assert!(after < 0.2 * before, "{before} → {after}");
+    }
+
+    #[test]
+    fn workspace_analysis_matches_allocating_analysis_bitwise() {
+        let mut rng = GaussianSampler::new(23);
+        let x0 = rng.normal_matrix(40, 12, 1.0);
+        let y0 = x0.submatrix(0, 8, 0, 12);
+        let data: Vec<f64> = (0..8).map(|i| i as f64 * 0.2).collect();
+        let obs_var = vec![0.5; 8];
+        let f = Etkf::new(1.1);
+        let mut x_alloc = x0.clone();
+        f.analyze(&mut x_alloc, &y0, &data, &obs_var).unwrap();
+        let mut x_ws = x0.clone();
+        let mut ws = AnalysisWorkspace::new();
+        f.analyze_ws(&mut x_ws, &y0, &data, &obs_var, &mut ws)
+            .unwrap();
+        assert_eq!(x_alloc.as_slice(), x_ws.as_slice());
     }
 
     #[test]

@@ -29,11 +29,13 @@ pub mod localization;
 pub mod morph;
 pub mod morphing_enkf;
 pub mod registration;
+pub mod workspace;
 
 pub use enkf::{EnkfConfig, EnsembleKalmanFilter};
 pub use etkf::Etkf;
-pub use morphing_enkf::{MorphingConfig, MorphingEnkf};
+pub use morphing_enkf::{MorphingConfig, MorphingEnkf, MorphingWorkspace};
 pub use registration::{register, DisplacementField, RegistrationConfig};
+pub use workspace::AnalysisWorkspace;
 
 /// Errors from the assimilation layer.
 #[derive(Debug, Clone, PartialEq)]

@@ -18,9 +18,35 @@
 use crate::enkf::{EnkfConfig, EnsembleKalmanFilter};
 use crate::morph::{reconstruct, residual};
 use crate::registration::{register, DisplacementField, RegistrationConfig};
+use crate::workspace::AnalysisWorkspace;
 use crate::{EnkfError, Result};
 use wildfire_grid::Field2;
 use wildfire_math::{GaussianSampler, Matrix};
+
+/// Scratch buffers for one morphing-EnKF analysis: the packed extended
+/// ensemble and observation matrices plus the inner EnKF's
+/// [`AnalysisWorkspace`]. Sized on first use, reused thereafter; the
+/// returned analysis fields are the only steady-state allocations left.
+#[derive(Debug, Clone, Default)]
+pub struct MorphingWorkspace {
+    /// Packed extended ensemble `X` (`n_state × N`).
+    pub(crate) x: Matrix,
+    /// Packed observed blocks `Y` (`m × N`).
+    pub(crate) y: Matrix,
+    /// Observation vector.
+    pub(crate) d: Vec<f64>,
+    /// Observation error variances.
+    pub(crate) obs_var: Vec<f64>,
+    /// Inner stochastic-EnKF scratch.
+    pub enkf: AnalysisWorkspace,
+}
+
+impl MorphingWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Configuration of the morphing EnKF.
 #[derive(Debug, Clone)]
@@ -180,6 +206,25 @@ impl MorphingEnkf {
         reference: &[Field2],
         rng: &mut GaussianSampler,
     ) -> Result<Vec<Vec<Field2>>> {
+        let mut ws = MorphingWorkspace::new();
+        self.analyze_extended_ws(extended, data_ext, reference, rng, &mut ws)
+    }
+
+    /// Workspace-backed [`MorphingEnkf::analyze_extended`]: the packed
+    /// ensemble/observation matrices and the inner EnKF temporaries come
+    /// from `ws` and are reused across analyses. Bit-identical to the
+    /// allocating wrapper.
+    ///
+    /// # Errors
+    /// Dimension mismatches and numerical failures from the inner EnKF.
+    pub fn analyze_extended_ws(
+        &self,
+        extended: &[ExtendedState],
+        data_ext: &ExtendedState,
+        reference: &[Field2],
+        rng: &mut GaussianSampler,
+        ws: &mut MorphingWorkspace,
+    ) -> Result<Vec<Vec<Field2>>> {
         let n_ens = extended.len();
         if n_ens < 2 {
             return Err(EnkfError::EnsembleTooSmall);
@@ -190,7 +235,8 @@ impl MorphingEnkf {
         let field_len = reference[0].as_slice().len();
         let ctrl_len = data_ext.t.control.u.as_slice().len();
         let n_state = n_fields * field_len + 2 * ctrl_len;
-        let mut x = Matrix::zeros(n_state, n_ens);
+        let x = &mut ws.x;
+        x.resize_zeroed(n_state, n_ens);
         for (j, ext) in extended.iter().enumerate() {
             let col = x.col_mut(j);
             let mut off = 0;
@@ -205,9 +251,14 @@ impl MorphingEnkf {
 
         // --- Observation: observed residual blocks + displacement block. --
         let m_obs = self.config.observed_fields.len() * field_len + 2 * ctrl_len;
-        let mut y = Matrix::zeros(m_obs, n_ens);
-        let mut d = vec![0.0; m_obs];
-        let mut obs_var = vec![0.0; m_obs];
+        let y = &mut ws.y;
+        y.resize_zeroed(m_obs, n_ens);
+        let d = &mut ws.d;
+        d.clear();
+        d.resize(m_obs, 0.0);
+        let obs_var = &mut ws.obs_var;
+        obs_var.clear();
+        obs_var.resize(m_obs, 0.0);
         {
             let mut off = 0;
             for &f in &self.config.observed_fields {
@@ -240,7 +291,7 @@ impl MorphingEnkf {
 
         // --- Inner EnKF on the extended ensemble. -------------------------
         let filter = EnsembleKalmanFilter::new(self.config.enkf);
-        filter.analyze(&mut x, &y, &d, &obs_var, rng)?;
+        filter.analyze_ws(x, y, d, obs_var, rng, &mut ws.enkf)?;
 
         // --- Unpack and morph back. ---------------------------------------
         let grid = reference[0].grid();
@@ -401,6 +452,34 @@ mod tests {
         for m in &analyzed {
             let diff = m[0].rmse(&m[1]).unwrap();
             assert!(diff < 2.0, "fields diverged: rmse {diff}");
+        }
+    }
+
+    #[test]
+    fn workspace_analysis_matches_allocating_analysis_bitwise() {
+        let filter = MorphingEnkf::new(cfg());
+        let reference = vec![cone(24.0, 32.0)];
+        let members: Vec<Vec<Field2>> = (0..5).map(|i| vec![cone(20.0 + i as f64, 32.0)]).collect();
+        let data = vec![cone(40.0, 32.0)];
+        let extended: Vec<ExtendedState> = members
+            .iter()
+            .map(|m| filter.to_extended(m, &reference, 0).unwrap())
+            .collect();
+        let data_ext = filter.to_extended(&data, &reference, 0).unwrap();
+
+        let mut rng_a = GaussianSampler::new(97);
+        let alloc = filter
+            .analyze_extended(&extended, &data_ext, &reference, &mut rng_a)
+            .unwrap();
+        let mut rng_b = GaussianSampler::new(97);
+        let mut ws = MorphingWorkspace::new();
+        let with_ws = filter
+            .analyze_extended_ws(&extended, &data_ext, &reference, &mut rng_b, &mut ws)
+            .unwrap();
+        for (ma, mw) in alloc.iter().zip(with_ws.iter()) {
+            for (fa, fw) in ma.iter().zip(mw.iter()) {
+                assert_eq!(fa, fw, "morphing workspace path must be bit-identical");
+            }
         }
     }
 

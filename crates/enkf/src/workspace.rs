@@ -1,0 +1,54 @@
+//! Reusable scratch buffers for allocation-free filter analyses.
+//!
+//! One stochastic-EnKF analysis allocated seven dense temporaries — the
+//! anomaly matrices, the innovation covariance and its Cholesky factor, the
+//! perturbed innovations, and the two update products. On the paper's cycle
+//! (analysis every few minutes of simulation time, 25 members, grid-sized
+//! states) that is megabytes of allocator traffic per cycle for buffers
+//! whose shapes never change. [`AnalysisWorkspace`] owns them all: sized on
+//! first use, reused thereafter, so a steady-state analysis performs no
+//! heap allocation.
+
+use wildfire_math::Matrix;
+
+/// Scratch buffers for one EnKF/ETKF analysis.
+///
+/// A single workspace serves analyses of different shapes (buffers resize,
+/// reusing capacity) and is shared by the stochastic EnKF, the ETKF, and —
+/// through [`crate::morphing_enkf::MorphingWorkspace`] — the morphing EnKF.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisWorkspace {
+    /// State anomaly matrix `A` (`n × N`).
+    pub a: Matrix,
+    /// Observation anomaly matrix `HA` (`m × N`).
+    pub ha: Matrix,
+    /// Innovation covariance `C` (`m × m`) — the ETKF reuses this slot for
+    /// its ensemble-space matrix `M` (`N × N`).
+    pub c: Matrix,
+    /// Cholesky factor of `C`.
+    pub l: Matrix,
+    /// Perturbed innovations `Δ`, solved in place into `Z` (`m × N`).
+    pub delta: Matrix,
+    /// Ensemble-space weights `W` (`N × N`).
+    pub w: Matrix,
+    /// State update `A·W` (`n × N`) — the ETKF reuses this slot for its
+    /// transformed anomalies.
+    pub update: Matrix,
+    /// Ensemble mean of the state.
+    pub mean_x: Vec<f64>,
+    /// Ensemble mean of the synthetic observations.
+    pub mean_y: Vec<f64>,
+    /// Length-`m` innovation scratch.
+    pub innov: Vec<f64>,
+    /// Length-`N` ensemble-space scratch.
+    pub wvec: Vec<f64>,
+    /// Length-`n` state-space scratch.
+    pub xvec: Vec<f64>,
+}
+
+impl AnalysisWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

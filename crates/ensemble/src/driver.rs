@@ -9,12 +9,12 @@
 
 use crate::metrics::{evaluate_coupled_ensemble, EnsembleMetrics};
 use crate::parallel_enkf::ParallelEnkf;
-use crate::pool::{parallel_for_each, parallel_map};
+use crate::pool::{parallel_for_each, parallel_for_each_ws, parallel_map};
 use crate::store::StateStore;
 use crate::{EnsembleError, Result};
-use wildfire_core::{CoupledModel, CoupledState};
+use wildfire_core::{CoupledModel, CoupledState, CoupledWorkspace};
 use wildfire_enkf::morphing_enkf::ExtendedState;
-use wildfire_enkf::{MorphingConfig, MorphingEnkf};
+use wildfire_enkf::{AnalysisWorkspace, MorphingConfig, MorphingEnkf, MorphingWorkspace};
 use wildfire_fire::ignition::IgnitionShape;
 use wildfire_fire::FireState;
 use wildfire_grid::Field2;
@@ -23,6 +23,46 @@ use wildfire_math::{GaussianSampler, Matrix};
 /// Cap used to encode the `t_i = ∞` (unburned) sentinel as a finite value
 /// inside filter state vectors.
 pub const TIG_CAP: f64 = 1.0e4;
+
+/// Scratch for a full forecast–analysis cycle: one [`CoupledWorkspace`] per
+/// worker thread for the member-parallel forecast, plus the packed filter
+/// matrices and the analysis workspaces. Create once per driver lifetime
+/// and thread through [`EnsembleDriver::cycle_ws`]; everything is sized on
+/// first use and reused across cycles.
+#[derive(Debug, Default)]
+pub struct EnsembleWorkspace {
+    /// Per-worker coupled-model workspaces (index = worker).
+    pub workers: Vec<CoupledWorkspace>,
+    /// Packed state ensemble `X` (`2·grid × N`).
+    pub(crate) x: Matrix,
+    /// Packed synthetic observations `Y`.
+    pub(crate) y: Matrix,
+    /// Observation vector.
+    pub(crate) data: Vec<f64>,
+    /// Observation error variances.
+    pub(crate) obs_var: Vec<f64>,
+    /// Strided observation node indices.
+    pub(crate) obs_idx: Vec<usize>,
+    /// Inner dense-analysis scratch (standard EnKF path).
+    pub analysis: AnalysisWorkspace,
+    /// Morphing-EnKF scratch (morphing path).
+    pub morph: MorphingWorkspace,
+}
+
+impl EnsembleWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Makes sure there is one coupled workspace per worker.
+    pub(crate) fn ensure_workers(&mut self, threads: usize) {
+        let want = threads.max(1);
+        if self.workers.len() < want {
+            self.workers.resize_with(want, CoupledWorkspace::new);
+        }
+    }
+}
 
 /// Which analysis algorithm a cycle uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,9 +140,34 @@ impl EnsembleDriver {
     /// # Errors
     /// The first member failure, if any.
     pub fn forecast(&self, members: &mut [CoupledState], t_target: f64, dt: f64) -> Result<()> {
+        let mut ws = EnsembleWorkspace::new();
+        self.forecast_ws(members, t_target, dt, &mut ws)
+    }
+
+    /// Workspace-backed [`EnsembleDriver::forecast`]: each worker thread
+    /// steps its members through its own [`CoupledWorkspace`] from `ws`, so
+    /// the parallel path stays lock-free and bit-identical to sequential.
+    /// All *stepping* buffers are reused; with `threads <= 1` the call is
+    /// fully allocation-free in steady state, while `threads > 1` still
+    /// spawns the scoped worker threads each call.
+    ///
+    /// # Errors
+    /// The first member failure, if any.
+    pub fn forecast_ws(
+        &self,
+        members: &mut [CoupledState],
+        t_target: f64,
+        dt: f64,
+        ws: &mut EnsembleWorkspace,
+    ) -> Result<()> {
+        ws.ensure_workers(self.threads);
+        // Slice, don't pass the whole vec: a workspace previously grown by a
+        // driver with more threads must not raise THIS driver's worker count
+        // (parallel_for_each_ws spawns one worker per workspace handed in).
+        let workers = &mut ws.workers[..self.threads.max(1)];
         let errors = parking_lot::Mutex::new(Vec::new());
-        parallel_for_each(members, self.threads, |i, state| {
-            if let Err(e) = self.model.run(state, t_target, dt, |_, _| {}) {
+        parallel_for_each_ws(members, workers, |i, state, cw| {
+            if let Err(e) = self.model.run_ws(state, t_target, dt, cw, |_, _| {}) {
                 errors.lock().push((i, e));
             }
         });
@@ -165,39 +230,67 @@ impl EnsembleDriver {
         inflation: f64,
         rng: &mut GaussianSampler,
     ) -> Result<()> {
+        let mut ws = EnsembleWorkspace::new();
+        self.analyze_standard_ws(
+            members, truth_fire, obs_stride, sigma_obs, inflation, rng, &mut ws,
+        )
+    }
+
+    /// Allocation-free [`EnsembleDriver::analyze_standard`]: the packed
+    /// ensemble matrices and the dense-analysis temporaries come from `ws`
+    /// and are reused across cycles. Bit-identical to the allocating
+    /// wrapper.
+    ///
+    /// # Errors
+    /// Filter failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn analyze_standard_ws(
+        &self,
+        members: &mut [CoupledState],
+        truth_fire: &FireState,
+        obs_stride: usize,
+        sigma_obs: f64,
+        inflation: f64,
+        rng: &mut GaussianSampler,
+        ws: &mut EnsembleWorkspace,
+    ) -> Result<()> {
         let n_ens = members.len();
         if n_ens < 2 {
             return Err(EnsembleError::Config("need at least 2 members"));
         }
         let g = truth_fire.grid();
         let n_state = 2 * g.len();
-        let mut x = Matrix::zeros(n_state, n_ens);
+        let x = &mut ws.x;
+        x.resize_zeroed(n_state, n_ens);
         for (j, m) in members.iter().enumerate() {
-            x.set_col(j, &m.fire.pack(TIG_CAP));
+            m.fire.pack_into(TIG_CAP, x.col_mut(j));
         }
         // Observation: strided ψ nodes.
-        let obs_idx: Vec<usize> = (0..g.len()).step_by(obs_stride.max(1)).collect();
+        let obs_idx = &mut ws.obs_idx;
+        obs_idx.clear();
+        obs_idx.extend((0..g.len()).step_by(obs_stride.max(1)));
         let m_obs = obs_idx.len();
-        let mut y = Matrix::zeros(m_obs, n_ens);
+        let y = &mut ws.y;
+        y.resize_zeroed(m_obs, n_ens);
         for j in 0..n_ens {
             let col = x.col(j);
             for (r, &idx) in obs_idx.iter().enumerate() {
                 y[(r, j)] = col[idx];
             }
         }
-        let data: Vec<f64> = obs_idx
-            .iter()
-            .map(|&idx| truth_fire.psi.as_slice()[idx])
-            .collect();
-        let obs_var = vec![sigma_obs * sigma_obs; m_obs];
+        let data = &mut ws.data;
+        data.clear();
+        data.extend(obs_idx.iter().map(|&idx| truth_fire.psi.as_slice()[idx]));
+        let obs_var = &mut ws.obs_var;
+        obs_var.clear();
+        obs_var.resize(m_obs, sigma_obs * sigma_obs);
         let filter = ParallelEnkf::new(self.threads, inflation);
-        filter.analyze(&mut x, &y, &data, &obs_var, rng)?;
+        filter.analyze_ws(x, y, data, obs_var, rng, &mut ws.analysis)?;
         // Unpack and restore invariants.
         let time = members[0].time();
         for (j, m) in members.iter_mut().enumerate() {
-            let mut fire = FireState::unpack(g, x.col(j), TIG_CAP * 0.99, time);
-            fire.sanitize(TIG_CAP * 0.99, time);
-            m.fire = fire;
+            m.fire.unpack_into(x.col(j), TIG_CAP * 0.99, time);
+            m.fire.sanitize(TIG_CAP * 0.99, time);
         }
         Ok(())
     }
@@ -214,6 +307,26 @@ impl EnsembleDriver {
         truth_fire: &FireState,
         config: &MorphingConfig,
         rng: &mut GaussianSampler,
+    ) -> Result<()> {
+        let mut ws = EnsembleWorkspace::new();
+        self.analyze_morphing_ws(members, truth_fire, config, rng, &mut ws)
+    }
+
+    /// Workspace-backed [`EnsembleDriver::analyze_morphing`]: the inner
+    /// EnKF's packed matrices and dense temporaries come from `ws.morph`.
+    /// The registration phase still allocates its per-member displacement
+    /// fields (they are returned values, not scratch). Bit-identical to the
+    /// allocating wrapper.
+    ///
+    /// # Errors
+    /// Filter failures.
+    pub fn analyze_morphing_ws(
+        &self,
+        members: &mut [CoupledState],
+        truth_fire: &FireState,
+        config: &MorphingConfig,
+        rng: &mut GaussianSampler,
+        ws: &mut EnsembleWorkspace,
     ) -> Result<()> {
         let n_ens = members.len();
         if n_ens < 2 {
@@ -249,7 +362,7 @@ impl EnsembleDriver {
             .map_err(EnsembleError::Filter)?;
 
         let analyzed = filter
-            .analyze_extended(&ext_states, &data_ext, &reference, rng)
+            .analyze_extended_ws(&ext_states, &data_ext, &reference, rng, &mut ws.morph)
             .map_err(EnsembleError::Filter)?;
 
         for (m, fields) in members.iter_mut().zip(analyzed) {
@@ -295,14 +408,49 @@ impl EnsembleDriver {
         morphing_config: &MorphingConfig,
         rng: &mut GaussianSampler,
     ) -> Result<CycleReport> {
-        self.forecast(members, t_target, dt)?;
+        let mut ws = EnsembleWorkspace::new();
+        self.cycle_ws(
+            members,
+            truth,
+            filter,
+            t_target,
+            dt,
+            morphing_config,
+            rng,
+            &mut ws,
+        )
+    }
+
+    /// Workspace-backed [`EnsembleDriver::cycle`]: the forecast runs through
+    /// per-worker [`CoupledWorkspace`]s and the analysis through the packed
+    /// filter scratch, so repeated cycles with one [`EnsembleWorkspace`]
+    /// reuse every dense stepping/analysis buffer. Remaining allocations:
+    /// the two metrics evaluations (per-member component masks), plus —
+    /// with `threads > 1` — the scoped worker threads and the column
+    /// fan-out's borrow vector. Bit-identical to the allocating wrapper.
+    ///
+    /// # Errors
+    /// Model and filter failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cycle_ws(
+        &self,
+        members: &mut [CoupledState],
+        truth: &CoupledState,
+        filter: FilterKind,
+        t_target: f64,
+        dt: f64,
+        morphing_config: &MorphingConfig,
+        rng: &mut GaussianSampler,
+        ws: &mut EnsembleWorkspace,
+    ) -> Result<CycleReport> {
+        self.forecast_ws(members, t_target, dt, ws)?;
         let forecast = evaluate_coupled_ensemble(members, truth);
         match filter {
             FilterKind::Standard => {
-                self.analyze_standard(members, &truth.fire, 7, 2.0, 1.0, rng)?
+                self.analyze_standard_ws(members, &truth.fire, 7, 2.0, 1.0, rng, ws)?
             }
             FilterKind::Morphing => {
-                self.analyze_morphing(members, &truth.fire, morphing_config, rng)?
+                self.analyze_morphing_ws(members, &truth.fire, morphing_config, rng, ws)?
             }
         }
         let analysis = evaluate_coupled_ensemble(members, truth);
@@ -469,6 +617,56 @@ mod tests {
         for m in &members {
             assert!(m.fire.is_consistent());
             assert!(m.fire.burned_area() > 0.0, "fire must survive the morph");
+        }
+    }
+
+    #[test]
+    fn workspace_cycle_matches_allocating_cycle_bitwise() {
+        let d = driver(3);
+        let truth = d.model.ignite(
+            &[IgnitionShape::Circle {
+                center: (200.0, 200.0),
+                radius: 25.0,
+            }],
+            0.0,
+        );
+        let cfg = MorphingConfig::default();
+
+        let mut alloc = d.initial_ensemble(&setup(6));
+        let mut with_ws = alloc.clone();
+        let mut ws = EnsembleWorkspace::new();
+        let mut rng_a = GaussianSampler::new(3);
+        let mut rng_b = GaussianSampler::new(3);
+        // Two consecutive cycles through ONE workspace must stay
+        // bit-identical to the allocating path.
+        for k in 0..2 {
+            let t = 1.0 + k as f64;
+            d.cycle(
+                &mut alloc,
+                &truth,
+                FilterKind::Standard,
+                t,
+                0.5,
+                &cfg,
+                &mut rng_a,
+            )
+            .unwrap();
+            d.cycle_ws(
+                &mut with_ws,
+                &truth,
+                FilterKind::Standard,
+                t,
+                0.5,
+                &cfg,
+                &mut rng_b,
+                &mut ws,
+            )
+            .unwrap();
+            for (a, b) in alloc.iter().zip(with_ws.iter()) {
+                assert_eq!(a.fire.psi, b.fire.psi, "cycle {k}");
+                assert_eq!(a.fire.tig, b.fire.tig, "cycle {k}");
+                assert_eq!(a.atmos.theta, b.atmos.theta, "cycle {k}");
+            }
         }
     }
 

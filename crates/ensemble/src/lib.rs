@@ -29,7 +29,7 @@ pub mod parallel_enkf;
 pub mod pool;
 pub mod store;
 
-pub use driver::{CycleReport, EnsembleDriver, EnsembleSetup, FilterKind};
+pub use driver::{CycleReport, EnsembleDriver, EnsembleSetup, EnsembleWorkspace, FilterKind};
 pub use parallel_enkf::ParallelEnkf;
 pub use store::{DiskStore, MemStore, StateStore};
 

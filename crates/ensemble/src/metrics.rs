@@ -27,6 +27,22 @@ pub struct EnsembleMetrics {
 
 /// Computes [`EnsembleMetrics`] for fire states against a truth state.
 pub fn evaluate_fire_ensemble(members: &[FireState], truth: &FireState) -> EnsembleMetrics {
+    evaluate_fire_refs(members.iter(), truth)
+}
+
+/// Convenience overload for coupled states (borrows the fire components —
+/// no member state is cloned).
+pub fn evaluate_coupled_ensemble(
+    members: &[CoupledState],
+    truth: &CoupledState,
+) -> EnsembleMetrics {
+    evaluate_fire_refs(members.iter().map(|m| &m.fire), &truth.fire)
+}
+
+fn evaluate_fire_refs<'a>(
+    members: impl ExactSizeIterator<Item = &'a FireState>,
+    truth: &FireState,
+) -> EnsembleMetrics {
     let n = members.len().max(1) as f64;
     let mut pos_err = 0.0;
     let mut shape_err = 0.0;
@@ -67,15 +83,6 @@ pub fn evaluate_fire_ensemble(members: &[FireState], truth: &FireState) -> Ensem
         nonphysical_fraction: nonphysical as f64 / n,
         mean_area_ratio: area_ratio / n,
     }
-}
-
-/// Convenience overload for coupled states.
-pub fn evaluate_coupled_ensemble(
-    members: &[CoupledState],
-    truth: &CoupledState,
-) -> EnsembleMetrics {
-    let fires: Vec<FireState> = members.iter().map(|m| m.fire.clone()).collect();
-    evaluate_fire_ensemble(&fires, &truth.fire)
 }
 
 #[cfg(test)]

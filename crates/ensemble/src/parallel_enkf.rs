@@ -8,9 +8,9 @@
 //! sequential one (no reduction-order differences), which keeps parallel
 //! runs reproducible — a property the tests pin down.
 
-use crate::pool::parallel_map;
+use crate::pool::parallel_for_each;
 use crate::Result;
-use wildfire_enkf::EnkfError;
+use wildfire_enkf::{AnalysisWorkspace, EnkfError};
 use wildfire_math::{Cholesky, GaussianSampler, Matrix};
 
 /// Stochastic EnKF with column-parallel state update.
@@ -28,18 +28,22 @@ impl ParallelEnkf {
         ParallelEnkf { threads, inflation }
     }
 
-    /// Column-parallel `A · W`.
-    fn matmul_cols(&self, a: &Matrix, w: &Matrix) -> Matrix {
-        let cols: Vec<Vec<f64>> = parallel_map(
-            &(0..w.cols()).collect::<Vec<usize>>(),
-            self.threads,
-            |_, &j| a.matvec(w.col(j)).expect("dims validated by caller"),
-        );
-        let mut out = Matrix::zeros(a.rows(), w.cols());
-        for (j, col) in cols.into_iter().enumerate() {
-            out.set_col(j, &col);
+    /// Column-parallel `A · W` into a reusable output matrix. Each output
+    /// column is an independent accumulation, so every thread count produces
+    /// bit-identical results; the sequential path runs the same per-column
+    /// kernel without spawning.
+    fn matmul_cols_into(&self, a: &Matrix, w: &Matrix, out: &mut Matrix) {
+        out.resize_zeroed(a.rows(), w.cols());
+        if self.threads <= 1 {
+            a.matmul_into(w, out).expect("dims validated by caller");
+            return;
         }
-        out
+        let rows = a.rows();
+        let mut cols: Vec<&mut [f64]> = out.as_mut_slice().chunks_mut(rows).collect();
+        parallel_for_each(&mut cols, self.threads, |j, col| {
+            a.matvec_into(w.col(j), col)
+                .expect("dims validated by caller");
+        });
     }
 
     /// Analysis step; same contract as
@@ -55,6 +59,26 @@ impl ParallelEnkf {
         obs_var: &[f64],
         rng: &mut GaussianSampler,
     ) -> Result<()> {
+        let mut ws = AnalysisWorkspace::new();
+        self.analyze_ws(ensemble, synthetic, data, obs_var, rng, &mut ws)
+    }
+
+    /// Workspace-backed [`ParallelEnkf::analyze`]: the dense temporaries
+    /// come from `ws` and are reused across analyses (the parallel column
+    /// fan-out keeps only a per-call vector of column borrows). Bit-identical
+    /// to the allocating wrapper for every thread count.
+    ///
+    /// # Errors
+    /// Dimension mismatches and linear-algebra failures.
+    pub fn analyze_ws(
+        &self,
+        ensemble: &mut Matrix,
+        synthetic: &Matrix,
+        data: &[f64],
+        obs_var: &[f64],
+        rng: &mut GaussianSampler,
+        ws: &mut AnalysisWorkspace,
+    ) -> Result<()> {
         let (n, n_ens) = ensemble.dims();
         let (m, n_ens2) = synthetic.dims();
         if n_ens < 2 {
@@ -69,35 +93,44 @@ impl ParallelEnkf {
         if m == 0 || n == 0 {
             return Ok(());
         }
-        let (mut a, mean) = ensemble.anomalies();
+        ensemble.anomalies_into(&mut ws.a, &mut ws.mean_x);
+        let a = &mut ws.a;
         if self.inflation != 1.0 {
             a.scale_mut(self.inflation);
             for j in 0..n_ens {
                 for i in 0..n {
-                    ensemble[(i, j)] = mean[i] + a[(i, j)];
+                    ensemble[(i, j)] = ws.mean_x[i] + a[(i, j)];
                 }
             }
         }
-        let (ha, _) = synthetic.anomalies();
+        synthetic.anomalies_into(&mut ws.ha, &mut ws.mean_y);
+        let ha = &ws.ha;
         let scale = 1.0 / (n_ens as f64 - 1.0);
-        let mut c = ha.matmul_tr(&ha).map_err(EnkfError::Math)?;
+        let c = &mut ws.c;
+        ha.matmul_tr_into(ha, c).map_err(EnkfError::Math)?;
         c.scale_mut(scale);
         for i in 0..m {
             c[(i, i)] += obs_var[i];
         }
-        let chol = Cholesky::new(&c).map_err(EnkfError::Math)?;
-        let mut delta = Matrix::zeros(m, n_ens);
+        Cholesky::factor_into(c, &mut ws.l).map_err(EnkfError::Math)?;
+        let delta = &mut ws.delta;
+        delta.resize_zeroed(m, n_ens);
         for j in 0..n_ens {
             for i in 0..m {
                 delta[(i, j)] = data[i] + rng.normal(0.0, obs_var[i].sqrt()) - synthetic[(i, j)];
             }
         }
-        let z = chol.solve_matrix(&delta).map_err(EnkfError::Math)?;
-        let mut w = ha.tr_matmul(&z).map_err(EnkfError::Math)?;
+        for j in 0..n_ens {
+            Cholesky::solve_in_place_with(&ws.l, delta.col_mut(j));
+        }
+        let w = &mut ws.w;
+        ha.tr_matmul_into(delta, w).map_err(EnkfError::Math)?;
         w.scale_mut(scale);
         // The big product, parallel over output columns.
-        let update = self.matmul_cols(&a, &w);
-        ensemble.axpy_mut(1.0, &update).map_err(EnkfError::Math)?;
+        self.matmul_cols_into(&ws.a, w, &mut ws.update);
+        ensemble
+            .axpy_mut(1.0, &ws.update)
+            .map_err(EnkfError::Math)?;
         Ok(())
     }
 }

@@ -37,6 +37,55 @@ where
     .expect("worker thread panicked");
 }
 
+/// Runs `f(index, item, workspace)` over all items with one dedicated
+/// mutable workspace per worker — the allocation-free variant of
+/// [`parallel_for_each`]. Items are partitioned into at most
+/// `workspaces.len()` contiguous chunks, one chunk (and one workspace) per
+/// worker; with a single workspace the loop runs inline. Because each
+/// item's computation is independent of the partitioning, results are
+/// bit-identical for every workspace count — only the scratch buffers are
+/// worker-local.
+///
+/// # Panics
+/// Panics if `workspaces` is empty while `items` is not.
+pub fn parallel_for_each_ws<T: Send, W: Send, F>(items: &mut [T], workspaces: &mut [W], f: F)
+where
+    F: Fn(usize, &mut T, &mut W) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    assert!(
+        !workspaces.is_empty(),
+        "parallel_for_each_ws needs at least one workspace"
+    );
+    let threads = workspaces.len().min(n);
+    if threads == 1 {
+        let w = &mut workspaces[0];
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item, w);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for ((c, slice), w) in items
+            .chunks_mut(chunk)
+            .enumerate()
+            .zip(workspaces.iter_mut())
+        {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (k, item) in slice.iter_mut().enumerate() {
+                    f(c * chunk + k, item, w);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
 /// Maps `f` over indexed inputs in parallel, preserving order of results.
 pub fn parallel_map<T: Send + Sync, R: Send, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
@@ -91,6 +140,44 @@ mod tests {
         parallel_for_each(&mut seq, 1, f);
         parallel_for_each(&mut par, 7, f);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn for_each_ws_bitwise_identical_across_worker_counts() {
+        // Each worker's scratch must not leak into results: outputs are
+        // bit-identical no matter how many workspaces (= workers) serve the
+        // slice, even though the scratch is reused within a worker.
+        let init: Vec<f64> = (0..83).map(|i| (i as f64) * 0.61 - 20.0).collect();
+        let run = |n_ws: usize| -> Vec<u64> {
+            let mut items = init.clone();
+            let mut wss: Vec<Vec<f64>> = vec![Vec::new(); n_ws];
+            parallel_for_each_ws(&mut items, &mut wss, |i, x, scratch| {
+                scratch.clear();
+                scratch.resize(8, *x);
+                let s: f64 = scratch.iter().sum();
+                *x = (s * 0.125 + i as f64).sin();
+            });
+            items.iter().map(|v| v.to_bits()).collect()
+        };
+        let seq = run(1);
+        for n_ws in [2, 3, 7, 100] {
+            assert_eq!(seq, run(n_ws), "workspaces = {n_ws}");
+        }
+    }
+
+    #[test]
+    fn for_each_ws_handles_empty_items() {
+        let mut empty: Vec<u8> = vec![];
+        let mut wss: Vec<()> = vec![];
+        parallel_for_each_ws(&mut empty, &mut wss, |_, _, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workspace")]
+    fn for_each_ws_rejects_missing_workspaces() {
+        let mut items = vec![1u8];
+        let mut wss: Vec<()> = vec![];
+        parallel_for_each_ws(&mut items, &mut wss, |_, _, _| {});
     }
 
     #[test]

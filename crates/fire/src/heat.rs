@@ -12,7 +12,7 @@ use crate::UNBURNED;
 use wildfire_grid::Field2;
 
 /// Sensible and latent heat flux fields (W/m²) on the fire grid.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct HeatFluxFields {
     /// Sensible heat flux, W/m².
     pub sensible: Field2,
@@ -21,6 +21,15 @@ pub struct HeatFluxFields {
 }
 
 impl HeatFluxFields {
+    /// Zero flux fields on `grid` (a reusable output buffer for
+    /// [`heat_fluxes_into`]).
+    pub fn zeros(grid: wildfire_grid::Grid2) -> Self {
+        HeatFluxFields {
+            sensible: Field2::zeros(grid),
+            latent: Field2::zeros(grid),
+        }
+    }
+
     /// Domain-integrated total heat release rate, W.
     pub fn total_power(&self) -> f64 {
         self.sensible.integral() + self.latent.integral()
@@ -36,9 +45,17 @@ pub fn heat_fluxes(mesh: &FireMesh, state: &FireState) -> HeatFluxFields {
 /// time `t` (used by the scene generator to render past/future frames from
 /// one arrival-time field).
 pub fn heat_fluxes_at(mesh: &FireMesh, state: &FireState, t: f64) -> HeatFluxFields {
+    let mut out = HeatFluxFields::zeros(mesh.grid);
+    heat_fluxes_into(mesh, state, t, &mut out);
+    out
+}
+
+/// Allocation-free [`heat_fluxes_at`]: overwrites `out`, re-targeting its
+/// fields to the fire grid (no allocation once the shape has been seen).
+pub fn heat_fluxes_into(mesh: &FireMesh, state: &FireState, t: f64, out: &mut HeatFluxFields) {
     let g = mesh.grid;
-    let mut sensible = Field2::zeros(g);
-    let mut latent = Field2::zeros(g);
+    out.sensible.resize_zeroed(g);
+    out.latent.resize_zeroed(g);
     for iy in 0..g.ny {
         for ix in 0..g.nx {
             let tig = state.tig.get(ix, iy);
@@ -47,11 +64,10 @@ pub fn heat_fluxes_at(mesh: &FireMesh, state: &FireState, t: f64) -> HeatFluxFie
             }
             let fuel = mesh.fuel.at(ix, iy);
             let hf = fuel.heat_fluxes(t - tig);
-            sensible.set(ix, iy, hf.sensible);
-            latent.set(ix, iy, hf.latent);
+            out.sensible.set(ix, iy, hf.sensible);
+            out.latent.set(ix, iy, hf.latent);
         }
     }
-    HeatFluxFields { sensible, latent }
 }
 
 /// Remaining fuel fraction field at time `t` (1 where unburned).

@@ -17,6 +17,7 @@
 
 use crate::mesh::FireMesh;
 use crate::state::FireState;
+use crate::workspace::FireWorkspace;
 use crate::{FireError, Result, UNBURNED};
 use wildfire_grid::{Field2, VectorField2};
 
@@ -116,8 +117,16 @@ impl LevelSetSolver {
     /// Right-hand side `dψ/dt = −S‖∇ψ‖` over the whole field, plus the
     /// maximum spread rate encountered (for CFL monitoring).
     pub fn rhs(&self, psi: &Field2, wind: &VectorField2) -> (Field2, f64) {
+        let mut out = Field2::zeros(psi.grid());
+        let s_max = self.rhs_into(psi, wind, &mut out);
+        (out, s_max)
+    }
+
+    /// Allocation-free [`LevelSetSolver::rhs`]: overwrites `out` (re-targeted
+    /// to ψ's grid) and returns the maximum spread rate.
+    pub fn rhs_into(&self, psi: &Field2, wind: &VectorField2, out: &mut Field2) -> f64 {
         let g = psi.grid();
-        let mut out = Field2::zeros(g);
+        out.resize_zeroed(g);
         let mut s_max = 0.0_f64;
         for iy in 0..g.ny {
             for ix in 0..g.nx {
@@ -134,13 +143,25 @@ impl LevelSetSolver {
                 out.set(ix, iy, -s * norm);
             }
         }
-        (out, s_max)
+        s_max
     }
 
     /// Largest stable time step for the current state and wind under the
     /// 2-D upwind CFL condition `dt · S · (1/dx + 1/dy) ≤ cfl`.
     pub fn max_stable_dt(&self, state: &FireState, wind: &VectorField2) -> f64 {
-        let (_, s_max) = self.rhs(&state.psi, wind);
+        let mut ws = FireWorkspace::new();
+        self.max_stable_dt_ws(state, wind, &mut ws)
+    }
+
+    /// Allocation-free [`LevelSetSolver::max_stable_dt`] using workspace
+    /// scratch.
+    pub fn max_stable_dt_ws(
+        &self,
+        state: &FireState,
+        wind: &VectorField2,
+        ws: &mut FireWorkspace,
+    ) -> f64 {
+        let s_max = self.rhs_into(&state.psi, wind, &mut ws.k1);
         let g = self.mesh.grid;
         if s_max <= 0.0 {
             return f64::INFINITY;
@@ -158,10 +179,27 @@ impl LevelSetSolver {
     /// [`FireError::GridMismatch`] when the wind lives on a different grid;
     /// [`FireError::CflViolation`] when `dt` exceeds the stability bound.
     pub fn step(&self, state: &mut FireState, wind: &VectorField2, dt: f64) -> Result<()> {
+        let mut ws = FireWorkspace::new();
+        self.step_ws(state, wind, dt, &mut ws)
+    }
+
+    /// Allocation-free [`LevelSetSolver::step`]: all temporaries come from
+    /// `ws`, which is sized on first use and reused thereafter. Bit-identical
+    /// to the allocating wrapper.
+    ///
+    /// # Errors
+    /// Same as [`LevelSetSolver::step`].
+    pub fn step_ws(
+        &self,
+        state: &mut FireState,
+        wind: &VectorField2,
+        dt: f64,
+        ws: &mut FireWorkspace,
+    ) -> Result<()> {
         if wind.grid() != self.mesh.grid || state.grid() != self.mesh.grid {
             return Err(FireError::GridMismatch("level-set step"));
         }
-        let (k1, s_max) = self.rhs(&state.psi, wind);
+        let s_max = self.rhs_into(&state.psi, wind, &mut ws.k1);
         let g = self.mesh.grid;
         if self.enforce_cfl && s_max > 0.0 {
             let dt_max = 1.0 / (s_max * (1.0 / g.dx + 1.0 / g.dy));
@@ -169,19 +207,19 @@ impl LevelSetSolver {
                 return Err(FireError::CflViolation { dt, dt_max });
             }
         }
-        let psi_old = state.psi.clone();
+        ws.psi_old.copy_from(&state.psi);
         match self.integrator {
             Integrator::Euler => {
-                state.psi.axpy(dt, &k1).expect("same grid");
+                state.psi.axpy(dt, &ws.k1).expect("same grid");
             }
             Integrator::Heun => {
                 // Predictor.
-                let mut psi_star = state.psi.clone();
-                psi_star.axpy(dt, &k1).expect("same grid");
+                ws.psi_star.copy_from(&state.psi);
+                ws.psi_star.axpy(dt, &ws.k1).expect("same grid");
                 // Corrector with the slope re-evaluated at the predictor.
-                let (k2, _) = self.rhs(&psi_star, wind);
-                state.psi.axpy(0.5 * dt, &k1).expect("same grid");
-                state.psi.axpy(0.5 * dt, &k2).expect("same grid");
+                self.rhs_into(&ws.psi_star, wind, &mut ws.k2);
+                state.psi.axpy(0.5 * dt, &ws.k1).expect("same grid");
+                state.psi.axpy(0.5 * dt, &ws.k2).expect("same grid");
             }
         }
         // Ignition times: ψ crossed zero within (t, t+dt].
@@ -190,7 +228,7 @@ impl LevelSetSolver {
             for ix in 0..g.nx {
                 let new = state.psi.get(ix, iy);
                 if new < 0.0 && state.tig.get(ix, iy) == UNBURNED {
-                    let old = psi_old.get(ix, iy);
+                    let old = ws.psi_old.get(ix, iy);
                     let frac = if old > new {
                         (old / (old - new)).clamp(0.0, 1.0)
                     } else {
@@ -216,11 +254,28 @@ impl LevelSetSolver {
         t_target: f64,
         dt_hint: f64,
     ) -> Result<usize> {
+        let mut ws = FireWorkspace::new();
+        self.advance_to_ws(state, wind, t_target, dt_hint, &mut ws)
+    }
+
+    /// Allocation-free [`LevelSetSolver::advance_to`] driving
+    /// [`LevelSetSolver::step_ws`].
+    ///
+    /// # Errors
+    /// Propagates stepping errors.
+    pub fn advance_to_ws(
+        &self,
+        state: &mut FireState,
+        wind: &VectorField2,
+        t_target: f64,
+        dt_hint: f64,
+        ws: &mut FireWorkspace,
+    ) -> Result<usize> {
         let mut steps = 0;
         while state.time < t_target - 1e-12 {
-            let dt_cfl = self.max_stable_dt(state, wind);
+            let dt_cfl = self.max_stable_dt_ws(state, wind, ws);
             let dt = dt_hint.min(dt_cfl).min(t_target - state.time);
-            self.step(state, wind, dt)?;
+            self.step_ws(state, wind, dt, ws)?;
             steps += 1;
             if steps > 1_000_000 {
                 // Defensive: the CFL bound should never drive dt to zero.
@@ -430,6 +485,50 @@ mod tests {
             sh.burned_area(),
             se.burned_area()
         );
+    }
+
+    #[test]
+    fn workspace_step_matches_allocating_step_bitwise() {
+        // The workspace path must be bit-identical to the allocating
+        // wrapper, for both integrators, across many steps with one reused
+        // workspace.
+        for integ in [Integrator::Heun, Integrator::Euler] {
+            let mut solver = grass_solver(41, 2.0);
+            solver.integrator = integ;
+            let wind = VectorField2::from_fn(solver.mesh.grid, |ix, iy| {
+                (3.0 + 0.01 * ix as f64, 1.0 - 0.01 * iy as f64)
+            });
+            let mut alloc = circle_state(&solver, 8.0);
+            let mut ws_state = alloc.clone();
+            let mut ws = FireWorkspace::new();
+            for _ in 0..15 {
+                let dt = solver.max_stable_dt(&alloc, &wind).min(1.0);
+                solver.step(&mut alloc, &wind, dt).unwrap();
+                solver.step_ws(&mut ws_state, &wind, dt, &mut ws).unwrap();
+            }
+            assert_eq!(alloc.psi, ws_state.psi, "{integ:?} ψ must match bitwise");
+            assert_eq!(alloc.tig, ws_state.tig, "{integ:?} t_i must match bitwise");
+            assert_eq!(alloc.time, ws_state.time);
+        }
+    }
+
+    #[test]
+    fn one_workspace_serves_two_grid_sizes() {
+        // Reusing a workspace across solvers on different grids must resize
+        // transparently and stay bit-identical to fresh workspaces.
+        let mut ws = FireWorkspace::new();
+        for n in [41, 21, 61] {
+            let solver = grass_solver(n, 2.0);
+            let wind = VectorField2::from_fn(solver.mesh.grid, |_, _| (4.0, 0.0));
+            let mut shared = circle_state(&solver, 6.0);
+            let mut fresh = shared.clone();
+            solver
+                .advance_to_ws(&mut shared, &wind, 5.0, 1.0, &mut ws)
+                .unwrap();
+            solver.advance_to(&mut fresh, &wind, 5.0, 1.0).unwrap();
+            assert_eq!(shared.psi, fresh.psi, "n = {n}");
+            assert_eq!(shared.tig, fresh.tig, "n = {n}");
+        }
     }
 
     #[test]

@@ -27,11 +27,13 @@ pub mod mesh;
 pub mod perimeter;
 pub mod reinit;
 pub mod state;
+pub mod workspace;
 
 pub use ignition::IgnitionShape;
 pub use levelset::{Integrator, LevelSetSolver};
 pub use mesh::{FireMesh, FuelMap};
 pub use state::FireState;
+pub use workspace::FireWorkspace;
 
 /// Ignition time assigned to not-yet-burned nodes.
 pub const UNBURNED: f64 = f64::INFINITY;

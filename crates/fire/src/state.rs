@@ -92,10 +92,22 @@ impl FireState {
     /// vector stays finite (the filter cannot average infinities); use the
     /// matching [`FireState::unpack`] with the same cap.
     pub fn pack(&self, time_cap: f64) -> Vec<f64> {
-        let mut v = Vec::with_capacity(2 * self.psi.as_slice().len());
-        v.extend_from_slice(self.psi.as_slice());
-        v.extend(self.tig.as_slice().iter().map(|&t| t.min(time_cap)));
+        let mut v = vec![0.0; 2 * self.psi.as_slice().len()];
+        self.pack_into(time_cap, &mut v);
         v
+    }
+
+    /// Allocation-free [`FireState::pack`]: writes `[ψ…, t_i…]` into `out`.
+    ///
+    /// # Panics
+    /// Panics if `out.len()` is not exactly twice the grid size.
+    pub fn pack_into(&self, time_cap: f64, out: &mut [f64]) {
+        let n = self.psi.as_slice().len();
+        assert_eq!(out.len(), 2 * n, "packed state length mismatch");
+        out[..n].copy_from_slice(self.psi.as_slice());
+        for (o, &t) in out[n..].iter_mut().zip(self.tig.as_slice().iter()) {
+            *o = t.min(time_cap);
+        }
     }
 
     /// Restores the `(ψ, t_i)` consistency invariants after data
@@ -129,17 +141,28 @@ impl FireState {
     /// # Panics
     /// Panics if `v.len()` is not exactly twice the grid size.
     pub fn unpack(grid: Grid2, v: &[f64], time_cap: f64, time: f64) -> Self {
-        let n = grid.len();
+        let mut out = FireState {
+            psi: Field2::zeros(grid),
+            tig: Field2::zeros(grid),
+            time,
+        };
+        out.unpack_into(v, time_cap, time);
+        out
+    }
+
+    /// Allocation-free [`FireState::unpack`]: overwrites this state from the
+    /// packed vector, reusing the field storage (the grid is kept).
+    ///
+    /// # Panics
+    /// Panics if `v.len()` is not exactly twice the grid size.
+    pub fn unpack_into(&mut self, v: &[f64], time_cap: f64, time: f64) {
+        let n = self.grid().len();
         assert_eq!(v.len(), 2 * n, "packed state length mismatch");
-        let psi = Field2::from_vec(grid, v[..n].to_vec());
-        let tig = Field2::from_vec(
-            grid,
-            v[n..]
-                .iter()
-                .map(|&t| if t >= time_cap { UNBURNED } else { t })
-                .collect(),
-        );
-        FireState { psi, tig, time }
+        self.psi.as_mut_slice().copy_from_slice(&v[..n]);
+        for (o, &t) in self.tig.as_mut_slice().iter_mut().zip(v[n..].iter()) {
+            *o = if t >= time_cap { UNBURNED } else { t };
+        }
+        self.time = time;
     }
 }
 

@@ -1,0 +1,35 @@
+//! Reusable scratch buffers for allocation-free fire stepping.
+//!
+//! The paper's real-time constraint (§4) means the level-set solver runs in
+//! the hot loop of every ensemble member; the seed implementation cloned ψ
+//! twice per Heun step. A [`FireWorkspace`] owns those temporaries instead:
+//! it is sized lazily on first use and reused thereafter, so steady-state
+//! stepping performs no heap allocation. Hold one workspace per thread —
+//! the buffers carry no state between steps, only capacity.
+
+use wildfire_grid::Field2;
+
+/// Scratch buffers for [`crate::LevelSetSolver`] stepping.
+///
+/// Create once (cheaply — all buffers start empty) and pass to the `_ws`
+/// stepping entry points. A single workspace can serve grids of different
+/// sizes; buffers grow to the largest shape seen and shrink-free resizing
+/// keeps later smaller grids allocation-free too.
+#[derive(Debug, Clone, Default)]
+pub struct FireWorkspace {
+    /// First-stage slope `k1 = −S‖∇ψ‖` at the current state.
+    pub(crate) k1: Field2,
+    /// Second-stage slope, evaluated at the Heun predictor.
+    pub(crate) k2: Field2,
+    /// Heun predictor `ψ* = ψ + dt·k1`.
+    pub(crate) psi_star: Field2,
+    /// ψ before the update, kept for the ignition-time crossing detection.
+    pub(crate) psi_old: Field2,
+}
+
+impl FireWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -118,6 +118,14 @@ pub struct Field2 {
     data: Vec<f64>,
 }
 
+/// A 1×1 zero field — a placeholder for workspace buffers that are
+/// re-targeted with [`Field2::resize_zeroed`] before first use.
+impl Default for Field2 {
+    fn default() -> Self {
+        Field2::zeros(Grid2::new(1, 1, 1.0, 1.0).expect("1x1 grid is valid"))
+    }
+}
+
 impl Field2 {
     /// Zero field on `grid`.
     pub fn zeros(grid: Grid2) -> Self {
@@ -204,6 +212,30 @@ impl Field2 {
         for v in &mut self.data {
             *v = f(*v);
         }
+    }
+
+    /// Sets every node to `value` without reallocating.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Re-targets the field to `grid` and zeroes it, reusing the existing
+    /// storage when the capacity suffices. This is the primitive the
+    /// workspace layer builds on: after the first call with a given shape,
+    /// subsequent calls perform no heap allocation.
+    pub fn resize_zeroed(&mut self, grid: Grid2) {
+        self.grid = grid;
+        self.data.clear();
+        self.data.resize(grid.len(), 0.0);
+    }
+
+    /// Copies grid and values from `other`, reusing the existing storage
+    /// when the capacity suffices (no allocation once shapes have been
+    /// seen).
+    pub fn copy_from(&mut self, other: &Field2) {
+        self.grid = other.grid;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
     }
 
     /// `self += alpha · other`.

@@ -61,15 +61,26 @@ pub fn refinement_between(fine: &Grid2, coarse: &Grid2) -> Result<Refinement> {
 /// # Errors
 /// Propagates alignment errors from [`refinement_between`].
 pub fn prolong(coarse: &Field2, fine_grid: Grid2) -> Result<Field2> {
-    refinement_between(&fine_grid, &coarse.grid())?;
     let mut out = Field2::zeros(fine_grid);
+    prolong_into(coarse, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`prolong`]: writes into `out`, whose grid determines the
+/// fine target.
+///
+/// # Errors
+/// Propagates alignment errors from [`refinement_between`].
+pub fn prolong_into(coarse: &Field2, out: &mut Field2) -> Result<()> {
+    let fine_grid = out.grid();
+    refinement_between(&fine_grid, &coarse.grid())?;
     for iy in 0..fine_grid.ny {
         for ix in 0..fine_grid.nx {
             let (x, y) = fine_grid.world(ix, iy);
             out.set(ix, iy, coarse.sample_bilinear(x, y));
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Restricts a fine field onto a coarse grid by cell averaging.
@@ -83,9 +94,20 @@ pub fn prolong(coarse: &Field2, fine_grid: Grid2) -> Result<Field2> {
 /// # Errors
 /// Propagates alignment errors from [`refinement_between`].
 pub fn restrict(fine: &Field2, coarse_grid: Grid2) -> Result<Field2> {
+    let mut out = Field2::zeros(coarse_grid);
+    restrict_into(fine, &mut out)?;
+    Ok(out)
+}
+
+/// Allocation-free [`restrict`]: writes into `out`, whose grid determines
+/// the coarse target.
+///
+/// # Errors
+/// Propagates alignment errors from [`refinement_between`].
+pub fn restrict_into(fine: &Field2, out: &mut Field2) -> Result<()> {
+    let coarse_grid = out.grid();
     let refn = refinement_between(&fine.grid(), &coarse_grid)?;
     let fg = fine.grid();
-    let mut out = Field2::zeros(coarse_grid);
     // Dual cell of a coarse node spans ±r/2 fine intervals. For odd r the
     // boundary falls between fine nodes (no edge weighting needed); for even
     // r the boundary passes through fine nodes, which are shared half/half
@@ -125,7 +147,7 @@ pub fn restrict(fine: &Field2, coarse_grid: Grid2) -> Result<Field2> {
             out.set(cx, cy, sum / count);
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -16,6 +16,17 @@ pub struct VectorField2 {
     pub v: Field2,
 }
 
+/// A 1×1 zero field — a placeholder for workspace buffers that are
+/// re-targeted with [`VectorField2::resize_zeroed`] before first use.
+impl Default for VectorField2 {
+    fn default() -> Self {
+        VectorField2 {
+            u: Field2::default(),
+            v: Field2::default(),
+        }
+    }
+}
+
 impl VectorField2 {
     /// Zero vector field on `grid`.
     pub fn zeros(grid: Grid2) -> Self {
@@ -81,6 +92,19 @@ impl VectorField2 {
     pub fn axpy(&mut self, alpha: f64, other: &VectorField2) -> Result<()> {
         self.u.axpy(alpha, &other.u)?;
         self.v.axpy(alpha, &other.v)
+    }
+
+    /// Sets both components to the constant vector `val`.
+    pub fn fill(&mut self, val: (f64, f64)) {
+        self.u.fill(val.0);
+        self.v.fill(val.1);
+    }
+
+    /// Re-targets both components to `grid` and zeroes them, reusing the
+    /// existing storage (see [`Field2::resize_zeroed`]).
+    pub fn resize_zeroed(&mut self, grid: Grid2) {
+        self.u.resize_zeroed(grid);
+        self.v.resize_zeroed(grid);
     }
 
     /// Scales both components in place.

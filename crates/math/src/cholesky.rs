@@ -26,11 +26,25 @@ impl Cholesky {
     /// [`MathError::NotSquare`] for non-square input and
     /// [`MathError::NotPositiveDefinite`] when a pivot is `≤ 0` or non-finite.
     pub fn new(a: &Matrix) -> Result<Self> {
+        let mut l = Matrix::zeros(0, 0);
+        Self::factor_into(a, &mut l)?;
+        Ok(Cholesky { l })
+    }
+
+    /// Allocation-free factorization: resizes `l` (reusing its storage) and
+    /// overwrites it with the lower-triangular factor of `a`. This is the
+    /// workspace-layer entry point — callers that hold the factor buffer can
+    /// run repeated analyses without heap traffic, pairing it with
+    /// [`Cholesky::solve_in_place_with`].
+    ///
+    /// # Errors
+    /// Same as [`Cholesky::new`].
+    pub fn factor_into(a: &Matrix, l: &mut Matrix) -> Result<()> {
         if !a.is_square() {
             return Err(MathError::NotSquare { dims: a.dims() });
         }
         let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
+        l.resize_zeroed(n, n);
         for j in 0..n {
             // Diagonal pivot.
             let mut d = a[(j, j)];
@@ -51,7 +65,7 @@ impl Cholesky {
                 l[(i, j)] = s / dj;
             }
         }
-        Ok(Cholesky { l })
+        Ok(())
     }
 
     /// The lower-triangular factor `L`.
@@ -69,23 +83,34 @@ impl Cholesky {
     /// # Panics
     /// Panics if `b.len()` differs from the factor dimension.
     pub fn solve_in_place(&self, b: &mut [f64]) {
-        let n = self.dim();
+        Self::solve_in_place_with(&self.l, b);
+    }
+
+    /// Solves `A x = b` in place given a precomputed lower factor `l` (as
+    /// produced by [`Cholesky::factor_into`]), without constructing a
+    /// `Cholesky` value.
+    ///
+    /// # Panics
+    /// Panics if `l` is not square or `b.len()` differs from its dimension.
+    pub fn solve_in_place_with(l: &Matrix, b: &mut [f64]) {
+        assert!(l.is_square(), "cholesky factor must be square");
+        let n = l.rows();
         assert_eq!(b.len(), n, "cholesky solve rhs length mismatch");
         // Forward substitution: L y = b.
         for i in 0..n {
             let mut s = b[i];
             for k in 0..i {
-                s -= self.l[(i, k)] * b[k];
+                s -= l[(i, k)] * b[k];
             }
-            b[i] = s / self.l[(i, i)];
+            b[i] = s / l[(i, i)];
         }
         // Backward substitution: Lᵀ x = y.
         for i in (0..n).rev() {
             let mut s = b[i];
             for k in (i + 1)..n {
-                s -= self.l[(k, i)] * b[k];
+                s -= l[(k, i)] * b[k];
             }
-            b[i] = s / self.l[(i, i)];
+            b[i] = s / l[(i, i)];
         }
     }
 

@@ -9,7 +9,7 @@ use crate::{MathError, Result};
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
 /// A dense matrix of `f64` stored in column-major order.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -181,11 +181,41 @@ impl Matrix {
         t
     }
 
+    /// Re-shapes to `rows × cols` and zeroes every entry, reusing the
+    /// existing storage when the capacity suffices. The workspace layer
+    /// uses this so repeated analyses with a fixed shape never allocate.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies shape and values from `other`, reusing the existing storage
+    /// when the capacity suffices.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Matrix product `self * rhs`.
     ///
     /// Uses a cache-friendly `j-k-i` loop: for each output column we
     /// accumulate axpys of the columns of `self`, which are contiguous.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`Matrix::matmul`]: resizes `out` to `rows × rhs.cols`
+    /// and overwrites it with `self * rhs`.
+    ///
+    /// # Errors
+    /// [`MathError::DimensionMismatch`] when the inner dimensions disagree.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != rhs.rows {
             return Err(MathError::DimensionMismatch {
                 op: "matmul",
@@ -193,7 +223,7 @@ impl Matrix {
                 rhs: rhs.dims(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        out.resize_zeroed(self.rows, rhs.cols);
         for j in 0..rhs.cols {
             let out_col = &mut out.data[j * self.rows..(j + 1) * self.rows];
             for k in 0..self.cols {
@@ -207,7 +237,7 @@ impl Matrix {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Product `selfᵀ * rhs` without materializing the transpose.
@@ -215,6 +245,17 @@ impl Matrix {
     /// Each output entry is a dot product of two contiguous columns, so this
     /// is the preferred kernel for ensemble Gram matrices `AᵀA`.
     pub fn tr_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.tr_matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`Matrix::tr_matmul`]: resizes `out` and overwrites it
+    /// with `selfᵀ * rhs`.
+    ///
+    /// # Errors
+    /// [`MathError::DimensionMismatch`] when the row counts disagree.
+    pub fn tr_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.rows != rhs.rows {
             return Err(MathError::DimensionMismatch {
                 op: "tr_matmul",
@@ -222,7 +263,7 @@ impl Matrix {
                 rhs: rhs.dims(),
             });
         }
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        out.resize_zeroed(self.cols, rhs.cols);
         for j in 0..rhs.cols {
             let b_col = rhs.col(j);
             for i in 0..self.cols {
@@ -234,11 +275,22 @@ impl Matrix {
                 out[(i, j)] = s;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Product `self * rhsᵀ` without materializing the transpose.
     pub fn matmul_tr(&self, rhs: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_tr_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`Matrix::matmul_tr`]: resizes `out` and overwrites it
+    /// with `self * rhsᵀ`.
+    ///
+    /// # Errors
+    /// [`MathError::DimensionMismatch`] when the column counts disagree.
+    pub fn matmul_tr_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != rhs.cols {
             return Err(MathError::DimensionMismatch {
                 op: "matmul_tr",
@@ -246,7 +298,7 @@ impl Matrix {
                 rhs: rhs.dims(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        out.resize_zeroed(self.rows, rhs.rows);
         for k in 0..self.cols {
             let a_col = self.col(k);
             let b_col = rhs.col(k);
@@ -260,11 +312,22 @@ impl Matrix {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Matrix–vector product `self * v`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`Matrix::matvec`]: overwrites `out` with `self * v`.
+    ///
+    /// # Errors
+    /// [`MathError::DimensionMismatch`] when `v.len() != cols` or
+    /// `out.len() != rows`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) -> Result<()> {
         if self.cols != v.len() {
             return Err(MathError::DimensionMismatch {
                 op: "matvec",
@@ -272,7 +335,14 @@ impl Matrix {
                 rhs: (v.len(), 1),
             });
         }
-        let mut out = vec![0.0; self.rows];
+        if out.len() != self.rows {
+            return Err(MathError::DimensionMismatch {
+                op: "matvec output",
+                lhs: self.dims(),
+                rhs: (out.len(), 1),
+            });
+        }
+        out.fill(0.0);
         for (k, &alpha) in v.iter().enumerate() {
             if alpha == 0.0 {
                 continue;
@@ -282,11 +352,23 @@ impl Matrix {
                 *o += alpha * a;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Transposed matrix–vector product `selfᵀ * v`.
     pub fn tr_matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.cols];
+        self.tr_matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`Matrix::tr_matvec`]: overwrites `out` with
+    /// `selfᵀ * v`.
+    ///
+    /// # Errors
+    /// [`MathError::DimensionMismatch`] when `v.len() != rows` or
+    /// `out.len() != cols`.
+    pub fn tr_matvec_into(&self, v: &[f64], out: &mut [f64]) -> Result<()> {
         if self.rows != v.len() {
             return Err(MathError::DimensionMismatch {
                 op: "tr_matvec",
@@ -294,7 +376,13 @@ impl Matrix {
                 rhs: (v.len(), 1),
             });
         }
-        let mut out = vec![0.0; self.cols];
+        if out.len() != self.cols {
+            return Err(MathError::DimensionMismatch {
+                op: "tr_matvec output",
+                lhs: self.dims(),
+                rhs: (out.len(), 1),
+            });
+        }
         for (j, o) in out.iter_mut().enumerate() {
             let col = self.col(j);
             let mut s = 0.0;
@@ -303,7 +391,7 @@ impl Matrix {
             }
             *o = s;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// In-place scaling `self *= alpha`.
@@ -392,12 +480,39 @@ impl Matrix {
         }
     }
 
+    /// Allocation-free [`Matrix::col_mean`]: resizes `out` to `rows` and
+    /// overwrites it with the column mean.
+    pub fn col_mean_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.rows, 0.0);
+        if self.cols == 0 {
+            return;
+        }
+        for j in 0..self.cols {
+            for (m, &x) in out.iter_mut().zip(self.col(j).iter()) {
+                *m += x;
+            }
+        }
+        let inv = 1.0 / self.cols as f64;
+        for m in out.iter_mut() {
+            *m *= inv;
+        }
+    }
+
     /// Returns the column-anomaly matrix `A = X - x̄·1ᵀ` and the mean `x̄`.
     pub fn anomalies(&self) -> (Matrix, Vec<f64>) {
         let mean = self.col_mean();
         let mut a = self.clone();
         a.subtract_col_vector(&mean);
         (a, mean)
+    }
+
+    /// Allocation-free [`Matrix::anomalies`]: writes the anomaly matrix into
+    /// `a` and the column mean into `mean`, reusing their storage.
+    pub fn anomalies_into(&self, a: &mut Matrix, mean: &mut Vec<f64>) {
+        self.col_mean_into(mean);
+        a.copy_from(self);
+        a.subtract_col_vector(mean);
     }
 
     /// Extracts the contiguous sub-matrix with rows `r0..r1` and columns `c0..c1`.

@@ -5,7 +5,7 @@
 use crate::scenario::{DomainSpec, FuelPatch, FuelSpec, Scenario, WindShift, WindSpec};
 use crate::{Result, SimError};
 use wildfire_atmos::AtmosParams;
-use wildfire_core::{CoupledModel, CoupledState, StepDiagnostics};
+use wildfire_core::{CoupledModel, CoupledState, CoupledWorkspace, StepDiagnostics};
 use wildfire_fire::{FireMesh, FuelMap, IgnitionShape};
 use wildfire_fuel::{FuelCategory, FuelModel};
 
@@ -218,6 +218,7 @@ impl SimulationBuilder {
             shifts,
             next_shift: 0,
             scenario: s,
+            workspace: CoupledWorkspace::new(),
         })
     }
 }
@@ -238,6 +239,10 @@ pub struct Simulation {
     pub dt: f64,
     /// The scenario this simulation was built from.
     pub scenario: Scenario,
+    /// Reusable stepping scratch: every [`Simulation::step`] goes through
+    /// the allocation-free [`CoupledModel::step_ws`] path, so long runs
+    /// perform no steady-state heap allocation.
+    pub workspace: CoupledWorkspace,
     shifts: Vec<WindShift>,
     next_shift: usize,
 }
@@ -270,7 +275,9 @@ impl Simulation {
     /// Propagates coupled-model step failures.
     pub fn step_by(&mut self, dt: f64) -> Result<StepDiagnostics> {
         self.apply_due_shifts(self.time());
-        let diag = self.model.step(&mut self.state, dt)?;
+        let diag = self
+            .model
+            .step_ws(&mut self.state, dt, &mut self.workspace)?;
         Ok(diag)
     }
 
