@@ -167,6 +167,56 @@ fn standard_enkf_analysis_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn obs_set_packing_is_allocation_free_after_warmup() {
+    // The ISSUE-3 acceptance bar for the observation pipeline: packing a
+    // heterogeneous pool (strided ψ + a station network) into (y, H(X), R)
+    // through one ObsWorkspace performs no steady-state heap allocation.
+    let model = CoupledModel::new(
+        small_atmos_grid(),
+        Default::default(),
+        wildfire_fuel::FuelCategory::ShortGrass,
+        5,
+    )
+    .unwrap();
+    let members: Vec<_> = (0..6)
+        .map(|k| {
+            model.ignite(
+                &[IgnitionShape::Circle {
+                    center: (180.0 + 15.0 * k as f64, 220.0),
+                    radius: 20.0,
+                }],
+                0.0,
+            )
+        })
+        .collect();
+    let psi_op = wildfire_obs::StridedPsi::new(model.fire_grid, 7, 1.0);
+    let st_op = wildfire_obs::StationTemperatures::new(
+        vec![
+            wildfire_obs::WeatherStation::new("A", 120.0, 120.0),
+            wildfire_obs::WeatherStation::new("B", 330.0, 120.0),
+            wildfire_obs::WeatherStation::new("C", 120.0, 330.0),
+            wildfire_obs::WeatherStation::new("D", 330.0, 330.0),
+        ],
+        300.0,
+        1.0,
+    );
+    let psi_data = vec![0.0; wildfire_obs::ObservationOperator::dim(&psi_op)];
+    let st_data = vec![300.0; 4];
+    let mut pool = wildfire_obs::ObsSet::new();
+    pool.push(&psi_op, &psi_data).unwrap();
+    pool.push(&st_op, &st_data).unwrap();
+
+    let mut ws = wildfire_obs::ObsWorkspace::new();
+    pool.pack_into(&members, &mut ws).unwrap();
+    let n = allocations_during(|| {
+        for _ in 0..3 {
+            pool.pack_into(&members, &mut ws).unwrap();
+        }
+    });
+    assert_eq!(n, 0, "ObsSet::pack_into must not allocate in steady state");
+}
+
+#[test]
 fn workspace_buffers_are_reused_not_reallocated_across_sizes() {
     // Shrinking re-targets the same storage: stepping a smaller domain
     // through a workspace warmed on a larger one performs no allocation.

@@ -14,11 +14,12 @@ use crate::store::StateStore;
 use crate::{EnsembleError, Result};
 use wildfire_core::{CoupledModel, CoupledState, CoupledWorkspace};
 use wildfire_enkf::morphing_enkf::ExtendedState;
-use wildfire_enkf::{AnalysisWorkspace, MorphingConfig, MorphingEnkf, MorphingWorkspace};
+use wildfire_enkf::{AnalysisWorkspace, Etkf, MorphingConfig, MorphingEnkf, MorphingWorkspace};
 use wildfire_fire::ignition::IgnitionShape;
 use wildfire_fire::FireState;
 use wildfire_grid::Field2;
 use wildfire_math::{GaussianSampler, Matrix};
+use wildfire_obs::{ObsSet, ObsWorkspace, StridedPsi};
 
 /// Cap used to encode the `t_i = ∞` (unburned) sentinel as a finite value
 /// inside filter state vectors.
@@ -35,18 +36,18 @@ pub struct EnsembleWorkspace {
     pub workers: Vec<CoupledWorkspace>,
     /// Packed state ensemble `X` (`2·grid × N`).
     pub(crate) x: Matrix,
-    /// Packed synthetic observations `Y`.
-    pub(crate) y: Matrix,
-    /// Observation vector.
+    /// Identical-twin measurement scratch for the `obs_stride` wrappers.
     pub(crate) data: Vec<f64>,
-    /// Observation error variances.
-    pub(crate) obs_var: Vec<f64>,
-    /// Strided observation node indices.
-    pub(crate) obs_idx: Vec<usize>,
-    /// Inner dense-analysis scratch (standard EnKF path).
+    /// Observation-pool packing buffers: `(y, H(X), R)`.
+    pub obs: ObsWorkspace,
+    /// Inner dense-analysis scratch (standard-EnKF and ETKF paths).
     pub analysis: AnalysisWorkspace,
     /// Morphing-EnKF scratch (morphing path).
     pub morph: MorphingWorkspace,
+    /// Gridded-ψ data field scratch for the morphing observation path.
+    pub(crate) psi_data: Field2,
+    /// Data field slots `[ψ, capped t_i]` for the morphing analyses.
+    pub(crate) data_fields: Vec<Field2>,
 }
 
 impl EnsembleWorkspace {
@@ -99,6 +100,36 @@ pub struct CycleReport {
     pub forecast: EnsembleMetrics,
     /// Metrics after the analysis.
     pub analysis: EnsembleMetrics,
+}
+
+/// Which analysis algorithm an observation-pool cycle runs.
+#[derive(Debug, Clone, Copy)]
+pub enum ObsFilter<'a> {
+    /// Stochastic EnKF with multiplicative inflation (1 = none).
+    Standard {
+        /// Forecast inflation factor.
+        inflation: f64,
+    },
+    /// Deterministic square-root filter (no observation perturbations).
+    Etkf {
+        /// Forecast inflation factor.
+        inflation: f64,
+    },
+    /// Morphing EnKF driven by the pool's gridded-ψ stream.
+    Morphing(&'a MorphingConfig),
+}
+
+/// Data-side outcome of one observation-pool cycle: RMS innovation of the
+/// ensemble mean against the pooled measurements, before and after the
+/// analysis. Unlike [`CycleReport`] this needs no truth state — it is the
+/// metric available with *real* data.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsCycleReport {
+    /// RMS innovation after the forecast, before the analysis.
+    pub forecast_innovation_rms: f64,
+    /// RMS innovation after the analysis (synthetic observations
+    /// re-evaluated on the analyzed members).
+    pub analysis_innovation_rms: f64,
 }
 
 /// The ensemble driver.
@@ -236,10 +267,14 @@ impl EnsembleDriver {
         )
     }
 
-    /// Allocation-free [`EnsembleDriver::analyze_standard`]: the packed
-    /// ensemble matrices and the dense-analysis temporaries come from `ws`
-    /// and are reused across cycles. Bit-identical to the allocating
-    /// wrapper.
+    /// Workspace-backed [`EnsembleDriver::analyze_standard`] — since the
+    /// observation-pool redesign a thin identical-twin wrapper over
+    /// [`EnsembleDriver::analyze_obs_ws`]: the strided-ψ sampling is a
+    /// [`StridedPsi`] operator and the "real data" is the noise-free truth
+    /// ψ at the observed nodes. The dense buffers come from `ws` (only the
+    /// one-entry pool descriptor is rebuilt per call); bit-identical to
+    /// both the allocating wrapper and the seed's inlined `obs_stride`
+    /// implementation.
     ///
     /// # Errors
     /// Filter failures.
@@ -254,45 +289,156 @@ impl EnsembleDriver {
         rng: &mut GaussianSampler,
         ws: &mut EnsembleWorkspace,
     ) -> Result<()> {
-        let n_ens = members.len();
-        if n_ens < 2 {
-            return Err(EnsembleError::Config("need at least 2 members"));
-        }
-        let g = truth_fire.grid();
-        let n_state = 2 * g.len();
-        let x = &mut ws.x;
-        x.resize_zeroed(n_state, n_ens);
-        for (j, m) in members.iter().enumerate() {
-            m.fire.pack_into(TIG_CAP, x.col_mut(j));
-        }
-        // Observation: strided ψ nodes.
-        let obs_idx = &mut ws.obs_idx;
-        obs_idx.clear();
-        obs_idx.extend((0..g.len()).step_by(obs_stride.max(1)));
-        let m_obs = obs_idx.len();
-        let y = &mut ws.y;
-        y.resize_zeroed(m_obs, n_ens);
-        for j in 0..n_ens {
-            let col = x.col(j);
-            for (r, &idx) in obs_idx.iter().enumerate() {
-                y[(r, j)] = col[idx];
-            }
-        }
-        let data = &mut ws.data;
+        let op = StridedPsi::new(truth_fire.grid(), obs_stride, sigma_obs);
+        // Take the measurement buffer out of the workspace so the pool can
+        // borrow it while the rest of `ws` is threaded through the analysis.
+        let mut data = std::mem::take(&mut ws.data);
         data.clear();
-        data.extend(obs_idx.iter().map(|&idx| truth_fire.psi.as_slice()[idx]));
-        let obs_var = &mut ws.obs_var;
-        obs_var.clear();
-        obs_var.resize(m_obs, sigma_obs * sigma_obs);
+        let measured = op.measure_truth_into(truth_fire, &mut data);
+        let result = measured.map_err(EnsembleError::Store).and_then(|()| {
+            let mut pool = ObsSet::new();
+            pool.push(&op, &data).map_err(EnsembleError::Store)?;
+            self.analyze_obs_ws(members, &pool, inflation, rng, ws)
+        });
+        ws.data = data;
+        result
+    }
+
+    /// Generic stochastic-EnKF analysis against a heterogeneous observation
+    /// pool (Fig. 2's "real data pool"): the pool packs any mix of
+    /// operators + measurements into `(y, H(X), R)`, the filter never sees
+    /// the instruments. The packed buffers live in `ws` and are reused, so
+    /// repeated analyses through one workspace are allocation-free in
+    /// steady state (for allocation-free operators; see
+    /// [`wildfire_obs::operator`]).
+    ///
+    /// # Errors
+    /// Observation-operator and filter failures.
+    pub fn analyze_obs_ws(
+        &self,
+        members: &mut [CoupledState],
+        pool: &ObsSet<'_>,
+        inflation: f64,
+        rng: &mut GaussianSampler,
+        ws: &mut EnsembleWorkspace,
+    ) -> Result<()> {
+        pool.pack_into(members, &mut ws.obs)
+            .map_err(EnsembleError::Store)?;
+        self.analyze_packed_ws(members, inflation, rng, ws)
+    }
+
+    /// [`EnsembleDriver::analyze_obs_ws`] minus the pool packing: assumes
+    /// `ws.obs` already holds `(y, H(X), R)` for the *current* member
+    /// states — the seam [`EnsembleDriver::cycle_obs_ws`] uses to avoid
+    /// re-evaluating every observation operator right after packing them
+    /// for the innovation report.
+    fn analyze_packed_ws(
+        &self,
+        members: &mut [CoupledState],
+        inflation: f64,
+        rng: &mut GaussianSampler,
+        ws: &mut EnsembleWorkspace,
+    ) -> Result<()> {
+        self.pack_members(members, ws)?;
         let filter = ParallelEnkf::new(self.threads, inflation);
-        filter.analyze_ws(x, y, data, obs_var, rng, &mut ws.analysis)?;
-        // Unpack and restore invariants.
-        let time = members[0].time();
-        for (j, m) in members.iter_mut().enumerate() {
-            m.fire.unpack_into(x.col(j), TIG_CAP * 0.99, time);
-            m.fire.sanitize(TIG_CAP * 0.99, time);
-        }
+        filter.analyze_ws(
+            &mut ws.x,
+            &ws.obs.hx,
+            &ws.obs.data,
+            &ws.obs.var,
+            rng,
+            &mut ws.analysis,
+        )?;
+        self.unpack_members(members, ws);
         Ok(())
+    }
+
+    /// Deterministic square-root (ETKF) analysis against an observation
+    /// pool — the sampling-noise-free cross-check variant. Same packing and
+    /// workspace contract as [`EnsembleDriver::analyze_obs_ws`]; no RNG is
+    /// consumed.
+    ///
+    /// # Errors
+    /// Observation-operator and filter failures.
+    pub fn analyze_obs_etkf_ws(
+        &self,
+        members: &mut [CoupledState],
+        pool: &ObsSet<'_>,
+        inflation: f64,
+        ws: &mut EnsembleWorkspace,
+    ) -> Result<()> {
+        pool.pack_into(members, &mut ws.obs)
+            .map_err(EnsembleError::Store)?;
+        self.analyze_packed_etkf_ws(members, inflation, ws)
+    }
+
+    /// [`EnsembleDriver::analyze_obs_etkf_ws`] minus the pool packing (see
+    /// [`EnsembleDriver::analyze_packed_ws`]).
+    fn analyze_packed_etkf_ws(
+        &self,
+        members: &mut [CoupledState],
+        inflation: f64,
+        ws: &mut EnsembleWorkspace,
+    ) -> Result<()> {
+        self.pack_members(members, ws)?;
+        let filter = Etkf::new(inflation);
+        filter
+            .analyze_ws(
+                &mut ws.x,
+                &ws.obs.hx,
+                &ws.obs.data,
+                &ws.obs.var,
+                &mut ws.analysis,
+            )
+            .map_err(EnsembleError::Filter)?;
+        self.unpack_members(members, ws);
+        Ok(())
+    }
+
+    /// Morphing-EnKF analysis against an observation pool (Fig. 4(d) with
+    /// real data streams). The morphing filter needs a *field-valued*
+    /// observation to register against, so the pool must contain at least
+    /// one gridded-ψ stream (an operator whose
+    /// [`wildfire_obs::ObservationOperator::scatter_psi`] succeeds — e.g.
+    /// [`StridedPsi`]); its measurements are scattered back onto the fire
+    /// mesh and drive registration + amplitude analysis exactly like the
+    /// truth field in [`EnsembleDriver::analyze_morphing_ws`]. Pointwise
+    /// streams (stations) cannot be registered and are ignored by this
+    /// variant — pool them through [`EnsembleDriver::analyze_obs_ws`]
+    /// instead or alongside. Requires `config.observed_fields == [0]` (the
+    /// ψ block; the ignition-time field has no gridded data stream).
+    ///
+    /// # Errors
+    /// [`EnsembleError::Config`] when no gridded-ψ entry is present or the
+    /// observed-field set is unsupported; filter failures.
+    pub fn analyze_obs_morphing_ws(
+        &self,
+        members: &mut [CoupledState],
+        pool: &ObsSet<'_>,
+        config: &MorphingConfig,
+        rng: &mut GaussianSampler,
+        ws: &mut EnsembleWorkspace,
+    ) -> Result<()> {
+        if config.observed_fields != [0] {
+            return Err(EnsembleError::Config(
+                "the observation-pool morphing path assimilates the gridded ψ stream; \
+                 only field 0 can be observed",
+            ));
+        }
+        let mut psi_data = std::mem::take(&mut ws.psi_data);
+        let found = pool
+            .entries()
+            .iter()
+            .any(|e| e.op.scatter_psi(e.data, &mut psi_data));
+        let result = if found {
+            self.analyze_morphing_fields_ws(members, &psi_data, None, config, rng, ws)
+        } else {
+            Err(EnsembleError::Config(
+                "morphing analysis needs a gridded-psi observation stream in the pool",
+            ))
+        };
+        ws.psi_data = psi_data;
+        result
     }
 
     /// Morphing-EnKF analysis (Fig. 4(d)): members are registered against a
@@ -328,6 +474,41 @@ impl EnsembleDriver {
         rng: &mut GaussianSampler,
         ws: &mut EnsembleWorkspace,
     ) -> Result<()> {
+        let capped_tig = Field2::from_vec(
+            truth_fire.psi.grid(),
+            truth_fire
+                .tig
+                .as_slice()
+                .iter()
+                .map(|&t| t.min(TIG_CAP))
+                .collect(),
+        );
+        self.analyze_morphing_fields_ws(
+            members,
+            &truth_fire.psi,
+            Some(&capped_tig),
+            config,
+            rng,
+            ws,
+        )
+    }
+
+    /// Shared morphing analysis against field-valued data: `psi_data` is
+    /// the observed ψ field; `tig_data` the (capped) ignition-time data
+    /// field, or `None` to stand in the reference member's own — only valid
+    /// when field 1 is unobserved, as the observation-pool path enforces.
+    ///
+    /// # Errors
+    /// Filter failures.
+    fn analyze_morphing_fields_ws(
+        &self,
+        members: &mut [CoupledState],
+        psi_data: &Field2,
+        tig_data: Option<&Field2>,
+        config: &MorphingConfig,
+        rng: &mut GaussianSampler,
+        ws: &mut EnsembleWorkspace,
+    ) -> Result<()> {
         let n_ens = members.len();
         if n_ens < 2 {
             return Err(EnsembleError::Config("need at least 2 members"));
@@ -345,7 +526,13 @@ impl EnsembleDriver {
             vec![f.psi.clone(), capped]
         };
         let reference = to_fields(&members[0].fire);
-        let data = to_fields(truth_fire);
+        // Assemble the data fields in the reusable workspace slots (values
+        // identical to cloning, no per-analysis grid-sized allocation).
+        if ws.data_fields.len() != 2 {
+            ws.data_fields = vec![Field2::default(), Field2::default()];
+        }
+        ws.data_fields[0].copy_from(psi_data);
+        ws.data_fields[1].copy_from(tig_data.unwrap_or(&reference[1]));
 
         // Parallel registrations (the expensive transform phase).
         let member_fields: Vec<Vec<Field2>> = members.iter().map(|m| to_fields(&m.fire)).collect();
@@ -358,7 +545,7 @@ impl EnsembleDriver {
             ext_states.push(e.map_err(EnsembleError::Filter)?);
         }
         let data_ext = filter
-            .to_extended(&data, &reference, 0)
+            .to_extended(&ws.data_fields, &reference, 0)
             .map_err(EnsembleError::Filter)?;
 
         let analyzed = filter
@@ -390,6 +577,77 @@ impl EnsembleDriver {
             m.fire = fire;
         }
         Ok(())
+    }
+
+    /// Packs the member fire states into the filter matrix `ws.x`
+    /// (`[ψ, capped t_i]` per column).
+    fn pack_members(&self, members: &[CoupledState], ws: &mut EnsembleWorkspace) -> Result<()> {
+        let n_ens = members.len();
+        if n_ens < 2 {
+            return Err(EnsembleError::Config("need at least 2 members"));
+        }
+        let n_state = 2 * members[0].fire.grid().len();
+        ws.x.resize_zeroed(n_state, n_ens);
+        for (j, m) in members.iter().enumerate() {
+            m.fire.pack_into(TIG_CAP, ws.x.col_mut(j));
+        }
+        Ok(())
+    }
+
+    /// Unpacks `ws.x` back into the member fire states and restores the
+    /// `(ψ, t_i)` invariants the analysis may have mixed.
+    fn unpack_members(&self, members: &mut [CoupledState], ws: &EnsembleWorkspace) {
+        let time = members[0].time();
+        for (j, m) in members.iter_mut().enumerate() {
+            m.fire.unpack_into(ws.x.col(j), TIG_CAP * 0.99, time);
+            m.fire.sanitize(TIG_CAP * 0.99, time);
+        }
+    }
+
+    /// One full data-driven cycle against an observation pool: forecast all
+    /// members to `t_target`, pack the pool, analyze with the chosen
+    /// filter, and report the RMS innovation before and after — the Fig. 2
+    /// loop with the data source fully abstracted behind the pool. The
+    /// caller assembles the [`ObsSet`] for this analysis time (typically by
+    /// walking an [`wildfire_obs::ObsTimeline`]).
+    ///
+    /// # Errors
+    /// Model, observation-operator, and filter failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cycle_obs_ws(
+        &self,
+        members: &mut [CoupledState],
+        pool: &ObsSet<'_>,
+        filter: ObsFilter<'_>,
+        t_target: f64,
+        dt: f64,
+        rng: &mut GaussianSampler,
+        ws: &mut EnsembleWorkspace,
+    ) -> Result<ObsCycleReport> {
+        self.forecast_ws(members, t_target, dt, ws)?;
+        pool.pack_into(members, &mut ws.obs)
+            .map_err(EnsembleError::Store)?;
+        let forecast_innovation_rms = ws.obs.innovation_rms();
+        // `ws.obs` is already packed for the forecast states; the packed
+        // analysis variants reuse it instead of re-evaluating every
+        // operator on unchanged members.
+        match filter {
+            ObsFilter::Standard { inflation } => {
+                self.analyze_packed_ws(members, inflation, rng, ws)?;
+            }
+            ObsFilter::Etkf { inflation } => {
+                self.analyze_packed_etkf_ws(members, inflation, ws)?;
+            }
+            ObsFilter::Morphing(config) => {
+                self.analyze_obs_morphing_ws(members, pool, config, rng, ws)?;
+            }
+        }
+        pool.pack_into(members, &mut ws.obs)
+            .map_err(EnsembleError::Store)?;
+        Ok(ObsCycleReport {
+            forecast_innovation_rms,
+            analysis_innovation_rms: ws.obs.innovation_rms(),
+        })
     }
 
     /// One full cycle: forecast to `t_target`, evaluate, analyze with the
@@ -425,9 +683,11 @@ impl EnsembleDriver {
     /// per-worker [`CoupledWorkspace`]s and the analysis through the packed
     /// filter scratch, so repeated cycles with one [`EnsembleWorkspace`]
     /// reuse every dense stepping/analysis buffer. Remaining allocations:
-    /// the two metrics evaluations (per-member component masks), plus —
-    /// with `threads > 1` — the scoped worker threads and the column
-    /// fan-out's borrow vector. Bit-identical to the allocating wrapper.
+    /// the two metrics evaluations (per-member component masks), the
+    /// standard path's one-entry pool descriptor (the `obs_stride` wrapper
+    /// builds a [`StridedPsi`] + [`ObsSet`] per call), plus — with
+    /// `threads > 1` — the scoped worker threads. Bit-identical to the
+    /// allocating wrapper.
     ///
     /// # Errors
     /// Model and filter failures.
@@ -668,6 +928,224 @@ mod tests {
                 assert_eq!(a.atmos.theta, b.atmos.theta, "cycle {k}");
             }
         }
+    }
+
+    #[test]
+    fn explicit_strided_pool_matches_legacy_obs_stride_path_bitwise() {
+        // The demoted `obs_stride` wrapper and a hand-assembled
+        // StridedPsi + ObsSet must be the same analysis, bit for bit —
+        // the seed behavior is pinned through the new seam.
+        let d = driver(2);
+        let truth = d.model.ignite(
+            &[IgnitionShape::Circle {
+                center: (210.0, 200.0),
+                radius: 25.0,
+            }],
+            0.0,
+        );
+        let mut legacy = d.initial_ensemble(&setup(7));
+        let mut pooled = legacy.clone();
+        let (stride, sigma, inflation) = (5, 1.5, 1.02);
+
+        let mut rng_a = GaussianSampler::new(31);
+        let mut ws_a = EnsembleWorkspace::new();
+        d.analyze_standard_ws(
+            &mut legacy,
+            &truth.fire,
+            stride,
+            sigma,
+            inflation,
+            &mut rng_a,
+            &mut ws_a,
+        )
+        .unwrap();
+
+        let op = wildfire_obs::StridedPsi::new(truth.fire.grid(), stride, sigma);
+        let mut data = Vec::new();
+        op.measure_truth_into(&truth.fire, &mut data).unwrap();
+        let mut pool = wildfire_obs::ObsSet::new();
+        pool.push(&op, &data).unwrap();
+        let mut rng_b = GaussianSampler::new(31);
+        let mut ws_b = EnsembleWorkspace::new();
+        d.analyze_obs_ws(&mut pooled, &pool, inflation, &mut rng_b, &mut ws_b)
+            .unwrap();
+
+        for (a, b) in legacy.iter().zip(pooled.iter()) {
+            assert_eq!(a.fire.psi, b.fire.psi, "ψ must match bitwise");
+            assert_eq!(a.fire.tig, b.fire.tig, "t_i must match bitwise");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_pool_pulls_ensemble_toward_truth() {
+        // Strided ψ + a 4-station temperature network in ONE analysis.
+        let d = driver(2);
+        let truth = d.model.ignite(
+            &[IgnitionShape::Circle {
+                center: (200.0, 200.0),
+                radius: 25.0,
+            }],
+            0.0,
+        );
+        let mut members = d.initial_ensemble(&setup(8));
+
+        let psi_op = wildfire_obs::StridedPsi::new(truth.fire.grid(), 5, 1.0);
+        let mut psi_data = Vec::new();
+        psi_op
+            .measure_truth_into(&truth.fire, &mut psi_data)
+            .unwrap();
+        let st_op = wildfire_obs::StationTemperatures::new(
+            vec![
+                wildfire_obs::WeatherStation::new("S0", 120.0, 120.0),
+                wildfire_obs::WeatherStation::new("S1", 240.0, 120.0),
+                wildfire_obs::WeatherStation::new("S2", 120.0, 240.0),
+                wildfire_obs::WeatherStation::new("S3", 240.0, 240.0),
+            ],
+            300.0,
+            1.0,
+        );
+        let mut st_data = Vec::new();
+        let mut rng_data = GaussianSampler::new(8);
+        wildfire_obs::synthesize_measurements(&st_op, &truth, &mut rng_data, &mut st_data).unwrap();
+
+        let mut pool = wildfire_obs::ObsSet::new();
+        pool.push(&psi_op, &psi_data).unwrap();
+        pool.push(&st_op, &st_data).unwrap();
+        assert_eq!(pool.len(), 2);
+
+        let before: f64 = members
+            .iter()
+            .map(|m| m.fire.psi.rmse(&truth.fire.psi).unwrap())
+            .sum::<f64>()
+            / 8.0;
+        let mut rng = GaussianSampler::new(5);
+        let mut ws = EnsembleWorkspace::new();
+        d.analyze_obs_ws(&mut members, &pool, 1.0, &mut rng, &mut ws)
+            .unwrap();
+        let after: f64 = members
+            .iter()
+            .map(|m| m.fire.psi.rmse(&truth.fire.psi).unwrap())
+            .sum::<f64>()
+            / 8.0;
+        assert!(after < before, "ψ RMSE must drop: {before} → {after}");
+        for m in &members {
+            assert!(m.fire.is_consistent());
+        }
+    }
+
+    #[test]
+    fn etkf_pool_variant_is_deterministic_and_improves_fit() {
+        let d = driver(2);
+        let truth = d.model.ignite(
+            &[IgnitionShape::Circle {
+                center: (200.0, 200.0),
+                radius: 25.0,
+            }],
+            0.0,
+        );
+        let psi_op = wildfire_obs::StridedPsi::new(truth.fire.grid(), 7, 1.0);
+        let mut data = Vec::new();
+        psi_op.measure_truth_into(&truth.fire, &mut data).unwrap();
+        let mut pool = wildfire_obs::ObsSet::new();
+        pool.push(&psi_op, &data).unwrap();
+
+        let members0 = d.initial_ensemble(&setup(6));
+        let before: f64 = members0
+            .iter()
+            .map(|m| m.fire.psi.rmse(&truth.fire.psi).unwrap())
+            .sum::<f64>()
+            / 6.0;
+        let run = |mut members: Vec<CoupledState>| {
+            let mut ws = EnsembleWorkspace::new();
+            d.analyze_obs_etkf_ws(&mut members, &pool, 1.0, &mut ws)
+                .unwrap();
+            members
+        };
+        let a = run(members0.clone());
+        let b = run(members0);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.fire.psi, y.fire.psi, "ETKF must be deterministic");
+        }
+        let after: f64 = a
+            .iter()
+            .map(|m| m.fire.psi.rmse(&truth.fire.psi).unwrap())
+            .sum::<f64>()
+            / 6.0;
+        assert!(after < before, "ψ RMSE must drop: {before} → {after}");
+    }
+
+    #[test]
+    fn dense_psi_pool_morphing_matches_truth_field_morphing_bitwise() {
+        // A stride-1 gridded ψ stream carries the same information as the
+        // truth field the legacy morphing entry point consumes; with only
+        // field 0 observed the two paths must coincide bit for bit.
+        let d = driver(2);
+        let truth = d.model.ignite(
+            &[IgnitionShape::Circle {
+                center: (230.0, 230.0),
+                radius: 25.0,
+            }],
+            0.0,
+        );
+        let cfg = MorphingConfig {
+            registration: RegistrationConfig {
+                max_shift: 120.0,
+                shift_samples: 9,
+                levels: vec![3],
+                iterations: 15,
+                ..Default::default()
+            },
+            sigma_amplitude: 2.0,
+            sigma_displacement: 4.0,
+            observed_fields: vec![0],
+            ..Default::default()
+        };
+        let mut legacy = d.initial_ensemble(&setup(5));
+        let mut pooled = legacy.clone();
+
+        let mut rng_a = GaussianSampler::new(13);
+        let mut ws_a = EnsembleWorkspace::new();
+        d.analyze_morphing_ws(&mut legacy, &truth.fire, &cfg, &mut rng_a, &mut ws_a)
+            .unwrap();
+
+        let op = wildfire_obs::StridedPsi::new(truth.fire.grid(), 1, 1.0);
+        let mut data = Vec::new();
+        op.measure_truth_into(&truth.fire, &mut data).unwrap();
+        let mut pool = wildfire_obs::ObsSet::new();
+        pool.push(&op, &data).unwrap();
+        let mut rng_b = GaussianSampler::new(13);
+        let mut ws_b = EnsembleWorkspace::new();
+        d.analyze_obs_morphing_ws(&mut pooled, &pool, &cfg, &mut rng_b, &mut ws_b)
+            .unwrap();
+
+        for (a, b) in legacy.iter().zip(pooled.iter()) {
+            assert_eq!(a.fire.psi, b.fire.psi);
+            assert_eq!(a.fire.tig, b.fire.tig);
+        }
+    }
+
+    #[test]
+    fn morphing_pool_without_gridded_stream_rejected() {
+        let d = driver(1);
+        let mut members = d.initial_ensemble(&setup(4));
+        let st_op = wildfire_obs::StationTemperatures::new(
+            vec![wildfire_obs::WeatherStation::new("S", 200.0, 200.0)],
+            300.0,
+            1.0,
+        );
+        let data = vec![300.0];
+        let mut pool = wildfire_obs::ObsSet::new();
+        pool.push(&st_op, &data).unwrap();
+        let mut rng = GaussianSampler::new(1);
+        let mut ws = EnsembleWorkspace::new();
+        let err = d.analyze_obs_morphing_ws(
+            &mut members,
+            &pool,
+            &MorphingConfig::default(),
+            &mut rng,
+            &mut ws,
+        );
+        assert!(matches!(err, Err(EnsembleError::Config(_))));
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub mod parallel_enkf;
 pub mod pool;
 pub mod store;
 
-pub use driver::{CycleReport, EnsembleDriver, EnsembleSetup, EnsembleWorkspace, FilterKind};
+pub use driver::{
+    CycleReport, EnsembleDriver, EnsembleSetup, EnsembleWorkspace, FilterKind, ObsCycleReport,
+    ObsFilter,
+};
 pub use parallel_enkf::ParallelEnkf;
 pub use store::{DiskStore, MemStore, StateStore};
 
@@ -40,7 +43,7 @@ pub enum EnsembleError {
     Model(wildfire_core::CoupledError),
     /// Error from the filter.
     Filter(wildfire_enkf::EnkfError),
-    /// Error from state storage.
+    /// Error from the observation layer (operators, pools, state storage).
     Store(wildfire_obs::ObsError),
     /// Configuration problem.
     Config(&'static str),
@@ -51,7 +54,7 @@ impl std::fmt::Display for EnsembleError {
         match self {
             EnsembleError::Model(e) => write!(f, "model: {e}"),
             EnsembleError::Filter(e) => write!(f, "filter: {e}"),
-            EnsembleError::Store(e) => write!(f, "store: {e}"),
+            EnsembleError::Store(e) => write!(f, "observation layer: {e}"),
             EnsembleError::Config(msg) => write!(f, "config: {msg}"),
         }
     }

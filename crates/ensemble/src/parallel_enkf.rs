@@ -8,7 +8,7 @@
 //! sequential one (no reduction-order differences), which keeps parallel
 //! runs reproducible — a property the tests pin down.
 
-use crate::pool::parallel_for_each;
+use crate::pool::parallel_for_each_column;
 use crate::Result;
 use wildfire_enkf::{AnalysisWorkspace, EnkfError};
 use wildfire_math::{Cholesky, GaussianSampler, Matrix};
@@ -31,7 +31,9 @@ impl ParallelEnkf {
     /// Column-parallel `A · W` into a reusable output matrix. Each output
     /// column is an independent accumulation, so every thread count produces
     /// bit-identical results; the sequential path runs the same per-column
-    /// kernel without spawning.
+    /// kernel without spawning. The threaded path splits the column-major
+    /// output buffer into one contiguous chunk of columns per worker —
+    /// no per-call vector of column borrows is materialized.
     fn matmul_cols_into(&self, a: &Matrix, w: &Matrix, out: &mut Matrix) {
         out.resize_zeroed(a.rows(), w.cols());
         if self.threads <= 1 {
@@ -39,8 +41,7 @@ impl ParallelEnkf {
             return;
         }
         let rows = a.rows();
-        let mut cols: Vec<&mut [f64]> = out.as_mut_slice().chunks_mut(rows).collect();
-        parallel_for_each(&mut cols, self.threads, |j, col| {
+        parallel_for_each_column(out.as_mut_slice(), rows, self.threads, |j, col| {
             a.matvec_into(w.col(j), col)
                 .expect("dims validated by caller");
         });
@@ -64,9 +65,11 @@ impl ParallelEnkf {
     }
 
     /// Workspace-backed [`ParallelEnkf::analyze`]: the dense temporaries
-    /// come from `ws` and are reused across analyses (the parallel column
-    /// fan-out keeps only a per-call vector of column borrows). Bit-identical
-    /// to the allocating wrapper for every thread count.
+    /// come from `ws` and are reused across analyses; the threaded column
+    /// fan-out works on contiguous chunks of the output buffer, so the
+    /// analysis itself performs no per-call allocation (with `threads > 1`
+    /// only the scoped worker threads remain). Bit-identical to the
+    /// allocating wrapper for every thread count.
     ///
     /// # Errors
     /// Dimension mismatches and linear-algebra failures.

@@ -86,6 +86,50 @@ where
     .expect("worker thread panicked");
 }
 
+/// Runs `f(col_index, column)` over the contiguous length-`col_len` columns
+/// of a column-major buffer, partitioned into one contiguous *chunk of
+/// columns* per worker. Unlike fanning `parallel_for_each` over a
+/// materialized `Vec<&mut [f64]>` of column borrows, this splits the flat
+/// buffer directly — no per-call allocation. Each column's computation is
+/// independent of the partitioning, so results are bit-identical for every
+/// thread count.
+///
+/// # Panics
+/// Panics if `data.len()` is not a multiple of `col_len`.
+pub fn parallel_for_each_column<F>(data: &mut [f64], col_len: usize, threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert_eq!(
+        data.len() % col_len,
+        0,
+        "buffer length must be a whole number of columns"
+    );
+    let n_cols = data.len() / col_len;
+    let threads = threads.max(1).min(n_cols);
+    if threads == 1 {
+        for (j, col) in data.chunks_mut(col_len).enumerate() {
+            f(j, col);
+        }
+        return;
+    }
+    let cols_per_chunk = n_cols.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (c, chunk) in data.chunks_mut(cols_per_chunk * col_len).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (k, col) in chunk.chunks_mut(col_len).enumerate() {
+                    f(c * cols_per_chunk + k, col);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
 /// Maps `f` over indexed inputs in parallel, preserving order of results.
 pub fn parallel_map<T: Send + Sync, R: Send, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
@@ -178,6 +222,42 @@ mod tests {
         let mut items = vec![1u8];
         let mut wss: Vec<()> = vec![];
         parallel_for_each_ws(&mut items, &mut wss, |_, _, _| {});
+    }
+
+    #[test]
+    fn column_split_bitwise_identical_across_thread_counts() {
+        // The chunked column split must reproduce the sequential per-column
+        // kernel bit-for-bit regardless of the worker count, including
+        // counts that do not divide the column count.
+        let col_len = 13;
+        let n_cols = 29;
+        let init: Vec<f64> = (0..col_len * n_cols)
+            .map(|i| (i as f64) * 0.37 - 50.0)
+            .collect();
+        let run = |threads: usize| -> Vec<u64> {
+            let mut data = init.clone();
+            parallel_for_each_column(&mut data, col_len, threads, |j, col| {
+                for (k, v) in col.iter_mut().enumerate() {
+                    *v = (*v * 1.0001 + (j * col_len + k) as f64).sin();
+                }
+            });
+            data.iter().map(|v| v.to_bits()).collect()
+        };
+        let seq = run(1);
+        for threads in [2, 3, 5, 29, 64] {
+            assert_eq!(seq, run(threads), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn column_split_handles_empty_and_rejects_ragged() {
+        let mut empty: Vec<f64> = vec![];
+        parallel_for_each_column(&mut empty, 4, 3, |_, _| {});
+        let caught = std::panic::catch_unwind(|| {
+            let mut ragged = vec![0.0; 7];
+            parallel_for_each_column(&mut ragged, 4, 2, |_, _| {});
+        });
+        assert!(caught.is_err(), "ragged buffers must be rejected");
     }
 
     #[test]

@@ -162,6 +162,15 @@ impl LevelSetSolver {
         ws: &mut FireWorkspace,
     ) -> f64 {
         let s_max = self.rhs_into(&state.psi, wind, &mut ws.k1);
+        self.cfl_bound(s_max)
+    }
+
+    /// The safety-factored stability bound `cfl / (S·(1/dx + 1/dy))` for a
+    /// given maximum spread rate (infinite when nothing propagates) — the
+    /// single home of the CFL convention shared by
+    /// [`LevelSetSolver::max_stable_dt_ws`] and
+    /// [`LevelSetSolver::advance_to_ws`].
+    fn cfl_bound(&self, s_max: f64) -> f64 {
         let g = self.mesh.grid;
         if s_max <= 0.0 {
             return f64::INFINITY;
@@ -200,6 +209,22 @@ impl LevelSetSolver {
             return Err(FireError::GridMismatch("level-set step"));
         }
         let s_max = self.rhs_into(&state.psi, wind, &mut ws.k1);
+        self.step_prepared(state, wind, dt, s_max, ws)
+    }
+
+    /// Completes one step whose first-stage slope `k1 = −S‖∇ψ‖` (and its
+    /// maximum spread rate `s_max`) is already in `ws.k1` for the *current*
+    /// ψ — the seam that lets [`LevelSetSolver::advance_to_ws`] share one
+    /// RHS evaluation between the CFL bound and the step itself instead of
+    /// evaluating it twice.
+    fn step_prepared(
+        &self,
+        state: &mut FireState,
+        wind: &VectorField2,
+        dt: f64,
+        s_max: f64,
+        ws: &mut FireWorkspace,
+    ) -> Result<()> {
         let g = self.mesh.grid;
         if self.enforce_cfl && s_max > 0.0 {
             let dt_max = 1.0 / (s_max * (1.0 / g.dx + 1.0 / g.dy));
@@ -258,8 +283,12 @@ impl LevelSetSolver {
         self.advance_to_ws(state, wind, t_target, dt_hint, &mut ws)
     }
 
-    /// Allocation-free [`LevelSetSolver::advance_to`] driving
-    /// [`LevelSetSolver::step_ws`].
+    /// Allocation-free [`LevelSetSolver::advance_to`]. The level-set RHS is
+    /// evaluated **once** per step: the same `k1 = −S‖∇ψ‖` that yields the
+    /// CFL bound is handed to the integrator (the seed evaluated it twice —
+    /// once in `max_stable_dt`, again inside `step`). Bit-identical to
+    /// driving [`LevelSetSolver::max_stable_dt_ws`] + [`LevelSetSolver::step_ws`]
+    /// by hand, at roughly two-thirds the Heun-step cost.
     ///
     /// # Errors
     /// Propagates stepping errors.
@@ -271,11 +300,17 @@ impl LevelSetSolver {
         dt_hint: f64,
         ws: &mut FireWorkspace,
     ) -> Result<usize> {
+        let g = self.mesh.grid;
         let mut steps = 0;
         while state.time < t_target - 1e-12 {
-            let dt_cfl = self.max_stable_dt_ws(state, wind, ws);
-            let dt = dt_hint.min(dt_cfl).min(t_target - state.time);
-            self.step_ws(state, wind, dt, ws)?;
+            if wind.grid() != g || state.grid() != g {
+                return Err(FireError::GridMismatch("level-set step"));
+            }
+            let s_max = self.rhs_into(&state.psi, wind, &mut ws.k1);
+            let dt = dt_hint
+                .min(self.cfl_bound(s_max))
+                .min(t_target - state.time);
+            self.step_prepared(state, wind, dt, s_max, ws)?;
             steps += 1;
             if steps > 1_000_000 {
                 // Defensive: the CFL bound should never drive dt to zero.
@@ -529,6 +564,35 @@ mod tests {
             assert_eq!(shared.psi, fresh.psi, "n = {n}");
             assert_eq!(shared.tig, fresh.tig, "n = {n}");
         }
+    }
+
+    #[test]
+    fn advance_shares_rhs_but_matches_manual_loop_bitwise() {
+        // advance_to_ws evaluates the RHS once per step (shared between the
+        // CFL bound and the integrator); the result must still be
+        // bit-identical to the two-evaluation manual loop.
+        let solver = grass_solver(41, 2.0);
+        let wind = VectorField2::from_fn(solver.mesh.grid, |ix, iy| {
+            (4.0 + 0.02 * ix as f64, 0.5 - 0.01 * iy as f64)
+        });
+        let mut fused = circle_state(&solver, 8.0);
+        let mut manual = fused.clone();
+        let mut ws_f = FireWorkspace::new();
+        let mut ws_m = FireWorkspace::new();
+        let steps = solver
+            .advance_to_ws(&mut fused, &wind, 12.0, 1.0, &mut ws_f)
+            .unwrap();
+        let mut manual_steps = 0;
+        while manual.time < 12.0 - 1e-12 {
+            let dt_cfl = solver.max_stable_dt_ws(&manual, &wind, &mut ws_m);
+            let dt = 1.0_f64.min(dt_cfl).min(12.0 - manual.time);
+            solver.step_ws(&mut manual, &wind, dt, &mut ws_m).unwrap();
+            manual_steps += 1;
+        }
+        assert_eq!(steps, manual_steps);
+        assert_eq!(fused.psi, manual.psi, "ψ must match bitwise");
+        assert_eq!(fused.tig, manual.tig, "t_i must match bitwise");
+        assert_eq!(fused.time, manual.time);
     }
 
     #[test]

@@ -1,8 +1,23 @@
 //! # wildfire-obs
 //!
 //! The observation layer of §3.1: everything between the model state and
-//! the "real data pool" of Fig. 2.
+//! the "real data pool" of Fig. 2. The assimilation components never see an
+//! instrument — they see [`ObservationOperator`]s packed into an [`ObsSet`]:
+//! the thin software layer the paper requires between the data sources and
+//! the EnKF.
 //!
+//! * [`operator`] — the [`ObservationOperator`] trait (`h(x)` plus error
+//!   variances) and its concrete instruments: [`StridedPsi`] (gridded ψ
+//!   samples, the identical-twin baseline), [`StationTemperatures`]
+//!   (weather-station networks), and [`ImagePixels`] (synthetic infrared
+//!   imagery).
+//! * [`obs_set`] — [`ObsSet`]: a heterogeneous pool of operators + real
+//!   measurements packed block-wise into the single `(y, H(X), R)` triple
+//!   one analysis consumes, allocation-free in steady state through an
+//!   [`ObsWorkspace`].
+//! * [`timeline`] — time-tagged data streams: [`ObsStreamSpec`] declares an
+//!   instrument and its cadence, [`ObsTimeline`] expands declarations into
+//!   the sorted schedule of analysis times a driver walks.
 //! * [`station`] — weather stations reporting location, timestamp,
 //!   temperature, wind, and humidity; the observation operator locates the
 //!   station's grid cell by linear interpolation of the location and
@@ -18,10 +33,19 @@
 //!   the transfer method from the assimilation components, as §3.1 requires.
 
 pub mod image_obs;
+pub mod obs_set;
+pub mod operator;
 pub mod statefile;
 pub mod station;
+pub mod timeline;
 
-pub use station::{StationObservation, StationReport, WeatherStation};
+pub use obs_set::{ObsEntry, ObsSet, ObsWorkspace};
+pub use operator::{
+    synthesize_measurements, ImagePixels, ObsScratch, ObservationOperator, StationTemperatures,
+    StridedPsi,
+};
+pub use station::{StationObservation, StationReport, SurfaceFields, WeatherStation};
+pub use timeline::{ObsEvent, ObsStreamKind, ObsStreamSpec, ObsTimeline};
 
 /// Errors from the observation layer.
 #[derive(Debug)]
@@ -34,6 +58,9 @@ pub enum ObsError {
     MissingRecord(String),
     /// Grid/scene errors from rendering synthetic images.
     Scene(wildfire_scene::SceneError),
+    /// An observation operator rejected its inputs (grid mismatch,
+    /// measurement-vector length, …).
+    Operator(&'static str),
 }
 
 impl std::fmt::Display for ObsError {
@@ -43,6 +70,7 @@ impl std::fmt::Display for ObsError {
             ObsError::BadStateFile(msg) => write!(f, "bad state file: {msg}"),
             ObsError::MissingRecord(name) => write!(f, "missing record: {name}"),
             ObsError::Scene(e) => write!(f, "scene: {e}"),
+            ObsError::Operator(msg) => write!(f, "observation operator: {msg}"),
         }
     }
 }

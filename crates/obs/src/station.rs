@@ -51,6 +51,63 @@ pub struct StationObservation {
     pub cell: (usize, usize),
 }
 
+/// Reusable near-surface fields shared by every station of a network when
+/// observing one state: 2-m temperature, vapor, and the cell-centered
+/// horizontal wind on the atmosphere's horizontal grid. Building these once
+/// per state (instead of once per station, as the seed did) makes network
+/// evaluation `O(grid + stations)` and allocation-free in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct SurfaceFields {
+    /// 2-m air temperature `θ0 + θ'` (K).
+    pub temperature: Field2,
+    /// Water-vapor perturbation (kg/kg).
+    pub qv: Field2,
+    /// Cell-centered surface wind, `u` component (m/s).
+    pub u: Field2,
+    /// Cell-centered surface wind, `v` component (m/s).
+    pub v: Field2,
+}
+
+impl SurfaceFields {
+    /// An empty scratch; fields are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluates the surface fields of `state` into this scratch
+    /// (allocation-free once the buffers are sized).
+    pub fn evaluate(&mut self, state: &CoupledState, theta0: f64) {
+        let agrid = state.atmos.grid;
+        let h = agrid.horizontal();
+        self.evaluate_temperature(state, theta0);
+        self.qv.resize_zeroed(h);
+        self.u.resize_zeroed(h);
+        self.v.resize_zeroed(h);
+        for j in 0..agrid.ny {
+            for i in 0..agrid.nx {
+                self.qv.set(i, j, state.atmos.qv[agrid.cell(i, j, 0)]);
+                let (uc, vc) = state.atmos.wind_at_center(i, j, 0);
+                self.u.set(i, j, uc);
+                self.v.set(i, j, vc);
+            }
+        }
+    }
+
+    /// Evaluates only the 2-m temperature field — the sweep a
+    /// temperature-only network needs; the vapor and wind fills (3/4 of the
+    /// full [`SurfaceFields::evaluate`] cost) are skipped.
+    pub fn evaluate_temperature(&mut self, state: &CoupledState, theta0: f64) {
+        let agrid = state.atmos.grid;
+        self.temperature.resize_zeroed(agrid.horizontal());
+        for j in 0..agrid.ny {
+            for i in 0..agrid.nx {
+                self.temperature
+                    .set(i, j, theta0 + state.atmos.theta[agrid.cell(i, j, 0)]);
+            }
+        }
+    }
+}
+
 impl WeatherStation {
     /// Creates a station.
     pub fn new(id: impl Into<String>, x: f64, y: f64) -> Self {
@@ -65,33 +122,32 @@ impl WeatherStation {
     /// biquadratic interpolation of the surface fields, fireline check in
     /// the cell and its 8 neighbors.
     pub fn observe(&self, state: &CoupledState, theta0: f64) -> StationObservation {
-        let agrid = state.atmos.grid;
-        let h = agrid.horizontal();
+        let mut surface = SurfaceFields::new();
+        surface.evaluate(state, theta0);
+        self.observe_with(state, &surface)
+    }
 
-        // Surface fields on the horizontal grid.
-        let temp = Field2::from_fn(h, |i, j| theta0 + state.atmos.theta[agrid.cell(i, j, 0)]);
-        let qv = Field2::from_fn(h, |i, j| state.atmos.qv[agrid.cell(i, j, 0)]);
-        let (uf, vf) = {
-            let mut u = Field2::zeros(h);
-            let mut v = Field2::zeros(h);
-            for j in 0..agrid.ny {
-                for i in 0..agrid.nx {
-                    let (uc, vc) = state.atmos.wind_at_center(i, j, 0);
-                    u.set(i, j, uc);
-                    v.set(i, j, vc);
-                }
-            }
-            (u, v)
-        };
-
+    /// Scratch-backed [`WeatherStation::observe`]: samples pre-evaluated
+    /// [`SurfaceFields`], so a station network pays the surface-field sweep
+    /// once per state instead of once per station. Bit-identical to
+    /// [`WeatherStation::observe`].
+    pub fn observe_with(
+        &self,
+        state: &CoupledState,
+        surface: &SurfaceFields,
+    ) -> StationObservation {
+        let h = state.atmos.grid.horizontal();
         let (x, y) = self.location;
         // §3.1: locate the cell (linear interpolation of the location) …
         let (ci, cj, _, _) = h.locate(x, y);
         // … and evaluate the fields by biquadratic interpolation.
-        let temperature = temp.sample_biquadratic(x, y);
-        let wind = (uf.sample_biquadratic(x, y), vf.sample_biquadratic(x, y));
+        let temperature = surface.temperature.sample_biquadratic(x, y);
+        let wind = (
+            surface.u.sample_biquadratic(x, y),
+            surface.v.sample_biquadratic(x, y),
+        );
         // Humidity proxy: vapor perturbation mapped to a relative scale.
-        let humidity = (0.4 + qv.sample_biquadratic(x, y) * 50.0).clamp(0.0, 1.0);
+        let humidity = (0.4 + surface.qv.sample_biquadratic(x, y) * 50.0).clamp(0.0, 1.0);
 
         // Fireline proximity: any front crossing in the station's atmosphere
         // cell or its neighbors, measured on the fire mesh.
@@ -157,10 +213,12 @@ pub fn synthesize_reports(
     noise_wind: f64,
     rng: &mut wildfire_math::GaussianSampler,
 ) -> Vec<StationReport> {
+    let mut surface = SurfaceFields::new();
+    surface.evaluate(truth, theta0);
     stations
         .iter()
         .map(|s| {
-            let o = s.observe(truth, theta0);
+            let o = s.observe_with(truth, &surface);
             StationReport {
                 time: truth.time(),
                 temperature: o.temperature + rng.normal(0.0, noise_temp),
@@ -308,6 +366,21 @@ mod tests {
         assert!(reports
             .windows(2)
             .any(|w| w[0].temperature != w[1].temperature));
+    }
+
+    #[test]
+    fn observe_with_shared_surface_matches_observe() {
+        // One SurfaceFields evaluation must serve every station of a
+        // network bit-identically to the per-station path.
+        let m = model();
+        let mut s = burning_state(&m);
+        m.run(&mut s, 6.0, 0.5, |_, _| {}).unwrap();
+        let mut surface = SurfaceFields::new();
+        surface.evaluate(&s, 300.0);
+        for (x, y) in [(240.0, 240.0), (95.0, 310.0), (60.0, 60.0)] {
+            let st = WeatherStation::new("W", x, y);
+            assert_eq!(st.observe(&s, 300.0), st.observe_with(&s, &surface));
+        }
     }
 
     #[test]

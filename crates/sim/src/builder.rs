@@ -43,6 +43,7 @@ impl SimulationBuilder {
                 ignition_time: 0.0,
                 coupled: true,
                 dt: 0.5,
+                streams: Vec::new(),
             },
             explicit_ignitions: false,
         }
@@ -141,6 +142,13 @@ impl SimulationBuilder {
     /// Sets the reference coupled step (s).
     pub fn dt(mut self, dt: f64) -> Self {
         self.scenario.dt = dt;
+        self
+    }
+
+    /// Declares an observation data stream (instrument + cadence) for the
+    /// scenario's real-data pool.
+    pub fn observe(mut self, stream: wildfire_obs::ObsStreamSpec) -> Self {
+        self.scenario.streams.push(stream);
         self
     }
 

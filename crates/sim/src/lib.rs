@@ -18,9 +18,16 @@
 //!   shifts while stepping;
 //! * [`registry`] — named, ready-to-run scenarios (the paper's Fig. 1
 //!   fireline, circle ignition, multi-ignition merge, mid-run wind shift,
-//!   heterogeneous fuel map, uncoupled baseline, …);
+//!   heterogeneous fuel map, uncoupled baseline, the Fig. 2 data-driven
+//!   loop, …);
 //! * [`perturb`] — ensemble-perturbation hooks turning one scenario into a
 //!   member family (displaced ignitions, jittered winds).
+//!
+//! Scenarios also declare their **observation data streams**
+//! ([`Scenario::streams`], [`wildfire_obs::ObsStreamSpec`]): what
+//! instruments report (gridded ψ, weather stations, thermal imagery) and
+//! how often. [`Scenario::timeline`] expands the declarations into the
+//! sorted [`wildfire_obs::ObsTimeline`] an assimilation driver walks.
 
 pub mod builder;
 pub mod perturb;

@@ -5,6 +5,7 @@
 use crate::scenario::{DomainSpec, FuelPatch, FuelSpec, Scenario, WindShift, WindSpec};
 use wildfire_fire::IgnitionShape;
 use wildfire_fuel::FuelCategory;
+use wildfire_obs::{ObsStreamKind, ObsStreamSpec};
 
 /// Fig. 1 fireline of the paper: two line ignitions and one circle that
 /// merge while coupling to the atmosphere.
@@ -22,6 +23,10 @@ pub const WIND_SHIFT: &str = "wind-shift";
 pub const HETEROGENEOUS_FUEL: &str = "heterogeneous-fuel";
 /// Tall-grass circle burn framed for the Fig. 3 infrared scene.
 pub const GRASS_SCENE: &str = "grass-scene";
+/// The Fig. 2 data-driven loop: a circle burn with a declared observation
+/// pool — gridded ψ every 60 s plus a 2×2 weather-station network every
+/// 30 s — for identical-twin assimilation cycles.
+pub const FIG2_DATA_DRIVEN: &str = "fig2-data-driven";
 
 /// The paper's Fig. 1 ignition geometry, shared by several scenarios.
 fn fig1_ignitions() -> Vec<IgnitionShape> {
@@ -62,6 +67,7 @@ fn scenario(
         ignition_time: 0.0,
         coupled,
         dt: 0.5,
+        streams: Vec::new(),
     }
 }
 
@@ -140,6 +146,7 @@ pub fn all() -> Vec<Scenario> {
             ignition_time: 0.0,
             coupled: true,
             dt: 0.5,
+            streams: Vec::new(),
         },
         scenario(
             HETEROGENEOUS_FUEL,
@@ -177,6 +184,40 @@ pub fn all() -> Vec<Scenario> {
             }],
             true,
         ),
+        scenario(
+            FIG2_DATA_DRIVEN,
+            "Fig. 2 loop: circle burn with a declared data pool (gridded psi + station network)",
+            DomainSpec::SMALL,
+            FuelSpec::Uniform(FuelCategory::ShortGrass),
+            WindSpec::steady(2.0, 1.0),
+            vec![IgnitionShape::Circle {
+                center: (240.0, 240.0),
+                radius: 25.0,
+            }],
+            true,
+        )
+        .with_stream(ObsStreamSpec::new(
+            ObsStreamKind::StridedPsi {
+                stride: 5,
+                sigma: 1.0,
+            },
+            60.0,
+            60.0,
+        ))
+        .with_stream(ObsStreamSpec::new(
+            ObsStreamKind::Stations {
+                locations: vec![
+                    (150.0, 150.0),
+                    (330.0, 150.0),
+                    (150.0, 330.0),
+                    (330.0, 330.0),
+                ],
+                theta0: 300.0,
+                sigma: 1.0,
+            },
+            30.0,
+            30.0,
+        )),
     ]
 }
 
@@ -261,6 +302,20 @@ mod tests {
         }
         let after = sim.model.atmos.params.ambient_wind;
         assert_ne!(before, after, "ambient wind must shift mid-run");
+    }
+
+    #[test]
+    fn data_driven_scenario_declares_a_heterogeneous_pool() {
+        let scn = by_name(FIG2_DATA_DRIVEN).expect("present");
+        assert_eq!(scn.streams.len(), 2, "gridded psi + station network");
+        let tl = scn.timeline(120.0);
+        assert_eq!(tl.analysis_times(), vec![30.0, 60.0, 90.0, 120.0]);
+        // Both streams report at the shared instants — that is what makes
+        // the packed ObsSet heterogeneous there.
+        assert_eq!(tl.streams_due_at(60.0).count(), 2);
+        assert_eq!(tl.streams_due_at(30.0).count(), 1);
+        // Other registry scenarios stay forward-only.
+        assert!(by_name(FIG1_FIRELINE).expect("fig1").streams.is_empty());
     }
 
     #[test]

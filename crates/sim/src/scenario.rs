@@ -8,6 +8,7 @@ use wildfire_atmos::state::AtmosGrid;
 use wildfire_core::{CoupledModel, CoupledState};
 use wildfire_fire::IgnitionShape;
 use wildfire_fuel::FuelCategory;
+use wildfire_obs::{ObsStreamSpec, ObsTimeline};
 
 /// Discretization of the coupled domain: the atmosphere grid plus the fire
 /// mesh refinement ratio.
@@ -175,6 +176,11 @@ pub struct Scenario {
     pub coupled: bool,
     /// Reference coupled time step (s); the paper uses 0.5 s.
     pub dt: f64,
+    /// Declared observation data streams (Fig. 2's "real data pool"):
+    /// instruments plus reporting cadence. Empty for forward-only
+    /// scenarios; assimilation harnesses expand them over a run window via
+    /// [`Scenario::timeline`].
+    pub streams: Vec<ObsStreamSpec>,
 }
 
 impl Scenario {
@@ -232,5 +238,18 @@ impl Scenario {
     pub fn with_fuel(mut self, fuel: FuelSpec) -> Self {
         self.fuel = fuel;
         self
+    }
+
+    /// Returns the scenario with an additional declared data stream.
+    pub fn with_stream(mut self, stream: ObsStreamSpec) -> Self {
+        self.streams.push(stream);
+        self
+    }
+
+    /// Expands this scenario's declared data streams over `[0, t_end]` into
+    /// the merged, sorted schedule of analysis times (empty when the
+    /// scenario declares no streams).
+    pub fn timeline(&self, t_end: f64) -> ObsTimeline {
+        ObsTimeline::from_streams(&self.streams, t_end)
     }
 }

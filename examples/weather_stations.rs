@@ -2,14 +2,18 @@
 //! timestamp, temperature, wind, and humidity; the observation operator
 //! locates each station's grid cell, interpolates model fields
 //! biquadratically, compares against the reports, and checks for a fireline
-//! near each station.
+//! near each station. The same network then rides the trait-based
+//! observation pipeline: wrapped as a [`StationTemperatures`] operator and
+//! packed into an [`ObsSet`] — the `(y, H(X), R)` triple the EnKF consumes —
+//! against a small ensemble.
 //!
 //! Run with: `cargo run --release --example weather_stations`
 
 use wildfire::fire::ignition::IgnitionShape;
 use wildfire::math::GaussianSampler;
 use wildfire::obs::station::{synthesize_reports, WeatherStation};
-use wildfire::sim::registry;
+use wildfire::obs::{ObsSet, ObsWorkspace, ObservationOperator, StationTemperatures};
+use wildfire::sim::{perturb, registry, PerturbationSpec};
 
 fn main() {
     // The registry circle-ignition scenario, radius widened to 30 m.
@@ -59,4 +63,30 @@ fn main() {
     }
     println!("\nStations flagged YES have the fireline inside their atmosphere cell");
     println!("or a neighboring one (the Sec. 3.1 fire-presence confirmation).");
+
+    // --- The same network as an assimilation data source -----------------
+    // Wrap it as an ObservationOperator and pack it, together with the
+    // report temperatures, into the (y, H(X), R) triple against a small
+    // perturbed ensemble — what EnsembleDriver::analyze_obs_ws consumes.
+    let op = StationTemperatures::new(stations, 300.0, 1.0);
+    let temps: Vec<f64> = reports.iter().map(|r| r.temperature).collect();
+    let mut pool = ObsSet::new();
+    pool.push(&op, &temps).expect("matching dimensions");
+
+    let spec = PerturbationSpec::position_only(15.0, 7);
+    let members = perturb::perturbed_states(&scenario, &spec, 4, &sim.model).expect("ensemble");
+    let mut ws = ObsWorkspace::new();
+    pool.pack_into(&members, &mut ws).expect("pack");
+    println!(
+        "\npacked as an ObsSet: operator '{}', m = {} observations x N = {} members",
+        op.name(),
+        pool.total_dim(),
+        members.len()
+    );
+    println!(
+        "ensemble-mean innovation RMS against the reports: {:.3} K",
+        ws.innovation_rms()
+    );
+    println!("(the members were just ignited, so their boundary layer is still");
+    println!("ambient; the fire-heated report temperatures show up as innovation)");
 }

@@ -7,11 +7,13 @@ use wildfire::enkf::{MorphingConfig, RegistrationConfig};
 use wildfire::ensemble::driver::EnsembleDriver;
 use wildfire::ensemble::metrics::evaluate_coupled_ensemble;
 use wildfire::ensemble::store::{DiskStore, MemStore, StateStore};
+use wildfire::ensemble::{EnsembleWorkspace, ObsFilter};
 use wildfire::fire::heat::energy_released;
 use wildfire::fire::ignition::IgnitionShape;
 use wildfire::math::GaussianSampler;
 use wildfire::obs::image_obs::ImageObservation;
 use wildfire::obs::station::WeatherStation;
+use wildfire::obs::ObservationOperator;
 use wildfire::sim::{perturb, registry, PerturbationSpec, Scenario};
 
 /// The shared test scenario: the registry circle ignition with the (2, 1)
@@ -198,6 +200,100 @@ fn full_assimilation_cycle_improves_displaced_ensemble() {
             .model
             .run(m, 65.0, 0.5, |_, _| {})
             .expect("post-analysis run");
+    }
+}
+
+#[test]
+fn heterogeneous_obs_set_cycle_beats_free_running_forecast() {
+    // The ISSUE-3 acceptance pipeline, end to end: the fig2-data-driven
+    // scenario declares a gridded-ψ stream and a 4-station network; an
+    // identical-twin truth run feeds both; EnsembleDriver::cycle_obs_ws
+    // assimilates the mixed pool (strided ψ + stations in ONE analysis) and
+    // must reduce the ensemble-mean ψ RMSE against a free-running forecast
+    // of the same initial ensemble.
+    let scenario = registry::by_name(registry::FIG2_DATA_DRIVEN).expect("registry scenario");
+    let believed = scenario.clone().with_ignitions(vec![IgnitionShape::Circle {
+        center: (180.0, 200.0),
+        radius: 25.0,
+    }]);
+    let model = scenario.model().expect("valid scenario");
+    let driver = EnsembleDriver::new(model, 2);
+    let mut truth = scenario.ignite(&driver.model);
+
+    let operators: Vec<Box<dyn ObservationOperator>> = scenario
+        .streams
+        .iter()
+        .map(|s| s.build_operator(&driver.model))
+        .collect();
+    let t_end = 60.0;
+    let timeline = scenario.timeline(t_end);
+    assert!(
+        timeline.streams_due_at(t_end).count() >= 2,
+        "both streams must report at the final analysis"
+    );
+
+    let spec = PerturbationSpec::position_only(10.0, 5);
+    let mut members =
+        perturb::perturbed_states(&believed, &spec, 6, &driver.model).expect("ensemble");
+    let mut free = members.clone();
+
+    let mut ws = EnsembleWorkspace::new();
+    let mut free_ws = EnsembleWorkspace::new();
+    let mut rng = GaussianSampler::new(99);
+    let mut data_rng = GaussianSampler::new(17);
+    let mut last_report = None;
+    let mut blocks: Vec<Vec<f64>> = Vec::new();
+    for t in timeline.analysis_times() {
+        driver
+            .model
+            .run(&mut truth, t, scenario.dt, |_, _| {})
+            .expect("truth run");
+        let pool = timeline
+            .synthesize_due_pool(&operators, t, &truth, &mut data_rng, &mut blocks)
+            .expect("data synthesis");
+        let report = driver
+            .cycle_obs_ws(
+                &mut members,
+                &pool,
+                ObsFilter::Standard { inflation: 1.02 },
+                t,
+                scenario.dt,
+                &mut rng,
+                &mut ws,
+            )
+            .expect("cycle");
+        driver
+            .forecast_ws(&mut free, t, scenario.dt, &mut free_ws)
+            .expect("free forecast");
+        if pool.len() >= 2 {
+            last_report = Some(report);
+        }
+    }
+
+    // The heterogeneous analysis must have reduced the innovation…
+    let report = last_report.expect("a heterogeneous analysis ran");
+    assert!(
+        report.analysis_innovation_rms < report.forecast_innovation_rms,
+        "innovation RMS must drop: {} → {}",
+        report.forecast_innovation_rms,
+        report.analysis_innovation_rms
+    );
+    // …and the assimilated ensemble must fit the truth better than the
+    // free-running forecast, member-mean ψ RMSE.
+    let rmse = |ens: &[wildfire::core::CoupledState]| {
+        ens.iter()
+            .map(|m| m.fire.psi.rmse(&truth.fire.psi).expect("same grid"))
+            .sum::<f64>()
+            / ens.len() as f64
+    };
+    let assimilated = rmse(&members);
+    let free_running = rmse(&free);
+    assert!(
+        assimilated < 0.8 * free_running,
+        "assimilated ψ RMSE {assimilated} must beat free-running {free_running}"
+    );
+    for m in &members {
+        assert!(m.fire.is_consistent(), "members must stay valid states");
     }
 }
 
