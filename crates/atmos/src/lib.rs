@@ -17,21 +17,24 @@
 //! Numerics: incompressible Boussinesq equations on an Arakawa-C staggered
 //! grid (velocities on faces, scalars at cell centers), first-order upwind
 //! advection, explicit buoyancy, bulk surface drag, Rayleigh damping aloft,
-//! and a conjugate-gradient pressure projection enforcing a divergence-free
-//! velocity field. Lateral boundaries are periodic; top and bottom are rigid
+//! and a pressure projection enforcing a divergence-free velocity field
+//! (geometric multigrid by default, matrix-free conjugate gradients as the
+//! compatible fallback — see [`PoissonSolver`]). Lateral boundaries are periodic; top and bottom are rigid
 //! lids (w = 0), with the damping layer absorbing waves before they reach
 //! the lid. The vertical extent covers "the whole atmosphere" of the
 //! simulated domain, as WRF's non-nestable vertical requires (§2.3).
 
 pub mod advect;
 pub mod model;
+pub mod multigrid;
 pub mod params;
 pub mod poisson;
 pub mod state;
 pub mod workspace;
 
 pub use model::AtmosModel;
-pub use params::AtmosParams;
+pub use multigrid::MgHierarchy;
+pub use params::{AtmosParams, PoissonSolver};
 pub use state::AtmosState;
 pub use workspace::{AtmosWorkspace, PoissonWorkspace};
 

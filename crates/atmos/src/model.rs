@@ -227,6 +227,7 @@ impl AtmosModel {
         solve_poisson_into(
             &g,
             div,
+            p.pressure_solver,
             p.pressure_tol,
             p.pressure_max_iter,
             &mut ws.poisson,
@@ -271,7 +272,8 @@ impl AtmosModel {
     /// horizontal grid and overwrites it.
     pub fn surface_wind_into(&self, state: &AtmosState, out: &mut VectorField2) {
         let h = self.grid.horizontal();
-        out.resize_zeroed(h);
+        // Every node is overwritten below; skip the memset.
+        out.resize_no_zero(h);
         for j in 0..h.ny {
             for i in 0..h.nx {
                 out.set(i, j, state.wind_at_center(i, j, 0));
@@ -472,6 +474,41 @@ mod tests {
         assert_eq!(alloc.w, with_ws.w);
         assert_eq!(alloc.theta, with_ws.theta);
         assert_eq!(alloc.qv, with_ws.qv);
+    }
+
+    #[test]
+    fn pressure_solvers_produce_equivalent_physics() {
+        // The same forced run under multigrid and CG projections: fields
+        // agree to solver tolerance (not bitwise — different iteration) and
+        // both keep the flow solenoidal.
+        let run = |solver: crate::PoissonSolver| {
+            let mut model = small_model();
+            model.params.pressure_solver = solver;
+            let mut s = model.initial_state();
+            let h = model.grid.horizontal();
+            let qs = Field2::from_fn(h, |i, j| if i == 4 && j == 5 { 30_000.0 } else { 0.0 });
+            let ql = Field2::zeros(h);
+            let mut ws = AtmosWorkspace::new();
+            for _ in 0..20 {
+                let dt = model.max_stable_dt(&s).min(0.5);
+                model.step_ws(&mut s, &qs, &ql, dt, &mut ws).unwrap();
+            }
+            s
+        };
+        let mg = run(crate::PoissonSolver::Multigrid);
+        let cg = run(crate::PoissonSolver::ConjugateGradient);
+        assert!(mg.max_divergence() < 1e-6);
+        assert!(cg.max_divergence() < 1e-6);
+        let scale = cg.w.iter().fold(0.0_f64, |m, &v| m.max(v.abs())).max(1e-12);
+        let dw =
+            mg.w.iter()
+                .zip(cg.w.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0_f64, f64::max);
+        assert!(
+            dw < 1e-4 * scale,
+            "solver paths diverged: max |Δw| = {dw:.3e} vs scale {scale:.3e}"
+        );
     }
 
     #[test]

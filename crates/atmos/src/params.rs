@@ -1,5 +1,52 @@
 //! Physical and numerical parameters of the atmospheric core.
 
+use crate::state::AtmosGrid;
+
+/// Pressure-projection solver selection.
+///
+/// The projection solves `∇²φ = ∇·u/dt` every substep, so its cost dominates
+/// coupled stepping. Two matrix-free solvers are available:
+///
+/// * **Conjugate gradients** on `−∇²` — the original (PR-0 seed) solver,
+///   robust on any grid the model accepts.
+/// * **Geometric multigrid** ([`crate::multigrid`]) — V-cycles with
+///   red-black Gauss-Seidel smoothing; asymptotically O(n) and faster than
+///   CG already at the paper's fig-1 grid (10×10×6).
+///
+/// Both are deterministic (fixed sweep order, no threading) and converge to
+/// the same relative-residual tolerance, so the projected fields agree to
+/// solver tolerance but are **not** bitwise identical between solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoissonSolver {
+    /// Pick per grid: multigrid wherever a coarse level exists and the
+    /// grid is at least fig1-sized
+    /// ([`crate::multigrid::AUTO_MULTIGRID_MIN`] cells, the measured
+    /// crossover on fire-like right-hand sides); conjugate gradients on
+    /// smaller grids and grids too odd to coarsen. This is the default.
+    #[default]
+    Auto,
+    /// Always matrix-free conjugate gradients (the seed solver).
+    ConjugateGradient,
+    /// Always geometric multigrid V-cycles (falls back to CG internally
+    /// only when the grid admits no coarse level at all).
+    Multigrid,
+}
+
+impl PoissonSolver {
+    /// Resolves `Auto` for a concrete grid: `true` when the multigrid path
+    /// will be used.
+    pub fn uses_multigrid(self, grid: &AtmosGrid) -> bool {
+        match self {
+            PoissonSolver::ConjugateGradient => false,
+            PoissonSolver::Multigrid => crate::multigrid::can_coarsen(grid),
+            PoissonSolver::Auto => {
+                crate::multigrid::can_coarsen(grid)
+                    && grid.n_cells() >= crate::multigrid::AUTO_MULTIGRID_MIN
+            }
+        }
+    }
+}
+
 /// Parameter set for [`crate::AtmosModel`].
 ///
 /// Defaults describe a neutrally stratified boundary layer with a light
@@ -33,10 +80,13 @@ pub struct AtmosParams {
     pub latent_heat: f64,
     /// Horizontal eddy viscosity/diffusivity, m²/s (also applied to scalars).
     pub eddy_viscosity: f64,
-    /// Pressure solver: maximum CG iterations.
+    /// Pressure solver: maximum iterations (CG iterations or multigrid
+    /// V-cycles, depending on [`AtmosParams::pressure_solver`]).
     pub pressure_max_iter: usize,
     /// Pressure solver: relative residual tolerance.
     pub pressure_tol: f64,
+    /// Which pressure-projection solver to run.
+    pub pressure_solver: PoissonSolver,
 }
 
 impl Default for AtmosParams {
@@ -55,6 +105,7 @@ impl Default for AtmosParams {
             eddy_viscosity: 5.0,
             pressure_max_iter: 500,
             pressure_tol: 1e-8,
+            pressure_solver: PoissonSolver::Auto,
         }
     }
 }

@@ -1,36 +1,49 @@
-//! Pressure Poisson solver for the projection step.
+//! Pressure Poisson solvers for the projection step.
 //!
 //! Solves `∇²φ = f` on the cell-centered grid with periodic lateral
-//! boundaries and homogeneous Neumann conditions at the rigid lids, by
-//! matrix-free conjugate gradients on `−∇²` (symmetric positive
-//! semi-definite; the constant null space is handled by projecting the mean
-//! out of both the right-hand side and the iterates).
+//! boundaries and homogeneous Neumann conditions at the rigid lids. The
+//! operator `−∇²` is symmetric positive semi-definite; the constant null
+//! space is handled by projecting the mean out of both the right-hand side
+//! and the iterates.
+//!
+//! Two matrix-free solvers share the entry point [`solve_poisson_into`]:
+//! conjugate gradients (this module) and geometric multigrid
+//! ([`crate::multigrid`]), selected per [`crate::PoissonSolver`].
 
+use crate::multigrid::solve_poisson_mg_into;
+use crate::params::PoissonSolver;
 use crate::state::AtmosGrid;
 use crate::workspace::PoissonWorkspace;
 use crate::{AtmosError, Result};
 
 /// Matrix-free application of `−∇²` with the model's boundary conditions.
-fn apply_neg_laplacian(g: &AtmosGrid, x: &[f64], out: &mut [f64]) {
+///
+/// The lateral wrap-around is handled with branch-friendly index selects
+/// rather than `%` — the integer divisions were the single hottest
+/// instruction of the seed solver's inner loop.
+pub(crate) fn apply_neg_laplacian(g: &AtmosGrid, x: &[f64], out: &mut [f64]) {
+    let (nx, ny, nz) = (g.nx, g.ny, g.nz);
+    let nxy = nx * ny;
     let inv_dx2 = 1.0 / (g.dx * g.dx);
     let inv_dy2 = 1.0 / (g.dy * g.dy);
     let inv_dz2 = 1.0 / (g.dz * g.dz);
-    for k in 0..g.nz {
-        for j in 0..g.ny {
-            for i in 0..g.nx {
-                let c = g.cell(i, j, k);
+    for k in 0..nz {
+        let zup = k + 1 < nz;
+        let zdn = k > 0;
+        for j in 0..ny {
+            let row = nx * (j + ny * k);
+            let row_jp = nx * (if j + 1 == ny { 0 } else { j + 1 } + ny * k);
+            let row_jm = nx * (if j == 0 { ny - 1 } else { j - 1 } + ny * k);
+            for i in 0..nx {
+                let c = row + i;
                 let xc = x[c];
-                let ip = x[g.cell((i + 1) % g.nx, j, k)];
-                let im = x[g.cell((i + g.nx - 1) % g.nx, j, k)];
-                let jp = x[g.cell(i, (j + 1) % g.ny, k)];
-                let jm = x[g.cell(i, (j + g.ny - 1) % g.ny, k)];
+                let ip = x[row + if i + 1 == nx { 0 } else { i + 1 }];
+                let im = x[row + if i == 0 { nx - 1 } else { i - 1 }];
+                let jp = x[row_jp + i];
+                let jm = x[row_jm + i];
                 // Neumann lids: mirror ghost (gradient through lid = 0).
-                let kp = if k + 1 < g.nz {
-                    x[g.cell(i, j, k + 1)]
-                } else {
-                    xc
-                };
-                let km = if k > 0 { x[g.cell(i, j, k - 1)] } else { xc };
+                let kp = if zup { x[c + nxy] } else { xc };
+                let km = if zdn { x[c - nxy] } else { xc };
                 out[c] = -((ip - 2.0 * xc + im) * inv_dx2
                     + (jp - 2.0 * xc + jm) * inv_dy2
                     + (kp - 2.0 * xc + km) * inv_dz2);
@@ -39,65 +52,37 @@ fn apply_neg_laplacian(g: &AtmosGrid, x: &[f64], out: &mut [f64]) {
     }
 }
 
-fn remove_mean(v: &mut [f64]) {
+/// Projects the constant (null-space) component out of `v`.
+pub(crate) fn remove_mean(v: &mut [f64]) {
     let mean = v.iter().sum::<f64>() / v.len() as f64;
     for x in v.iter_mut() {
         *x -= mean;
     }
 }
 
-/// Solves `∇²φ = rhs` to relative tolerance `tol`, starting from zero.
+/// Core conjugate-gradient iteration on `−∇² x = b` for a mean-free `b`,
+/// starting from the zero iterate in `x` (the caller zeroes it). All
+/// buffers must have length `g.n_cells()`. Returns `(converged, rs_final)`
+/// where `rs_final` is the squared residual norm at exit; the iterate is
+/// **not** mean-projected on exit — callers do that.
 ///
-/// Returns the potential `φ` with zero mean.
-///
-/// # Errors
-/// [`AtmosError::PressureSolveFailed`] if CG does not reach the tolerance
-/// within `max_iter` iterations.
-pub fn solve_poisson(g: &AtmosGrid, rhs: &[f64], tol: f64, max_iter: usize) -> Result<Vec<f64>> {
-    let mut out = Vec::new();
-    let mut ws = PoissonWorkspace::default();
-    solve_poisson_into(g, rhs, tol, max_iter, &mut ws, &mut out)?;
-    Ok(out)
-}
-
-/// Allocation-free [`solve_poisson`]: the CG vectors come from `ws` and the
-/// solution is written into `out` (both reuse their storage across calls).
-///
-/// # Errors
-/// Same as [`solve_poisson`].
-pub fn solve_poisson_into(
+/// Shared by the public CG solver and the multigrid coarse-level solve.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cg_mean_free(
     g: &AtmosGrid,
-    rhs: &[f64],
+    b: &[f64],
     tol: f64,
     max_iter: usize,
-    ws: &mut PoissonWorkspace,
-    out: &mut Vec<f64>,
-) -> Result<()> {
-    let n = g.n_cells();
-    assert_eq!(rhs.len(), n, "poisson rhs length mismatch");
-    // −∇²φ = −rhs, mean-free.
-    let b = &mut ws.b;
-    b.clear();
-    b.extend(rhs.iter().map(|&x| -x));
-    remove_mean(b);
-
-    let b_norm = b.iter().map(|x| x * x).sum::<f64>().sqrt();
-    out.clear();
-    out.resize(n, 0.0);
-    // Size the CG vectors before the trivial-solve return so a workspace
-    // warmed on a quiescent state is already steady for later calls.
-    let x = out;
-    let r = &mut ws.r;
-    r.clear();
-    r.extend_from_slice(b);
-    let p = &mut ws.p;
-    p.clear();
-    p.extend_from_slice(r);
-    let ap = &mut ws.ap;
-    ap.clear();
-    ap.resize(n, 0.0);
+    x: &mut [f64],
+    r: &mut [f64],
+    p: &mut [f64],
+    ap: &mut [f64],
+) -> (bool, f64) {
+    r.copy_from_slice(b);
+    p.copy_from_slice(r);
+    let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     if b_norm == 0.0 {
-        return Ok(());
+        return (true, 0.0);
     }
     let mut rs_old: f64 = r.iter().map(|v| v * v).sum();
     let target = (tol * b_norm) * (tol * b_norm);
@@ -116,8 +101,7 @@ pub fn solve_poisson_into(
         }
         let rs_new: f64 = r.iter().map(|v| v * v).sum();
         if rs_new <= target {
-            remove_mean(x);
-            return Ok(());
+            return (true, rs_new);
         }
         let beta = rs_new / rs_old;
         for (pi, &ri) in p.iter_mut().zip(r.iter()) {
@@ -125,11 +109,105 @@ pub fn solve_poisson_into(
         }
         rs_old = rs_new;
     }
-    let residual = rs_old.sqrt() / b_norm;
+    (false, rs_old)
+}
+
+/// Solves `∇²φ = rhs` to relative tolerance `tol`, starting from zero,
+/// with the solver [`PoissonSolver::Auto`] picks for this grid.
+///
+/// Returns the potential `φ` with zero mean.
+///
+/// # Errors
+/// [`AtmosError::PressureSolveFailed`] if the solver does not reach the
+/// tolerance within `max_iter` iterations (CG) or V-cycles (multigrid).
+pub fn solve_poisson(g: &AtmosGrid, rhs: &[f64], tol: f64, max_iter: usize) -> Result<Vec<f64>> {
+    let mut out = Vec::new();
+    let mut ws = PoissonWorkspace::default();
+    solve_poisson_into(
+        g,
+        rhs,
+        PoissonSolver::Auto,
+        tol,
+        max_iter,
+        &mut ws,
+        &mut out,
+    )?;
+    Ok(out)
+}
+
+/// Allocation-free [`solve_poisson`] dispatching on `solver`: scratch comes
+/// from `ws` (which owns both the CG vectors and the multigrid hierarchy)
+/// and the solution is written into `out`; all storage is reused across
+/// calls.
+///
+/// # Errors
+/// Same as [`solve_poisson`].
+pub fn solve_poisson_into(
+    g: &AtmosGrid,
+    rhs: &[f64],
+    solver: PoissonSolver,
+    tol: f64,
+    max_iter: usize,
+    ws: &mut PoissonWorkspace,
+    out: &mut Vec<f64>,
+) -> Result<()> {
+    if solver.uses_multigrid(g) {
+        solve_poisson_mg_into(g, rhs, tol, max_iter, &mut ws.mg, out).map(|_| ())
+    } else {
+        solve_poisson_cg_into(g, rhs, tol, max_iter, ws, out)
+    }
+}
+
+/// The conjugate-gradient path of [`solve_poisson_into`] (the seed solver,
+/// bit-identical to it). The CG vectors come from `ws` and the solution is
+/// written into `out` (both reuse their storage across calls).
+///
+/// # Errors
+/// [`AtmosError::PressureSolveFailed`] if CG does not reach the tolerance
+/// within `max_iter` iterations.
+pub fn solve_poisson_cg_into(
+    g: &AtmosGrid,
+    rhs: &[f64],
+    tol: f64,
+    max_iter: usize,
+    ws: &mut PoissonWorkspace,
+    out: &mut Vec<f64>,
+) -> Result<()> {
+    let n = g.n_cells();
+    assert_eq!(rhs.len(), n, "poisson rhs length mismatch");
+    // −∇²φ = −rhs, mean-free.
+    let b = &mut ws.b;
+    b.clear();
+    b.extend(rhs.iter().map(|&x| -x));
+    remove_mean(b);
+
+    let b_norm = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    // The zero iterate is load-bearing (CG starts from φ = 0).
+    out.clear();
+    out.resize(n, 0.0);
+    // Size the CG vectors before the trivial-solve return so a workspace
+    // warmed on a quiescent state is already steady for later calls. No
+    // `clear()` first: their contents are fully overwritten inside
+    // `cg_mean_free` (r ← b, p ← r, ap ← A·p), so the plain `resize` skips
+    // the per-call memset at steady state.
+    ws.r.resize(n, 0.0);
+    ws.p.resize(n, 0.0);
+    ws.ap.resize(n, 0.0);
+    if b_norm == 0.0 {
+        return Ok(());
+    }
+    let (converged, rs_final) = cg_mean_free(
+        g, &ws.b, tol, max_iter, out, &mut ws.r, &mut ws.p, &mut ws.ap,
+    );
+    if converged {
+        remove_mean(out);
+        return Ok(());
+    }
+    let residual = rs_final.sqrt() / b_norm;
     if residual <= tol * 10.0 {
         // Close enough for the projection to be effective; accept with the
         // slightly relaxed tolerance rather than aborting a long run.
-        remove_mean(x);
+        remove_mean(out);
         return Ok(());
     }
     Err(AtmosError::PressureSolveFailed { residual })
@@ -171,20 +249,38 @@ mod tests {
         let mut rhs_neg = vec![0.0; n];
         apply_neg_laplacian(&g, &phi_true, &mut rhs_neg);
         let rhs: Vec<f64> = rhs_neg.iter().map(|&v| -v).collect();
-        let phi = solve_poisson(&g, &rhs, 1e-10, 2000).unwrap();
-        let err = phi
-            .iter()
-            .zip(phi_true.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0_f64, f64::max);
-        assert!(err < 1e-6, "max error {err}");
+        // Both solver paths must recover the field.
+        for solver in [PoissonSolver::ConjugateGradient, PoissonSolver::Multigrid] {
+            let mut ws = PoissonWorkspace::default();
+            let mut phi = Vec::new();
+            solve_poisson_into(&g, &rhs, solver, 1e-10, 2000, &mut ws, &mut phi).unwrap();
+            let err = phi
+                .iter()
+                .zip(phi_true.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0_f64, f64::max);
+            assert!(err < 1e-6, "{solver:?}: max error {err}");
+        }
     }
 
     #[test]
     fn zero_rhs_gives_zero() {
         let g = grid();
-        let phi = solve_poisson(&g, &vec![0.0; g.n_cells()], 1e-10, 100).unwrap();
-        assert!(phi.iter().all(|&x| x == 0.0));
+        for solver in [PoissonSolver::ConjugateGradient, PoissonSolver::Multigrid] {
+            let mut ws = PoissonWorkspace::default();
+            let mut phi = Vec::new();
+            solve_poisson_into(
+                &g,
+                &vec![0.0; g.n_cells()],
+                solver,
+                1e-10,
+                100,
+                &mut ws,
+                &mut phi,
+            )
+            .unwrap();
+            assert!(phi.iter().all(|&x| x == 0.0), "{solver:?}");
+        }
     }
 
     #[test]
@@ -228,5 +324,42 @@ mod tests {
         let a_lb: f64 = a.iter().zip(lb.iter()).map(|(x, y)| x * y).sum();
         let b_la: f64 = b.iter().zip(la.iter()).map(|(x, y)| x * y).sum();
         assert!((a_lb - b_la).abs() < 1e-8 * a_lb.abs().max(1.0));
+    }
+
+    #[test]
+    fn auto_routes_small_grids_to_cg_and_fig1_to_multigrid() {
+        let tiny = AtmosGrid {
+            nx: 5,
+            ny: 4,
+            nz: 3,
+            dx: 10.0,
+            dy: 10.0,
+            dz: 10.0,
+        };
+        assert!(!PoissonSolver::Auto.uses_multigrid(&tiny));
+        // The SMALL ensemble domain (320 cells) sits below the measured
+        // multigrid crossover: Auto keeps CG there, but an explicit
+        // Multigrid selection is honored (the grid does coarsen).
+        let small = AtmosGrid {
+            nx: 8,
+            ny: 8,
+            nz: 5,
+            dx: 60.0,
+            dy: 60.0,
+            dz: 50.0,
+        };
+        assert!(!PoissonSolver::Auto.uses_multigrid(&small));
+        assert!(PoissonSolver::Multigrid.uses_multigrid(&small));
+        let fig1 = AtmosGrid {
+            nx: 10,
+            ny: 10,
+            nz: 6,
+            dx: 60.0,
+            dy: 60.0,
+            dz: 50.0,
+        };
+        assert!(PoissonSolver::Auto.uses_multigrid(&fig1));
+        assert!(!PoissonSolver::ConjugateGradient.uses_multigrid(&fig1));
+        assert!(PoissonSolver::Multigrid.uses_multigrid(&fig1));
     }
 }

@@ -26,6 +26,22 @@ pub struct AtmosGrid {
     pub dz: f64,
 }
 
+/// A degenerate 1×1×1 unit grid — a placeholder for lazily-built workspace
+/// structures (e.g. the multigrid hierarchy) that are re-targeted to a real
+/// grid before first use.
+impl Default for AtmosGrid {
+    fn default() -> Self {
+        AtmosGrid {
+            nx: 1,
+            ny: 1,
+            nz: 1,
+            dx: 1.0,
+            dy: 1.0,
+            dz: 1.0,
+        }
+    }
+}
+
 impl AtmosGrid {
     /// Number of cells.
     #[inline]

@@ -6,7 +6,12 @@
 //! lazily from the grid on first use and reused thereafter, so steady-state
 //! stepping performs no heap allocation. Hold one workspace per thread.
 
-/// Conjugate-gradient scratch for [`crate::poisson::solve_poisson_into`].
+use crate::multigrid::MgHierarchy;
+
+/// Pressure-solver scratch for [`crate::poisson::solve_poisson_into`]:
+/// the conjugate-gradient vectors plus the preallocated multigrid grid
+/// hierarchy, so either [`crate::PoissonSolver`] path runs allocation-free
+/// once warmed on a grid.
 #[derive(Debug, Clone, Default)]
 pub struct PoissonWorkspace {
     /// Mean-free negated right-hand side.
@@ -17,6 +22,9 @@ pub struct PoissonWorkspace {
     pub(crate) p: Vec<f64>,
     /// Operator application `A·p`.
     pub(crate) ap: Vec<f64>,
+    /// Multigrid level hierarchy (levels, transfer tables, coarse-CG
+    /// scratch), built lazily per grid shape.
+    pub(crate) mg: MgHierarchy,
 }
 
 /// Scratch buffers for [`crate::AtmosModel`] stepping.

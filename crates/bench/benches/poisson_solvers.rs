@@ -1,0 +1,108 @@
+//! Criterion bench: pressure Poisson solve, conjugate gradients vs
+//! geometric multigrid, across grid sizes and right-hand-side characters.
+//!
+//! Two RHS families bracket the workload:
+//!
+//! * `smooth` — a couple of low Fourier modes. CG's best case: a
+//!   near-eigenvector right-hand side converges in a handful of Krylov
+//!   iterations, which no fixed-cycle method can match.
+//! * `fire` — a localized heat-column divergence plus broadband
+//!   small-scale structure, the character of the projection RHS during a
+//!   vigorous burn. CG pays the full condition-number iteration count here
+//!   (growing with grid extent), while multigrid's V-cycle count stays
+//!   O(1) — this is the case the `PoissonSolver::Auto` default is sized
+//!   for, and where multigrid pulls ahead as the grid grows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wildfire_atmos::poisson::solve_poisson_into;
+use wildfire_atmos::state::AtmosGrid;
+use wildfire_atmos::{PoissonSolver, PoissonWorkspace};
+
+/// A smooth mean-free right-hand side: two low lateral/vertical modes.
+fn smooth_rhs(g: &AtmosGrid) -> Vec<f64> {
+    let mut rhs = vec![0.0; g.n_cells()];
+    for k in 0..g.nz {
+        for j in 0..g.ny {
+            for i in 0..g.nx {
+                let x = 2.0 * std::f64::consts::PI * i as f64 / g.nx as f64;
+                let y = 2.0 * std::f64::consts::PI * j as f64 / g.ny as f64;
+                let z = std::f64::consts::PI * (k as f64 + 0.5) / g.nz as f64;
+                rhs[g.cell(i, j, k)] =
+                    1e-3 * (x.sin() * y.cos() * z.cos() + 0.3 * (2.0 * x).cos() * (2.0 * y).sin());
+            }
+        }
+    }
+    demean(&mut rhs);
+    rhs
+}
+
+/// A fire-like mean-free right-hand side: a compact divergence column over
+/// a "burning patch" plus deterministic broadband grid-scale structure.
+fn fire_rhs(g: &AtmosGrid) -> Vec<f64> {
+    let mut rhs = vec![0.0; g.n_cells()];
+    let (cx, cy) = (g.nx as f64 / 2.0, g.ny as f64 / 2.0);
+    let radius = (g.nx.min(g.ny) as f64 / 8.0).max(1.0);
+    for k in 0..g.nz {
+        let decay = (-(k as f64 + 0.5) / (g.nz as f64 / 3.0)).exp();
+        for j in 0..g.ny {
+            for i in 0..g.nx {
+                let dx = (i as f64 + 0.5 - cx) / radius;
+                let dy = (j as f64 + 0.5 - cy) / radius;
+                let column = 1e-2 * decay * (-(dx * dx + dy * dy)).exp();
+                // Deterministic broadband component (integer hash → [-1, 1]).
+                let h = (i
+                    .wrapping_mul(2654435761)
+                    .wrapping_add(j.wrapping_mul(40503))
+                    .wrapping_add(k.wrapping_mul(9973)))
+                    % 1000;
+                let noise = 1e-3 * (h as f64 / 499.5 - 1.0);
+                rhs[g.cell(i, j, k)] = column + noise;
+            }
+        }
+    }
+    demean(&mut rhs);
+    rhs
+}
+
+fn demean(v: &mut [f64]) {
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    for x in v.iter_mut() {
+        *x -= mean;
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson_cg_vs_multigrid");
+    group.sample_size(20);
+    for (nx, ny, nz) in [(10, 10, 6), (20, 20, 10), (40, 40, 16)] {
+        let g = AtmosGrid {
+            nx,
+            ny,
+            nz,
+            dx: 60.0,
+            dy: 60.0,
+            dz: 50.0,
+        };
+        for (rhs_label, rhs) in [("smooth", smooth_rhs(&g)), ("fire", fire_rhs(&g))] {
+            for (label, solver) in [
+                ("cg", PoissonSolver::ConjugateGradient),
+                ("multigrid", PoissonSolver::Multigrid),
+            ] {
+                let mut ws = PoissonWorkspace::default();
+                let mut phi = Vec::new();
+                // Warm the workspace (hierarchy build, CG vector sizing).
+                solve_poisson_into(&g, &rhs, solver, 1e-8, 10_000, &mut ws, &mut phi).unwrap();
+                group.bench_function(format!("{nx}x{ny}x{nz}/{rhs_label}/{label}"), |b| {
+                    b.iter(|| {
+                        solve_poisson_into(&g, &rhs, solver, 1e-8, 10_000, &mut ws, &mut phi)
+                            .unwrap();
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

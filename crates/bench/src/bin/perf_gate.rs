@@ -1,0 +1,108 @@
+//! CI perf-regression gate.
+//!
+//! Reruns the small-domain `perf_report` measurement and compares every
+//! `steps_per_sec` entry against the committed `BENCH_baseline_small.json`.
+//! Any entry that falls below `floor ×` its baseline value (default 0.7,
+//! i.e. a >30% throughput loss) fails the gate with a nonzero exit. The
+//! fresh measurement is always written to `BENCH_steps.json` so CI can
+//! upload it as a workflow artifact regardless of the verdict.
+//!
+//! Usage: `perf_gate [--floor X] [--update-baseline]`
+//!
+//! * `--floor X` — override the regression floor (also: the
+//!   `PERF_GATE_FLOOR` environment variable; the flag wins).
+//! * `--update-baseline` — rewrite `BENCH_baseline_small.json` from this
+//!   machine's measurement instead of gating. Run this after a deliberate
+//!   perf-relevant change (or on new CI hardware) and commit the result.
+//!
+//! The baseline is hardware-dependent: it should be recorded on hardware
+//! comparable to the CI runners. The 0.7 floor absorbs normal runner
+//! jitter; a floor breach means a real algorithmic regression (or a
+//! hardware change — in which case re-baseline deliberately).
+
+use std::process::ExitCode;
+use wildfire_bench::perf::{measure, parse_step_timings};
+
+const BASELINE_PATH: &str = "BENCH_baseline_small.json";
+const DEFAULT_FLOOR: f64 = 0.7;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let update_baseline = args.iter().any(|a| a == "--update-baseline");
+    let floor = args
+        .iter()
+        .position(|a| a == "--floor")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .or_else(|| {
+            std::env::var("PERF_GATE_FLOOR")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(DEFAULT_FLOOR);
+
+    println!("== perf_gate: small-domain throughput vs committed baseline (floor {floor}×) ==");
+    // 30 simulated seconds = 60 coupled steps per timed run (vs 10 s for
+    // the perf_report smoke): at small-domain speeds a run is only ~10 ms,
+    // and the longer window plus the harness's best-of-three keeps
+    // scheduler jitter out of the gated numbers.
+    let m = measure(30.0, true, 6, 4);
+    for t in &m.timings {
+        println!("{:56} {:10.1} steps/s", t.label, t.steps_per_sec());
+    }
+    let json = m.to_json();
+    std::fs::write("BENCH_steps.json", &json).expect("write BENCH_steps.json");
+    println!("wrote BENCH_steps.json");
+
+    if update_baseline {
+        std::fs::write(BASELINE_PATH, &json).expect("write baseline");
+        println!("wrote {BASELINE_PATH} (baseline updated; commit it)");
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_json = match std::fs::read_to_string(BASELINE_PATH) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read {BASELINE_PATH}: {e}");
+            eprintln!("run `perf_gate --update-baseline` and commit the result");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = parse_step_timings(&baseline_json);
+    if baseline.is_empty() {
+        eprintln!("perf_gate: no step timings found in {BASELINE_PATH}");
+        return ExitCode::FAILURE;
+    }
+
+    let fresh = parse_step_timings(&json);
+    let mut compared = 0;
+    let mut failed = false;
+    for (label, base_sps) in &baseline {
+        let Some((_, new_sps)) = fresh.iter().find(|(l, _)| l == label) else {
+            eprintln!("perf_gate: baseline entry \"{label}\" missing from the fresh measurement");
+            failed = true;
+            continue;
+        };
+        let ratio = new_sps / base_sps;
+        compared += 1;
+        let verdict = if ratio >= floor { "ok" } else { "REGRESSED" };
+        println!(
+            "{label:56} baseline {base_sps:10.1}  fresh {new_sps:10.1}  ratio {ratio:5.2} [{verdict}]"
+        );
+        if ratio < floor {
+            failed = true;
+        }
+    }
+    if compared == 0 {
+        eprintln!("perf_gate: nothing compared");
+        return ExitCode::FAILURE;
+    }
+    if failed {
+        eprintln!(
+            "perf_gate: FAILED — throughput below {floor}× of {BASELINE_PATH} (re-baseline deliberately with --update-baseline if this change is intended)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("perf_gate: ok ({compared} entries within {floor}× of baseline)");
+    ExitCode::SUCCESS
+}

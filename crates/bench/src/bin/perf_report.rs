@@ -2,168 +2,18 @@
 //!
 //! Times the `fig1-fireline` scenario — coupled and uncoupled — through
 //! both stepping paths (the reusable-workspace path and the per-step
-//! allocating wrappers, which reproduce the seed behaviour), plus one
+//! allocating wrappers, which reproduce the seed behaviour), plus a
+//! per-pressure-solver fig1 entry (multigrid default vs forced CG) and one
 //! full ensemble forecast–analysis cycle, and writes the numbers to
 //! `BENCH_steps.json` so the bench trajectory is recorded per PR.
 //!
 //! Usage: `perf_report [t_end_seconds] [--small]`
 //! `--small` switches to the SMALL ensemble domain (CI smoke runs).
+//!
+//! See also `perf_gate`, which reruns this measurement on the small domain
+//! and fails on regression against the committed baseline.
 
-use std::time::Instant;
-use wildfire_ensemble::{EnsembleDriver, EnsembleSetup, EnsembleWorkspace, FilterKind};
-use wildfire_math::GaussianSampler;
-use wildfire_sim::scenario::DomainSpec;
-use wildfire_sim::{registry, SimulationBuilder};
-
-/// One timed run of a scenario through one stepping path.
-struct StepTiming {
-    label: String,
-    steps: usize,
-    wall_secs: f64,
-}
-
-impl StepTiming {
-    fn steps_per_sec(&self) -> f64 {
-        self.steps as f64 / self.wall_secs.max(1e-12)
-    }
-}
-
-fn time_scenario(name: &str, small: bool, t_end: f64, workspace_path: bool) -> StepTiming {
-    let scenario = registry::by_name(name).expect("registry scenario");
-    let mut builder = SimulationBuilder::from_scenario(scenario);
-    if small {
-        builder = builder.domain(DomainSpec::SMALL);
-    }
-    let mut sim = builder.build().expect("scenario builds");
-    // The alloc path below steps the bare model and would skip the
-    // Simulation's wind-shift schedule; keep the comparison honest by only
-    // timing shift-free scenarios.
-    assert!(
-        sim.scenario.wind.shifts.is_empty(),
-        "perf_report paths only compare equal physics on shift-free scenarios"
-    );
-    let mut steps = 0usize;
-    let start = Instant::now();
-    if workspace_path {
-        // The Simulation stepping loop reuses its embedded CoupledWorkspace.
-        sim.run_until(t_end, |_, _| steps += 1).expect("run");
-    } else {
-        // The seed path: the allocating wrapper builds fresh buffers every
-        // step (what `CoupledModel::step` did before the workspace layer).
-        while sim.time() < t_end - 1e-9 {
-            let dt = sim.dt.min(t_end - sim.time());
-            sim.model.step(&mut sim.state, dt).expect("step");
-            steps += 1;
-        }
-    }
-    StepTiming {
-        label: format!(
-            "{name}{}::{}",
-            if small { " (small)" } else { "" },
-            if workspace_path { "workspace" } else { "alloc" }
-        ),
-        steps,
-        wall_secs: start.elapsed().as_secs_f64(),
-    }
-}
-
-/// Wall time of one ensemble forecast–analysis cycle through each path.
-fn time_cycle(small: bool, n_members: usize, threads: usize) -> (f64, f64) {
-    let domain = if small {
-        DomainSpec::SMALL
-    } else {
-        DomainSpec::SMALL.with_refinement(8)
-    };
-    let model = SimulationBuilder::new()
-        .domain(domain)
-        .build_model()
-        .expect("model builds");
-    let driver = EnsembleDriver::new(model, threads);
-    let setup = EnsembleSetup {
-        n_members,
-        center: (200.0, 200.0),
-        radius: 25.0,
-        position_spread: 15.0,
-        seed: 42,
-    };
-    let truth = driver.model.ignite(
-        &[wildfire_fire::IgnitionShape::Circle {
-            center: (240.0, 240.0),
-            radius: 25.0,
-        }],
-        0.0,
-    );
-    let cfg = wildfire_enkf::MorphingConfig::default();
-
-    let mut members = driver.initial_ensemble(&setup);
-    let mut rng = GaussianSampler::new(7);
-    let mut ws = EnsembleWorkspace::new();
-    // Warm the workspace so the measured cycle is the steady state.
-    driver
-        .cycle_ws(
-            &mut members,
-            &truth,
-            FilterKind::Standard,
-            1.0,
-            0.5,
-            &cfg,
-            &mut rng,
-            &mut ws,
-        )
-        .expect("warm cycle");
-    let start = Instant::now();
-    driver
-        .cycle_ws(
-            &mut members,
-            &truth,
-            FilterKind::Standard,
-            2.0,
-            0.5,
-            &cfg,
-            &mut rng,
-            &mut ws,
-        )
-        .expect("workspace cycle");
-    let ws_secs = start.elapsed().as_secs_f64();
-
-    let mut members = driver.initial_ensemble(&setup);
-    let mut rng = GaussianSampler::new(7);
-    driver
-        .cycle(
-            &mut members,
-            &truth,
-            FilterKind::Standard,
-            1.0,
-            0.5,
-            &cfg,
-            &mut rng,
-        )
-        .expect("warm cycle");
-    let start = Instant::now();
-    driver
-        .cycle(
-            &mut members,
-            &truth,
-            FilterKind::Standard,
-            2.0,
-            0.5,
-            &cfg,
-            &mut rng,
-        )
-        .expect("alloc cycle");
-    let alloc_secs = start.elapsed().as_secs_f64();
-    (ws_secs, alloc_secs)
-}
-
-fn json_entry(t: &StepTiming) -> String {
-    format!(
-        "    {{\"label\": \"{}\", \"steps\": {}, \"wall_secs\": {:.6}, \"steps_per_sec\": {:.2}}}",
-        t.label,
-        t.steps,
-        t.wall_secs,
-        t.steps_per_sec()
-    )
-}
+use wildfire_bench::perf::measure;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -176,77 +26,31 @@ fn main() {
     let threads = 4;
 
     println!("== perf_report: workspace vs allocating stepping (t_end = {t_end} s) ==");
-    // Untimed warmup: fault in the binary, spin up the CPU, and populate
-    // the allocator before anything is measured.
-    for workspace_path in [true, false] {
-        let _ = time_scenario(
-            "fig1-fireline",
-            small,
-            (t_end * 0.25).min(10.0),
-            workspace_path,
+    let m = measure(t_end, small, n_members, threads);
+    for t in &m.timings {
+        println!(
+            "{:48} {:6} steps  {:9.3} s  {:10.1} steps/s",
+            t.label,
+            t.steps,
+            t.wall_secs,
+            t.steps_per_sec()
         );
     }
-    let mut timings = Vec::new();
-    for name in ["fig1-fireline", "uncoupled-baseline"] {
-        // Interleaved best-of-three (workspace, alloc, workspace, alloc, …)
-        // so neither path systematically benefits from running later with
-        // warmer caches: the report tracks the achievable rate.
-        let mut best: [Option<StepTiming>; 2] = [None, None];
-        for _rep in 0..3 {
-            for (slot, workspace_path) in [(0, true), (1, false)] {
-                let t = time_scenario(name, small, t_end, workspace_path);
-                if best[slot]
-                    .as_ref()
-                    .is_none_or(|b| t.wall_secs < b.wall_secs)
-                {
-                    best[slot] = Some(t);
-                }
-            }
-        }
-        for t in best.into_iter().flatten() {
-            println!(
-                "{:44} {:6} steps  {:9.3} s  {:10.1} steps/s",
-                t.label,
-                t.steps,
-                t.wall_secs,
-                t.steps_per_sec()
-            );
-            timings.push(t);
-        }
-    }
-
-    let (cycle_ws_secs, cycle_alloc_secs) = time_cycle(small, n_members, threads);
     println!(
-        "ensemble cycle ({n_members} members, {threads} threads): workspace {cycle_ws_secs:.3} s, alloc {cycle_alloc_secs:.3} s"
+        "ensemble cycle ({n_members} members, {threads} threads): workspace {:.3} s, alloc {:.3} s",
+        m.cycle_ws_secs, m.cycle_alloc_secs
     );
 
     // The acceptance gate: the workspace path must not be slower than the
     // seed (allocating) path on fig1-fireline. Enforced with a
     // jitter-tolerant floor so CI actually fails on a real regression.
-    let ws = timings[0].steps_per_sec();
-    let alloc = timings[1].steps_per_sec();
-    let ratio = ws / alloc;
+    let ratio = m.fig1_workspace_over_alloc();
     println!("fig1-fireline workspace/alloc throughput ratio: {ratio:.3} (>= 1.0 expected, small jitter tolerated)");
     assert!(
         ratio >= 0.8,
         "workspace path regressed to {ratio:.3}x of the allocating path (floor 0.8)"
     );
 
-    let mut json = String::from("{\n  \"bench\": \"perf_report\",\n");
-    json.push_str(&format!("  \"t_end_secs\": {t_end},\n"));
-    json.push_str(&format!("  \"small_domain\": {small},\n"));
-    json.push_str(&format!("  \"member_count\": {n_members},\n"));
-    json.push_str(&format!("  \"threads\": {threads},\n"));
-    json.push_str("  \"step_timings\": [\n");
-    let entries: Vec<String> = timings.iter().map(json_entry).collect();
-    json.push_str(&entries.join(",\n"));
-    json.push_str("\n  ],\n");
-    json.push_str(&format!(
-        "  \"ensemble_cycle\": {{\"workspace_secs\": {cycle_ws_secs:.6}, \"alloc_secs\": {cycle_alloc_secs:.6}}},\n"
-    ));
-    json.push_str(&format!(
-        "  \"fig1_workspace_over_alloc_throughput\": {ratio:.4}\n}}\n"
-    ));
-    std::fs::write("BENCH_steps.json", &json).expect("write BENCH_steps.json");
+    std::fs::write("BENCH_steps.json", m.to_json()).expect("write BENCH_steps.json");
     println!("wrote BENCH_steps.json");
 }

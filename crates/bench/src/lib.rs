@@ -7,5 +7,6 @@
 //! records paper-vs-measured outcomes.
 
 pub mod experiments;
+pub mod perf;
 
 pub use experiments::*;

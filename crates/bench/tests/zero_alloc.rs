@@ -109,6 +109,39 @@ fn atmos_step_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn atmos_step_is_allocation_free_for_both_pressure_solvers() {
+    // The ISSUE-4 acceptance bar: the multigrid path (hierarchy, smoother,
+    // transfer tables, coarse-CG scratch) must be as steady-state
+    // allocation-free as the CG path it replaces. The 8×8×5 grid coarsens
+    // (320 → 80 → 20 cells), so `Multigrid` genuinely runs V-cycles here.
+    for solver in [
+        wildfire_atmos::PoissonSolver::Multigrid,
+        wildfire_atmos::PoissonSolver::ConjugateGradient,
+    ] {
+        let params = wildfire_atmos::AtmosParams {
+            pressure_solver: solver,
+            ..Default::default()
+        };
+        let model = wildfire_atmos::AtmosModel::new(small_atmos_grid(), params).unwrap();
+        let h = model.grid.horizontal();
+        let qs = Field2::from_fn(h, |i, j| if i == 4 && j == 4 { 40_000.0 } else { 0.0 });
+        let ql = Field2::zeros(h);
+        let mut state = model.initial_state();
+        let mut ws = AtmosWorkspace::new();
+        model.step_ws(&mut state, &qs, &ql, 0.5, &mut ws).unwrap();
+        let n = allocations_during(|| {
+            for _ in 0..5 {
+                model.step_ws(&mut state, &qs, &ql, 0.5, &mut ws).unwrap();
+            }
+        });
+        assert_eq!(
+            n, 0,
+            "atmos step_ws with {solver:?} must not allocate in steady state"
+        );
+    }
+}
+
+#[test]
 fn coupled_step_is_allocation_free_after_warmup() {
     for coupled in [true, false] {
         let mut model = CoupledModel::new(

@@ -148,7 +148,9 @@ impl CoupledModel {
         surface: &mut VectorField2,
         out: &mut VectorField2,
     ) -> Result<()> {
-        out.resize_zeroed(self.fire_grid);
+        // Both branches fully overwrite `out` (constant fill or
+        // prolongation of every node); skip the memset.
+        out.resize_no_zero(self.fire_grid);
         if !self.coupled {
             out.fill(self.atmos.params.ambient_wind);
             return Ok(());
@@ -205,11 +207,17 @@ impl CoupledModel {
             state.fire.time,
             &mut ws.fluxes,
         );
-        ws.sensible_coarse.resize_zeroed(h);
-        ws.latent_coarse.resize_zeroed(h);
         if self.coupled {
+            // Restriction writes every coarse node; skip the memset.
+            ws.sensible_coarse.resize_no_zero(h);
+            ws.latent_coarse.resize_no_zero(h);
             restrict_into(&ws.fluxes.sensible, &mut ws.sensible_coarse)?;
             restrict_into(&ws.fluxes.latent, &mut ws.latent_coarse)?;
+        } else {
+            // Uncoupled: the atmosphere must see genuinely zero fluxes, so
+            // this zeroing is load-bearing.
+            ws.sensible_coarse.resize_zeroed(h);
+            ws.latent_coarse.resize_zeroed(h);
         }
 
         // 6: advance the atmosphere with sub-stepping to its CFL bound.

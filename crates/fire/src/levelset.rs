@@ -126,6 +126,10 @@ impl LevelSetSolver {
     /// to ψ's grid) and returns the maximum spread rate.
     pub fn rhs_into(&self, psi: &Field2, wind: &VectorField2, out: &mut Field2) -> f64 {
         let g = psi.grid();
+        // The zeroing is load-bearing: nodes skipped below (zero gradient,
+        // or zero spread rate) must read as exactly 0 in the RHS, so this
+        // must stay `resize_zeroed` — not the faster `resize_no_zero` used
+        // by fully-overwriting kernels.
         out.resize_zeroed(g);
         let mut s_max = 0.0_f64;
         for iy in 0..g.ny {

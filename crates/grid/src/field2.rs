@@ -229,6 +229,23 @@ impl Field2 {
         self.data.resize(grid.len(), 0.0);
     }
 
+    /// Re-targets the field to `grid` **without** clearing the values: the
+    /// contents are unspecified (stale data from the previous use) and the
+    /// caller must overwrite every node before reading any. This is the
+    /// `resize_uninit` analogue for fully-overwriting kernels — it skips
+    /// [`Field2::resize_zeroed`]'s per-call memset, zeroing only when the
+    /// storage length actually changes (safe Rust needs initialized
+    /// growth). Kernels whose untouched nodes are *meant* to read as zero —
+    /// e.g. the level-set `rhs_into`, which skips zero-gradient nodes —
+    /// must keep `resize_zeroed`.
+    pub fn resize_no_zero(&mut self, grid: Grid2) {
+        self.grid = grid;
+        if self.data.len() != grid.len() {
+            self.data.clear();
+            self.data.resize(grid.len(), 0.0);
+        }
+    }
+
     /// Copies grid and values from `other`, reusing the existing storage
     /// when the capacity suffices (no allocation once shapes have been
     /// seen).
@@ -302,6 +319,26 @@ impl Field2 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn resize_no_zero_targets_grid_and_skips_memset() {
+        let g1 = Grid2::new(4, 4, 1.0, 1.0).unwrap();
+        let g2 = Grid2::new(3, 3, 2.0, 2.0).unwrap();
+        let mut f = Field2::filled(g1, 7.0);
+        // Same length after re-target (here: different grid, smaller
+        // length): storage must be valid and fully writable.
+        f.resize_no_zero(g2);
+        assert_eq!(f.grid(), g2);
+        assert_eq!(f.as_slice().len(), g2.len());
+        // Same-shape re-target preserves the stale contents (that is the
+        // contract: no memset; callers overwrite everything).
+        f.fill(3.5);
+        f.resize_no_zero(g2);
+        assert!(f.as_slice().iter().all(|&v| v == 3.5));
+        // Growing establishes a valid (zeroed) length.
+        f.resize_no_zero(g1);
+        assert_eq!(f.as_slice().len(), g1.len());
+    }
 
     #[test]
     fn grid_construction_and_indexing() {

@@ -69,15 +69,54 @@ pub fn prolong(coarse: &Field2, fine_grid: Grid2) -> Result<Field2> {
 /// Allocation-free [`prolong`]: writes into `out`, whose grid determines the
 /// fine target.
 ///
+/// Grid alignment (which [`refinement_between`] validates) makes the
+/// bilinear weights a pure function of the fine node's offset inside its
+/// coarse interval, so the kernel walks coarse cells and emits the
+/// `rx × ry` interior nodes of each with hoisted weights — no per-node
+/// world-coordinate transforms or divisions. This path is the inner loop of
+/// the fire–atmosphere coupling (winds travel through it every step).
+///
 /// # Errors
 /// Propagates alignment errors from [`refinement_between`].
 pub fn prolong_into(coarse: &Field2, out: &mut Field2) -> Result<()> {
     let fine_grid = out.grid();
-    refinement_between(&fine_grid, &coarse.grid())?;
-    for iy in 0..fine_grid.ny {
-        for ix in 0..fine_grid.nx {
-            let (x, y) = fine_grid.world(ix, iy);
-            out.set(ix, iy, coarse.sample_bilinear(x, y));
+    let refn = refinement_between(&fine_grid, &coarse.grid())?;
+    let cg = coarse.grid();
+    let (rx, ry) = (refn.rx, refn.ry);
+    let inv_rx = 1.0 / rx as f64;
+    let inv_ry = 1.0 / ry as f64;
+    let cdata = coarse.as_slice();
+    let (fnx, cnx) = (fine_grid.nx, cg.nx);
+    let odata = out.as_mut_slice();
+    for cy in 0..cg.ny {
+        // Fine rows covered by coarse row `cy`: its `ry` interior offsets,
+        // or just the final aligned row for the last coarse row.
+        let subs_y = if cy + 1 < cg.ny { ry } else { 1 };
+        let row0 = &cdata[cy * cnx..(cy + 1) * cnx];
+        let row1 = if cy + 1 < cg.ny {
+            &cdata[(cy + 1) * cnx..(cy + 2) * cnx]
+        } else {
+            row0
+        };
+        for sy in 0..subs_y {
+            let fy = sy as f64 * inv_ry;
+            let wy0 = 1.0 - fy;
+            let orow_base = (cy * ry + sy) * fnx;
+            for cx in 0..cg.nx {
+                let subs_x = if cx + 1 < cg.nx { rx } else { 1 };
+                let cx1 = if cx + 1 < cg.nx { cx + 1 } else { cx };
+                let v00 = row0[cx];
+                let v10 = row0[cx1];
+                let v01 = row1[cx];
+                let v11 = row1[cx1];
+                let obase = orow_base + cx * rx;
+                for sx in 0..subs_x {
+                    let fx = sx as f64 * inv_rx;
+                    let v0 = v00 * (1.0 - fx) + v10 * fx;
+                    let v1 = v01 * (1.0 - fx) + v11 * fx;
+                    odata[obase + sx] = v0 * wy0 + v1 * fy;
+                }
+            }
         }
     }
     Ok(())

@@ -107,6 +107,14 @@ impl VectorField2 {
         self.v.resize_zeroed(grid);
     }
 
+    /// Re-targets both components to `grid` without clearing them: contents
+    /// are unspecified and must be fully overwritten before reading (see
+    /// [`Field2::resize_no_zero`]).
+    pub fn resize_no_zero(&mut self, grid: Grid2) {
+        self.u.resize_no_zero(grid);
+        self.v.resize_no_zero(grid);
+    }
+
     /// Scales both components in place.
     pub fn scale(&mut self, alpha: f64) {
         self.u.map_inplace(|x| alpha * x);

@@ -191,6 +191,22 @@ impl Matrix {
         self.data.resize(rows * cols, 0.0);
     }
 
+    /// Re-shapes to `rows × cols` **without** clearing the entries: the
+    /// contents are unspecified (stale data from the previous use) and the
+    /// caller must overwrite every entry before reading any. Skips
+    /// [`Matrix::resize_zeroed`]'s per-call memset for kernels that write
+    /// the full output (e.g. `tr_matmul_into`'s dot products); accumulating
+    /// kernels (`matmul_into` and friends axpy into the output) must keep
+    /// `resize_zeroed`.
+    pub fn resize_no_zero(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        if self.data.len() != rows * cols {
+            self.data.clear();
+            self.data.resize(rows * cols, 0.0);
+        }
+    }
+
     /// Copies shape and values from `other`, reusing the existing storage
     /// when the capacity suffices.
     pub fn copy_from(&mut self, other: &Matrix) {
@@ -263,7 +279,9 @@ impl Matrix {
                 rhs: rhs.dims(),
             });
         }
-        out.resize_zeroed(self.cols, rhs.cols);
+        // Every entry is written by its dot product below, so the resize
+        // can skip the memset.
+        out.resize_no_zero(self.cols, rhs.cols);
         for j in 0..rhs.cols {
             let b_col = rhs.col(j);
             for i in 0..self.cols {
@@ -666,6 +684,25 @@ mod tests {
 
     fn approx(a: f64, b: f64, tol: f64) -> bool {
         (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn resize_no_zero_matches_tr_matmul_contract() {
+        // tr_matmul_into's output is resized without zeroing; a workspace
+        // matrix polluted by a previous larger product must still come out
+        // with exactly the dot-product values.
+        let a = Matrix::from_column_major(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_column_major(3, 2, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+        let expected = a.tr_matmul(&b).unwrap();
+        let mut out = Matrix::zeros(5, 5);
+        out.as_mut_slice().fill(99.0);
+        a.tr_matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out.dims(), (2, 2));
+        for j in 0..2 {
+            for i in 0..2 {
+                assert_eq!(out[(i, j)], expected[(i, j)]);
+            }
+        }
     }
 
     #[test]

@@ -143,7 +143,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Element-count specification for [`vec`]: a fixed count or a range.
+    /// Element-count specification for [`vec()`]: a fixed count or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
