@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use wildfire_fire::ignition::IgnitionShape;
-use wildfire_fire::{FireMesh, FireState, Integrator, LevelSetSolver};
+use wildfire_fire::{FireMesh, FireState, FireWorkspace, Integrator, LevelSetSolver};
 use wildfire_fuel::FuelCategory;
 use wildfire_grid::{Grid2, VectorField2};
 
@@ -20,14 +20,15 @@ fn bench(c: &mut Criterion) {
         0.0,
     );
     let wind = VectorField2::from_fn(grid, |_, _| (5.0, 0.0));
+    let mut ws = FireWorkspace::new();
     for integ in [Integrator::Euler, Integrator::Heun] {
         let mut solver = LevelSetSolver::new(mesh.clone());
         solver.integrator = integ;
-        let dt = solver.max_stable_dt(&state, &wind).min(0.5);
+        let dt = solver.max_stable_dt_ws(&state, &wind, &mut ws).min(0.5);
         group.bench_function(format!("{integ:?}"), |b| {
             b.iter(|| {
                 let mut s = state.clone();
-                solver.step(&mut s, &wind, dt).unwrap();
+                solver.step_ws(&mut s, &wind, dt, &mut ws).unwrap();
             })
         });
     }

@@ -1,0 +1,74 @@
+//! Criterion bench: level-set RHS, paper-faithful scalar reference vs the
+//! fused row-sweep kernel, on the fig1 fire-mesh size and a 4× larger
+//! domain.
+//!
+//! The two paths are bitwise-identical (pinned by
+//! `wildfire-fire/tests/proptest_levelset_fused.rs`); this bench records
+//! the fire-only speedup the fusion buys, complementing the end-to-end
+//! coupled-step entries of `BENCH_steps.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wildfire_fire::{FireMesh, FireState, FireWorkspace, IgnitionShape, LevelSetSolver};
+use wildfire_fuel::FuelCategory;
+use wildfire_grid::{Field2, Grid2, VectorField2};
+
+/// A mid-burn fig1-like landscape: signed-distance ψ around an offset
+/// circle, sheared wind, gentle terrain.
+fn setup(n: usize) -> (LevelSetSolver, FireState, VectorField2) {
+    let grid = Grid2::new(n, n, 6.0, 6.0).unwrap();
+    let (ex, ey) = grid.extent();
+    let mesh = FireMesh::new(
+        grid,
+        wildfire_fire::FuelMap::uniform_category(grid, FuelCategory::ShortGrass),
+        Field2::from_world_fn(grid, |x, y| 0.01 * x + 0.004 * y),
+    )
+    .unwrap();
+    let solver = LevelSetSolver::new(mesh);
+    let state = FireState::ignite(
+        grid,
+        &[IgnitionShape::Circle {
+            center: (ex * 0.4, ey * 0.5),
+            radius: ex * 0.15,
+        }],
+        0.0,
+    );
+    let wind = VectorField2::from_fn(grid, |ix, iy| {
+        (3.0 + 0.002 * ix as f64, 1.0 - 0.001 * iy as f64)
+    });
+    (solver, state, wind)
+}
+
+fn bench_rhs(c: &mut Criterion) {
+    // 91 = the fig1 fire mesh (10-cell atmosphere at refinement 10).
+    for n in [91usize, 181] {
+        let (solver, state, wind) = setup(n);
+        let mut ws = FireWorkspace::new();
+        let mut out = Field2::default();
+        let mut group = c.benchmark_group(format!("level_set_rhs/{n}x{n}"));
+        group.bench_function("reference", |b| {
+            b.iter(|| {
+                black_box(solver.rhs_reference_into(
+                    black_box(&state.psi),
+                    black_box(&wind),
+                    &mut out,
+                ))
+            })
+        });
+        group.bench_function("fused", |b| {
+            b.iter(|| black_box(solver.rhs_into(black_box(&state.psi), black_box(&wind), &mut out)))
+        });
+        // The end-to-end fire advance (Heun: two RHS evaluations plus the
+        // update and crossing sweeps) through the fused path.
+        group.bench_function("step_ws", |b| {
+            let mut s = state.clone();
+            b.iter(|| {
+                s.time = 0.0;
+                solver.step_ws(&mut s, &wind, 0.25, &mut ws).unwrap();
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_rhs);
+criterion_main!(benches);

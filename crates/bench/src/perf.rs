@@ -97,6 +97,63 @@ pub fn time_scenario(
     }
 }
 
+/// Times `evals` level-set RHS evaluations — the fire-only kernel cost,
+/// isolated from the atmosphere and the mesh transfers — on a mid-burn
+/// fig1 state, through the fused production kernel and the paper-faithful
+/// scalar reference it is bitwise-pinned to. One scenario build and one
+/// coupled warmup run serve every repetition; the reps are interleaved
+/// best-of-three (fused, reference, fused, …) like the step timings, so
+/// neither path benefits from warmer caches. The returned pair records the
+/// fire-kernel speedup alongside the end-to-end per-solver entries in
+/// `BENCH_steps.json` (`steps` = RHS evaluations here).
+pub fn time_level_set_rhs(small: bool, evals: usize) -> [StepTiming; 2] {
+    let scenario = registry::by_name("fig1-fireline").expect("registry scenario");
+    let mut builder = SimulationBuilder::from_scenario(scenario);
+    if small {
+        builder = builder.domain(DomainSpec::SMALL);
+    }
+    let mut sim = builder.build().expect("scenario builds");
+    // Establish a representative mid-burn front before timing.
+    sim.run_until(20.0, |_, _| {}).expect("warmup run");
+    let wind = sim.model.fire_wind(&sim.state).expect("fire wind");
+    let solver = &sim.model.fire;
+    let psi = &sim.state.fire.psi;
+    let mut out = wildfire_grid::Field2::default();
+    // Size the output buffer outside the timed loops.
+    solver.rhs_into(psi, &wind, &mut out);
+    let mut best = [f64::INFINITY; 2];
+    for _rep in 0..3 {
+        for (slot, fused) in [(0, true), (1, false)] {
+            let start = Instant::now();
+            let mut s_max_acc = 0.0_f64;
+            for _ in 0..evals {
+                let s_max = if fused {
+                    solver.rhs_into(psi, &wind, &mut out)
+                } else {
+                    solver.rhs_reference_into(psi, &wind, &mut out)
+                };
+                s_max_acc += s_max;
+            }
+            let wall_secs = start.elapsed().as_secs_f64();
+            assert!(s_max_acc > 0.0, "the timed kernel must do real work");
+            best[slot] = best[slot].min(wall_secs);
+        }
+    }
+    let small_tag = if small { " (small)" } else { "" };
+    [
+        StepTiming {
+            label: format!("level_set_rhs{small_tag}::fused"),
+            steps: evals,
+            wall_secs: best[0],
+        },
+        StepTiming {
+            label: format!("level_set_rhs{small_tag}::reference"),
+            steps: evals,
+            wall_secs: best[1],
+        },
+    ]
+}
+
 /// Wall time of one ensemble forecast–analysis cycle through the workspace
 /// and the allocating path (in that order).
 pub fn time_cycle(small: bool, n_members: usize, threads: usize) -> (f64, f64) {
@@ -299,6 +356,12 @@ pub fn measure(t_end: f64, small: bool, n_members: usize, threads: usize) -> Per
         }
         timings.extend(best_solver);
     }
+
+    // Fire-only kernel entries: the fused production RHS vs the scalar
+    // reference it is bitwise-pinned to (interleaved best-of-three inside,
+    // sharing one warmed scenario). `steps` counts RHS evaluations.
+    let rhs_evals = if small { 600 } else { 300 };
+    timings.extend(time_level_set_rhs(small, rhs_evals));
 
     let (cycle_ws_secs, cycle_alloc_secs) = time_cycle(small, n_members, threads);
     PerfMeasurement {

@@ -92,6 +92,87 @@ fn level_set_step_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn fused_rhs_and_advance_are_allocation_free_after_warmup() {
+    // The ISSUE-5 acceptance bar: the fused row-sweep RHS kernel (direct
+    // rhs_into calls and the advance_to_ws driver built on it) must stay as
+    // steady-state allocation-free as the per-node path it replaced, on
+    // both a flat/uniform landscape (register-specialized kernel) and a
+    // painted, terraced one (per-node palette + slope planes).
+    let grid = wildfire_grid::Grid2::new(41, 41, 2.0, 2.0).unwrap();
+    let mut fuel =
+        wildfire_fire::FuelMap::uniform_category(grid, wildfire_fuel::FuelCategory::TallGrass);
+    let brush = fuel.add_fuel(wildfire_fuel::FuelModel::for_category(
+        wildfire_fuel::FuelCategory::Brush,
+    ));
+    fuel.paint_rect(0.0, 0.0, 40.0, 80.0, brush).unwrap();
+    let terraced = wildfire_fire::FireMesh::new(
+        grid,
+        fuel,
+        Field2::from_world_fn(grid, |x, y| 0.02 * x - 0.01 * y),
+    )
+    .unwrap();
+    let flat = wildfire_fire::FireMesh::flat(grid, wildfire_fuel::FuelCategory::ShortGrass);
+    for mesh in [flat, terraced] {
+        let solver = wildfire_fire::LevelSetSolver::new(mesh);
+        let mut state = wildfire_fire::FireState::ignite(
+            grid,
+            &[IgnitionShape::Circle {
+                center: (40.0, 40.0),
+                radius: 10.0,
+            }],
+            0.0,
+        );
+        let wind = VectorField2::from_fn(grid, |_, _| (3.0, 1.0));
+        let mut ws = FireWorkspace::new();
+        let mut rhs = Field2::default();
+        solver.rhs_into(&state.psi, &wind, &mut rhs);
+        solver
+            .advance_to_ws(&mut state, &wind, 1.0, 0.5, &mut ws)
+            .unwrap();
+        let t_next = state.time + 2.0;
+        let n = allocations_during(|| {
+            for _ in 0..3 {
+                solver.rhs_into(&state.psi, &wind, &mut rhs);
+            }
+            solver
+                .advance_to_ws(&mut state, &wind, t_next, 0.5, &mut ws)
+                .unwrap();
+        });
+        assert_eq!(
+            n, 0,
+            "fused rhs_into / advance_to_ws must not allocate in steady state"
+        );
+    }
+}
+
+#[test]
+fn reinitialize_into_is_allocation_free_after_warmup() {
+    // reinit.rs rode along on ISSUE 5: the fast-sweeping reinitialization
+    // gained an `_into` path whose distance/frozen scratch lives in a
+    // ReinitWorkspace and whose sweeps iterate by index arithmetic (the old
+    // implementation materialized traversal-order vectors per sweep).
+    let grid = wildfire_grid::Grid2::new(41, 41, 1.5, 1.5).unwrap();
+    let mut psi = wildfire_fire::ignition::initial_level_set(
+        grid,
+        &[IgnitionShape::Circle {
+            center: (30.0, 30.0),
+            radius: 12.0,
+        }],
+    );
+    // Destroy the distance property so reinitialization has real work.
+    psi.map_inplace(|v| v * (1.0 + 0.2 * v.abs()));
+    let mut ws = wildfire_fire::ReinitWorkspace::new();
+    let mut out = Field2::default();
+    wildfire_fire::reinitialize_into(&psi, &mut out, &mut ws);
+    let n = allocations_during(|| {
+        for _ in 0..3 {
+            wildfire_fire::reinitialize_into(&psi, &mut out, &mut ws);
+        }
+    });
+    assert_eq!(n, 0, "reinitialize_into must not allocate in steady state");
+}
+
+#[test]
 fn atmos_step_is_allocation_free_after_warmup() {
     let model = wildfire_atmos::AtmosModel::new(small_atmos_grid(), Default::default()).unwrap();
     let h = model.grid.horizontal();

@@ -52,21 +52,27 @@ pub fn heat_fluxes_at(mesh: &FireMesh, state: &FireState, t: f64) -> HeatFluxFie
 
 /// Allocation-free [`heat_fluxes_at`]: overwrites `out`, re-targeting its
 /// fields to the fire grid (no allocation once the shape has been seen).
+///
+/// Swept over the contiguous storage (arrival times, palette indices and
+/// both outputs share the row-major layout); the zeroing of the outputs is
+/// load-bearing — not-yet-burning nodes must read as exactly 0 flux.
 pub fn heat_fluxes_into(mesh: &FireMesh, state: &FireState, t: f64, out: &mut HeatFluxFields) {
     let g = mesh.grid;
     out.sensible.resize_zeroed(g);
     out.latent.resize_zeroed(g);
-    for iy in 0..g.ny {
-        for ix in 0..g.nx {
-            let tig = state.tig.get(ix, iy);
-            if tig == UNBURNED || t <= tig {
-                continue;
-            }
-            let fuel = mesh.fuel.at(ix, iy);
-            let hf = fuel.heat_fluxes(t - tig);
-            out.sensible.set(ix, iy, hf.sensible);
-            out.latent.set(ix, iy, hf.latent);
+    let palette = mesh.fuel.palette();
+    let indices = mesh.fuel.indices();
+    let tig = state.tig.as_slice();
+    let sensible = out.sensible.as_mut_slice();
+    let latent = out.latent.as_mut_slice();
+    for i in 0..g.len() {
+        let ti = tig[i];
+        if ti == UNBURNED || t <= ti {
+            continue;
         }
+        let hf = palette[indices[i] as usize].heat_fluxes(t - ti);
+        sensible[i] = hf.sensible;
+        latent[i] = hf.latent;
     }
 }
 

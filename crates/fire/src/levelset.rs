@@ -14,11 +14,18 @@
 //! propagation or even stops it altogether while Heun's method behaves
 //! reasonably well" — not an accuracy argument but a conservation one. Both
 //! integrators are exposed so experiment E5 can reproduce that claim.
+//!
+//! Two implementations of the RHS coexist: the paper-faithful per-node
+//! scalar loop ([`LevelSetSolver::rhs_reference_into`]) and the fused
+//! row-sweep kernel (the private `kernel` module) that the stepping paths
+//! run. They are bitwise-identical by construction, and the property suite
+//! in `tests/proptest_levelset_fused.rs` pins that equivalence.
 
+use crate::kernel::{self, KernelPlanes};
 use crate::mesh::FireMesh;
 use crate::state::FireState;
 use crate::workspace::FireWorkspace;
-use crate::{FireError, Result, UNBURNED};
+use crate::{FireError, Result};
 use wildfire_grid::{Field2, VectorField2};
 
 /// Time integrator for the level-set equation.
@@ -44,9 +51,18 @@ pub enum GradientScheme {
 }
 
 /// Level-set solver bound to a fire mesh.
+///
+/// Construction flattens the mesh's static inputs (fuel coefficients,
+/// terrain gradient) into the planes the fused RHS kernel streams. The
+/// `mesh` field stays public for inspection and for the integrator/CFL
+/// knobs' sake, but **mutating the fuel map or terrain of an existing
+/// solver requires a [`LevelSetSolver::refresh_kernel_planes`] call**
+/// afterwards — otherwise the fused kernel keeps evaluating the old
+/// landscape (a debug assertion trips on stale fuel indices or terrain).
 #[derive(Debug, Clone)]
 pub struct LevelSetSolver {
-    /// Static domain description (grid, fuels, terrain).
+    /// Static domain description (grid, fuels, terrain). See the struct
+    /// docs before mutating fuels or terrain in place.
     pub mesh: FireMesh,
     /// Time integration scheme.
     pub integrator: Integrator,
@@ -59,19 +75,31 @@ pub struct LevelSetSolver {
     pub enforce_cfl: bool,
     /// Spatial gradient scheme; [`GradientScheme::Godunov`] in production.
     pub gradient: GradientScheme,
+    /// Flattened static planes for the fused RHS kernel.
+    planes: KernelPlanes,
 }
 
 impl LevelSetSolver {
     /// Solver with the paper's defaults: Heun integration, Godunov
     /// upwinding, CFL factor 0.9.
     pub fn new(mesh: FireMesh) -> Self {
+        let planes = KernelPlanes::build(&mesh);
         LevelSetSolver {
             mesh,
             integrator: Integrator::Heun,
             cfl: 0.9,
             enforce_cfl: true,
             gradient: GradientScheme::Godunov,
+            planes,
         }
+    }
+
+    /// Re-flattens the mesh into the fused kernel's static planes. Call
+    /// after mutating `self.mesh` (repainting fuels, editing terrain, or
+    /// swapping the mesh wholesale); stepping keeps using the planes from
+    /// construction until then.
+    pub fn refresh_kernel_planes(&mut self) {
+        self.planes = KernelPlanes::build(&self.mesh);
     }
 
     /// Upwinded partial derivatives of ψ at a node — the paper's Godunov
@@ -124,7 +152,39 @@ impl LevelSetSolver {
 
     /// Allocation-free [`LevelSetSolver::rhs`]: overwrites `out` (re-targeted
     /// to ψ's grid) and returns the maximum spread rate.
+    ///
+    /// This is the production path: the fused row-sweep kernel of
+    /// the private `kernel` module, bitwise-identical to
+    /// [`LevelSetSolver::rhs_reference_into`] (pinned by the property
+    /// suite). When ψ lives on a different grid than the solver's planes
+    /// (legal for this entry point, unlike stepping), the reference path
+    /// serves the request — it needs no precomputation.
     pub fn rhs_into(&self, psi: &Field2, wind: &VectorField2, out: &mut Field2) -> f64 {
+        if psi.grid() != self.planes.grid() {
+            return self.rhs_reference_into(psi, wind, out);
+        }
+        debug_assert!(
+            self.planes.matches_mesh(&self.mesh),
+            "kernel planes are stale: call refresh_kernel_planes() after mutating the mesh"
+        );
+        match self.gradient {
+            GradientScheme::Godunov => kernel::rhs_fused_into::<true>(&self.planes, psi, wind, out),
+            GradientScheme::Central => {
+                kernel::rhs_fused_into::<false>(&self.planes, psi, wind, out)
+            }
+        }
+    }
+
+    /// The paper-faithful scalar RHS: one node at a time through the
+    /// boundary-aware `diff_x`/`diff_y` stencils and the full
+    /// [`wildfire_fuel::FuelModel::spread_rate`] law, exactly as §2.2
+    /// transcribes. Kept verbatim as the semantic reference the fused
+    /// kernel is pinned against — `tests/proptest_levelset_fused.rs`
+    /// asserts bitwise equality of the two on random fields, winds,
+    /// terrains and fuel maps. Use [`LevelSetSolver::rhs_into`] for
+    /// production stepping; this path exists for verification and for the
+    /// `level_set_rhs` benchmark.
+    pub fn rhs_reference_into(&self, psi: &Field2, wind: &VectorField2, out: &mut Field2) -> f64 {
         let g = psi.grid();
         // The zeroing is load-bearing: nodes skipped below (zero gradient,
         // or zero spread rate) must read as exactly 0 in the RHS, so this
@@ -152,6 +212,14 @@ impl LevelSetSolver {
 
     /// Largest stable time step for the current state and wind under the
     /// 2-D upwind CFL condition `dt · S · (1/dx + 1/dy) ≤ cfl`.
+    ///
+    /// **Convenience wrapper**: it builds (and sizes) a fresh
+    /// [`FireWorkspace`] on every call, i.e. it heap-allocates a full RHS
+    /// field each time. Fine for one-off queries and tests; anything that
+    /// asks per step must hold a workspace and call
+    /// [`LevelSetSolver::max_stable_dt_ws`] — and a loop that steps right
+    /// after asking should use [`LevelSetSolver::advance_to_ws`], which
+    /// shares one RHS evaluation between the bound and the step.
     pub fn max_stable_dt(&self, state: &FireState, wind: &VectorField2) -> f64 {
         let mut ws = FireWorkspace::new();
         self.max_stable_dt_ws(state, wind, &mut ws)
@@ -236,35 +304,31 @@ impl LevelSetSolver {
                 return Err(FireError::CflViolation { dt, dt_max });
             }
         }
-        ws.psi_old.copy_from(&state.psi);
+        // The integrator update and the ignition-time crossing detection
+        // (ψ crossed zero within (t, t+dt]) run as one fused sweep: each
+        // node's pre-update ψ is read in the same pass that overwrites it,
+        // so no "ψ before the step" copy exists at all. Operation order per
+        // node matches the separate update-then-scan formulation exactly.
+        let t0 = state.time;
         match self.integrator {
             Integrator::Euler => {
-                state.psi.axpy(dt, &ws.k1).expect("same grid");
+                kernel::euler_update_and_mark(&mut state.psi, &mut state.tig, &ws.k1, dt, t0);
             }
             Integrator::Heun => {
-                // Predictor.
-                ws.psi_star.copy_from(&state.psi);
-                ws.psi_star.axpy(dt, &ws.k1).expect("same grid");
+                // Predictor ψ* = ψ + dt·k1, one fused pass (same operation
+                // order as copy_from + axpy).
+                kernel::scaled_sum_into(&state.psi, dt, &ws.k1, &mut ws.psi_star);
                 // Corrector with the slope re-evaluated at the predictor.
                 self.rhs_into(&ws.psi_star, wind, &mut ws.k2);
-                state.psi.axpy(0.5 * dt, &ws.k1).expect("same grid");
-                state.psi.axpy(0.5 * dt, &ws.k2).expect("same grid");
-            }
-        }
-        // Ignition times: ψ crossed zero within (t, t+dt].
-        let t0 = state.time;
-        for iy in 0..g.ny {
-            for ix in 0..g.nx {
-                let new = state.psi.get(ix, iy);
-                if new < 0.0 && state.tig.get(ix, iy) == UNBURNED {
-                    let old = ws.psi_old.get(ix, iy);
-                    let frac = if old > new {
-                        (old / (old - new)).clamp(0.0, 1.0)
-                    } else {
-                        0.0
-                    };
-                    state.tig.set(ix, iy, t0 + frac * dt);
-                }
+                kernel::heun_correct_and_mark(
+                    &mut state.psi,
+                    &mut state.tig,
+                    &ws.k1,
+                    &ws.k2,
+                    0.5 * dt,
+                    t0,
+                    dt,
+                );
             }
         }
         state.time = t0 + dt;
@@ -329,6 +393,7 @@ impl LevelSetSolver {
 mod tests {
     use super::*;
     use crate::ignition::IgnitionShape;
+    use crate::UNBURNED;
     use wildfire_fuel::FuelCategory;
     use wildfire_grid::Grid2;
 
@@ -413,10 +478,11 @@ mod tests {
         let solver = grass_solver(31, 2.0);
         let mut state = circle_state(&solver, 6.0);
         let wind = VectorField2::from_fn(solver.mesh.grid, |_, _| (3.0, 1.0));
+        let mut ws = FireWorkspace::new();
         let mut prev = state.burned_nodes();
         for _ in 0..20 {
-            let dt = solver.max_stable_dt(&state, &wind).min(1.0);
-            solver.step(&mut state, &wind, dt).unwrap();
+            let dt = solver.max_stable_dt_ws(&state, &wind, &mut ws).min(1.0);
+            solver.step_ws(&mut state, &wind, dt, &mut ws).unwrap();
             let now = state.burned_nodes();
             assert!(now >= prev, "monotone growth violated: {prev} → {now}");
             prev = now;
@@ -485,8 +551,9 @@ mod tests {
         let mut sh = circle_state(&heun, 8.0);
         let mut se = sh.clone();
         let wh = wind_field(heun.mesh.grid);
+        let mut ws = FireWorkspace::new();
         for _ in 0..40 {
-            let dt = heun.max_stable_dt(&sh, &wh).min(2.0);
+            let dt = heun.max_stable_dt_ws(&sh, &wh, &mut ws).min(2.0);
             heun.step(&mut sh, &wh, dt).unwrap();
             euler.step(&mut se, &wh, dt).unwrap();
         }
@@ -597,6 +664,65 @@ mod tests {
         assert_eq!(fused.psi, manual.psi, "ψ must match bitwise");
         assert_eq!(fused.tig, manual.tig, "t_i must match bitwise");
         assert_eq!(fused.time, manual.time);
+    }
+
+    #[test]
+    fn fused_rhs_matches_reference_on_live_front() {
+        // Quick in-crate pin of the fused/reference contract (the full
+        // random-landscape suite lives in tests/proptest_levelset_fused.rs):
+        // an actual propagating front with mixed plateau and sloped regions,
+        // both gradient schemes.
+        for gradient in [GradientScheme::Godunov, GradientScheme::Central] {
+            let mut solver = grass_solver(33, 2.0);
+            solver.gradient = gradient;
+            let mut state = circle_state(&solver, 7.0);
+            let wind = VectorField2::from_fn(solver.mesh.grid, |ix, iy| {
+                (2.0 + 0.05 * ix as f64, -1.0 + 0.04 * iy as f64)
+            });
+            let mut ws = FireWorkspace::new();
+            solver
+                .advance_to_ws(&mut state, &wind, 6.0, 1.0, &mut ws)
+                .unwrap();
+            let mut fused = Field2::default();
+            let mut reference = Field2::default();
+            let s_fused = solver.rhs_into(&state.psi, &wind, &mut fused);
+            let s_ref = solver.rhs_reference_into(&state.psi, &wind, &mut reference);
+            assert_eq!(s_fused.to_bits(), s_ref.to_bits(), "{gradient:?} s_max");
+            for (a, b) in fused.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{gradient:?} RHS node");
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_kernel_planes_tracks_mesh_mutation() {
+        use wildfire_fuel::FuelModel;
+        let mut solver = grass_solver(21, 2.0);
+        let state = circle_state(&solver, 6.0);
+        let wind = VectorField2::from_fn(solver.mesh.grid, |_, _| (4.0, 0.0));
+        // Repaint half the domain with a slower fuel and re-flatten.
+        let heavy = solver
+            .mesh
+            .fuel
+            .add_fuel(FuelModel::for_category(FuelCategory::HeavySlash));
+        solver
+            .mesh
+            .fuel
+            .paint_rect(0.0, 0.0, 40.0, 18.0, heavy)
+            .unwrap();
+        solver.refresh_kernel_planes();
+        let mut fused = Field2::default();
+        let mut reference = Field2::default();
+        let s_fused = solver.rhs_into(&state.psi, &wind, &mut fused);
+        let s_ref = solver.rhs_reference_into(&state.psi, &wind, &mut reference);
+        assert_eq!(s_fused.to_bits(), s_ref.to_bits());
+        assert_eq!(fused, reference);
+        // The repaint must actually show up in the kernel output: compare
+        // against a stale-planes evaluation via a fresh uniform solver.
+        let uniform = grass_solver(21, 2.0);
+        let mut uniform_rhs = Field2::default();
+        uniform.rhs_into(&state.psi, &wind, &mut uniform_rhs);
+        assert_ne!(fused, uniform_rhs, "repainted fuel must change the RHS");
     }
 
     #[test]

@@ -15,13 +15,29 @@
 //! * ignition geometry (points, circles, line segments) with exact signed
 //!   distance, matching the paper's initialization "to the signed distance
 //!   from the fireline";
-//! * diagnostics: burning area, front extraction, front-radius statistics.
+//! * diagnostics: burning area, front extraction, perimeter length,
+//!   front-radius statistics.
 //!
 //! The model state `(ψ, t_i)` is exactly the state the morphing EnKF
 //! manipulates (§3.3), so both fields are plain [`wildfire_grid::Field2`]s.
+//!
+//! ## Kernel strategy
+//!
+//! The level-set RHS — the per-step cost center of the whole coupled model —
+//! has two implementations. [`LevelSetSolver::rhs_reference_into`] is the
+//! paper-faithful per-node scalar loop and serves as the semantic reference;
+//! the production path ([`LevelSetSolver::rhs_into`] and everything built on
+//! it) runs the fused row-sweep kernel of the private `kernel` module, which
+//! streams precomputed fuel-coefficient and terrain-gradient planes over
+//! contiguous row slices with branch-free interiors. The two are
+//! **bitwise-identical** for every input; the property suite in
+//! `tests/proptest_levelset_fused.rs` (random ψ, winds, terrains, fuel maps,
+//! both gradient schemes, degenerate plateaus) pins that equivalence, so the
+//! fast path can keep evolving without physics review.
 
 pub mod heat;
 pub mod ignition;
+pub(crate) mod kernel;
 pub mod levelset;
 pub mod mesh;
 pub mod perimeter;
@@ -30,10 +46,11 @@ pub mod state;
 pub mod workspace;
 
 pub use ignition::IgnitionShape;
-pub use levelset::{Integrator, LevelSetSolver};
+pub use levelset::{GradientScheme, Integrator, LevelSetSolver};
 pub use mesh::{FireMesh, FuelMap};
+pub use reinit::{reinitialize, reinitialize_into};
 pub use state::FireState;
-pub use workspace::FireWorkspace;
+pub use workspace::{FireWorkspace, ReinitWorkspace};
 
 /// Ignition time assigned to not-yet-burned nodes.
 pub const UNBURNED: f64 = f64::INFINITY;

@@ -74,6 +74,15 @@ impl FuelMap {
     pub fn palette(&self) -> &[FuelModel] {
         &self.palette
     }
+
+    /// The per-node palette indices, row-major in `x` (one `u8` per grid
+    /// node). Every value is a valid index into [`FuelMap::palette`]; the
+    /// fused level-set kernel streams this plane next to its flattened
+    /// coefficient array.
+    #[inline]
+    pub fn indices(&self) -> &[u8] {
+        &self.index
+    }
 }
 
 /// Static description of the fire domain: grid, fuels, terrain height.

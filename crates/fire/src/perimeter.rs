@@ -43,6 +43,88 @@ pub fn extract_front(psi: &Field2) -> Vec<FrontPoint> {
     pts
 }
 
+/// Total length (m) of the fireline: the zero level set traced cell by
+/// cell with marching squares. Each cell contributes the straight segments
+/// connecting its edge crossings; the ambiguous saddle case (all four edges
+/// crossed) is resolved by the sign of the cell-center average, which keeps
+/// the measure deterministic. Together with the burned area this is the
+/// front metric the golden fig1 regression test pins.
+pub fn perimeter_length(psi: &Field2) -> f64 {
+    let g = psi.grid();
+    if g.nx < 2 || g.ny < 2 {
+        return 0.0;
+    }
+    let crossing = |a: f64, b: f64| -> Option<f64> {
+        if (a < 0.0) != (b < 0.0) && a != b {
+            Some(a / (a - b))
+        } else {
+            None
+        }
+    };
+    let seg = |p: (f64, f64), q: (f64, f64)| ((p.0 - q.0).powi(2) + (p.1 - q.1).powi(2)).sqrt();
+    let mut total = 0.0;
+    for iy in 0..g.ny - 1 {
+        for ix in 0..g.nx - 1 {
+            let v00 = psi.get(ix, iy);
+            let v10 = psi.get(ix + 1, iy);
+            let v01 = psi.get(ix, iy + 1);
+            let v11 = psi.get(ix + 1, iy + 1);
+            // Edge crossings in cell-local coordinates, fixed edge order:
+            // bottom, right, top, left.
+            let mut pts = [(0.0, 0.0); 4];
+            let mut on_edge = [false; 4];
+            let mut count = 0;
+            if let Some(t) = crossing(v00, v10) {
+                pts[0] = (t * g.dx, 0.0);
+                on_edge[0] = true;
+                count += 1;
+            }
+            if let Some(t) = crossing(v10, v11) {
+                pts[1] = (g.dx, t * g.dy);
+                on_edge[1] = true;
+                count += 1;
+            }
+            if let Some(t) = crossing(v01, v11) {
+                pts[2] = (t * g.dx, g.dy);
+                on_edge[2] = true;
+                count += 1;
+            }
+            if let Some(t) = crossing(v00, v01) {
+                pts[3] = (0.0, t * g.dy);
+                on_edge[3] = true;
+                count += 1;
+            }
+            match count {
+                2 => {
+                    let mut found: [usize; 2] = [0, 0];
+                    let mut k = 0;
+                    for (e, &hit) in on_edge.iter().enumerate() {
+                        if hit {
+                            found[k] = e;
+                            k += 1;
+                        }
+                    }
+                    total += seg(pts[found[0]], pts[found[1]]);
+                }
+                4 => {
+                    // Saddle: v00/v11 share one sign, v10/v01 the other.
+                    // If the center shares v00's sign the diagonal through
+                    // v00–v11 is connected, isolating v10 (bottom+right)
+                    // and v01 (top+left); otherwise the opposite pairing.
+                    let center = 0.25 * (v00 + v10 + v01 + v11);
+                    if (center < 0.0) == (v00 < 0.0) {
+                        total += seg(pts[0], pts[1]) + seg(pts[2], pts[3]);
+                    } else {
+                        total += seg(pts[0], pts[3]) + seg(pts[1], pts[2]);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    total
+}
+
 /// Area centroid of the burning region (ψ < 0); `None` when nothing burns.
 pub fn burned_centroid(psi: &Field2) -> Option<(f64, f64)> {
     let g = psi.grid();
@@ -212,6 +294,47 @@ mod tests {
         assert!((shape.mean_radius - 10.0).abs() < 0.3);
         assert!(shape.radius_std < 0.2, "σ={}", shape.radius_std);
         assert!(shape.count > 20);
+    }
+
+    #[test]
+    fn perimeter_of_circle_matches_circumference() {
+        let psi = circle_psi(10.0);
+        let p = perimeter_length(&psi);
+        let expected = 2.0 * std::f64::consts::PI * 10.0;
+        assert!(
+            (p - expected).abs() / expected < 0.03,
+            "perimeter {p} vs 2πr {expected}"
+        );
+    }
+
+    #[test]
+    fn perimeter_of_half_plane_is_domain_width() {
+        // ψ = y − 20.5 on a 41×41 unit grid: a straight horizontal front
+        // crossing 40 cells → length 40.
+        let g = Grid2::new(41, 41, 1.0, 1.0).unwrap();
+        let psi = Field2::from_world_fn(g, |_, y| y - 20.5);
+        assert!((perimeter_length(&psi) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perimeter_saddle_cell_is_finite_and_counted() {
+        // A 2×2 checkerboard cell: both diagonals burn — the ambiguous
+        // marching-squares case must contribute two segments.
+        let g = Grid2::new(2, 2, 1.0, 1.0).unwrap();
+        let psi = Field2::from_vec(g, vec![-1.0, 1.0, 1.0, -1.0]);
+        let p = perimeter_length(&psi);
+        assert!(p > 0.0 && p.is_finite());
+        // Two segments, each no longer than the cell diagonal.
+        assert!(p < 2.0 * 2.0_f64.sqrt());
+    }
+
+    #[test]
+    fn perimeter_empty_and_degenerate_grids_are_zero() {
+        let g = Grid2::new(11, 11, 1.0, 1.0).unwrap();
+        let psi = crate::ignition::initial_level_set(g, &[]);
+        assert_eq!(perimeter_length(&psi), 0.0);
+        let line = Grid2::new(5, 1, 1.0, 1.0).unwrap();
+        assert_eq!(perimeter_length(&Field2::zeros(line)), 0.0);
     }
 
     #[test]

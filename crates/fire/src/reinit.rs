@@ -5,10 +5,28 @@
 //! property the paper's initialization establishes. Reinitializing restores
 //! `‖∇ψ‖ ≈ 1` while preserving the zero level set, keeping registration and
 //! subsequent propagation well-scaled.
+//!
+//! Two entry points: [`reinitialize`] (allocating convenience wrapper) and
+//! [`reinitialize_into`], which takes a [`ReinitWorkspace`] and performs no
+//! steady-state heap allocation — the sweeps iterate index arithmetic
+//! directly instead of materializing traversal-order vectors.
 
+use crate::workspace::ReinitWorkspace;
 use wildfire_grid::Field2;
 
 /// Rebuilds ψ as an approximate signed distance to its own zero level set.
+///
+/// Convenience wrapper over [`reinitialize_into`] that allocates the output
+/// field and a fresh workspace per call.
+pub fn reinitialize(psi: &Field2) -> Field2 {
+    let mut out = Field2::default();
+    let mut ws = ReinitWorkspace::new();
+    reinitialize_into(psi, &mut out, &mut ws);
+    out
+}
+
+/// Allocation-free [`reinitialize`]: writes the reinitialized field into
+/// `out` (re-targeted to ψ's grid) using workspace scratch.
 ///
 /// Two phases:
 /// 1. Initialize distances exactly on the nodes adjacent to the interface
@@ -17,13 +35,17 @@ use wildfire_grid::Field2;
 ///    (Gauss–Seidel in alternating diagonal orders), separately for the
 ///    positive and negative sides.
 ///
-/// Fields with no sign change are returned unchanged (no interface to
+/// Fields with no sign change are copied unchanged (no interface to
 /// measure distance from).
-pub fn reinitialize(psi: &Field2) -> Field2 {
+pub fn reinitialize_into(psi: &Field2, out: &mut Field2, ws: &mut ReinitWorkspace) {
     let g = psi.grid();
     let n = g.len();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut frozen = vec![false; n];
+    ws.dist.clear();
+    ws.dist.resize(n, f64::INFINITY);
+    ws.frozen.clear();
+    ws.frozen.resize(n, false);
+    let dist = &mut ws.dist;
+    let frozen = &mut ws.frozen;
 
     // Phase 1: interface-adjacent nodes get exact edge distances.
     let mut any_interface = false;
@@ -61,7 +83,8 @@ pub fn reinitialize(psi: &Field2) -> Field2 {
         }
     }
     if !any_interface {
-        return psi.clone();
+        out.copy_from(psi);
+        return;
     }
 
     // Phase 2: fast sweeping for the unsigned distance.
@@ -90,35 +113,36 @@ pub fn reinitialize(psi: &Field2) -> Field2 {
         }
     };
 
-    let nx = g.nx as isize;
-    let ny = g.ny as isize;
-    let sweep_orders: [(isize, isize, isize, isize); 4] = [
-        (0, nx, 0, ny),           // +x +y
-        (nx - 1, -1, 0, ny),      // −x +y
-        (0, nx, ny - 1, -1),      // +x −y
-        (nx - 1, -1, ny - 1, -1), // −x −y
-    ];
+    let nx = g.nx;
+    let ny = g.ny;
+    // Alternating diagonal orders (+x+y, −x+y, +x−y, −x−y), iterated by
+    // index arithmetic — no traversal-order vectors, no allocation.
+    const SWEEP_ORDERS: [(bool, bool); 4] =
+        [(true, true), (false, true), (true, false), (false, false)];
     for _ in 0..2 {
-        for &(x0, x1, y0, y1) in &sweep_orders {
-            let xs = step_range(x0, x1);
-            let ys = step_range(y0, y1);
-            for &iy in &ys {
-                for &ix in &xs {
-                    let id = g.idx(ix as usize, iy as usize);
+        for &(x_fwd, y_fwd) in &SWEEP_ORDERS {
+            for sy in 0..ny {
+                let iy = if y_fwd { sy } else { ny - 1 - sy };
+                for sx in 0..nx {
+                    let ix = if x_fwd { sx } else { nx - 1 - sx };
+                    let id = g.idx(ix, iy);
                     if frozen[id] {
                         continue;
                     }
-                    let nb = |dx: isize, dy: isize| -> f64 {
-                        let jx = ix + dx;
-                        let jy = iy + dy;
-                        if jx < 0 || jy < 0 || jx >= nx || jy >= ny {
-                            f64::INFINITY
-                        } else {
-                            dist[g.idx(jx as usize, jy as usize)]
-                        }
+                    let xm = if ix > 0 { dist[id - 1] } else { f64::INFINITY };
+                    let xp = if ix + 1 < nx {
+                        dist[id + 1]
+                    } else {
+                        f64::INFINITY
                     };
-                    let a = nb(-1, 0).min(nb(1, 0));
-                    let b = nb(0, -1).min(nb(0, 1));
+                    let ym = if iy > 0 { dist[id - nx] } else { f64::INFINITY };
+                    let yp = if iy + 1 < ny {
+                        dist[id + nx]
+                    } else {
+                        f64::INFINITY
+                    };
+                    let a = xm.min(xp);
+                    let b = ym.min(yp);
                     if !a.is_finite() && !b.is_finite() {
                         continue;
                     }
@@ -137,32 +161,24 @@ pub fn reinitialize(psi: &Field2) -> Field2 {
         }
     }
 
-    // Re-apply the original sign.
-    let mut out = Field2::zeros(g);
-    for iy in 0..g.ny {
-        for ix in 0..g.nx {
-            let id = g.idx(ix, iy);
-            let sign = if psi.get(ix, iy) < 0.0 { -1.0 } else { 1.0 };
-            let d = if dist[id].is_finite() {
-                dist[id]
-            } else {
-                // Unreached corner (can only happen on pathological grids);
-                // fall back to the original magnitude.
-                psi.get(ix, iy).abs()
-            };
-            out.set(ix, iy, sign * d);
-        }
-    }
-    out
-}
-
-fn step_range(from: isize, to_exclusive: isize) -> Vec<isize> {
-    if from <= to_exclusive {
-        (from..to_exclusive).collect()
-    } else {
-        let mut v: Vec<isize> = ((to_exclusive + 1)..=from).collect();
-        v.reverse();
-        v
+    // Re-apply the original sign. Every node is written, so the memset of
+    // `resize_zeroed` is redundant.
+    out.resize_no_zero(g);
+    for (i, (o, &v)) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(psi.as_slice())
+        .enumerate()
+    {
+        let sign = if v < 0.0 { -1.0 } else { 1.0 };
+        let d = if dist[i].is_finite() {
+            dist[i]
+        } else {
+            // Unreached corner (can only happen on pathological grids);
+            // fall back to the original magnitude.
+            v.abs()
+        };
+        *o = sign * d;
     }
 }
 
@@ -232,6 +248,28 @@ mod tests {
         let psi = initial_level_set(g, &[]);
         let re = reinitialize(&psi);
         assert_eq!(re, psi);
+    }
+
+    #[test]
+    fn into_path_matches_wrapper_and_reuses_workspace() {
+        // One workspace across different shapes and grid sizes must keep
+        // producing exactly what the allocating wrapper produces.
+        let mut ws = ReinitWorkspace::new();
+        let mut out = Field2::default();
+        for (n, r) in [(31, 8.0), (21, 5.0), (41, 12.0)] {
+            let g = Grid2::new(n, n, 1.0, 1.0).unwrap();
+            let mut psi = initial_level_set(
+                g,
+                &[IgnitionShape::Circle {
+                    center: (n as f64 / 2.0, n as f64 / 2.0),
+                    radius: r,
+                }],
+            );
+            psi.map_inplace(|v| v * (1.0 + 0.1 * v.abs()));
+            reinitialize_into(&psi, &mut out, &mut ws);
+            let wrapper = reinitialize(&psi);
+            assert_eq!(out, wrapper, "n = {n}");
+        }
     }
 
     #[test]

@@ -15,6 +15,10 @@ use wildfire_grid::Field2;
 /// stepping entry points. A single workspace can serve grids of different
 /// sizes; buffers grow to the largest shape seen and shrink-free resizing
 /// keeps later smaller grids allocation-free too.
+///
+/// (There is deliberately no "ψ before the update" buffer: the fused
+/// integrator passes read each node's old value in the same sweep that
+/// overwrites it, so the ignition-time crossing detection needs no copy.)
 #[derive(Debug, Clone, Default)]
 pub struct FireWorkspace {
     /// First-stage slope `k1 = −S‖∇ψ‖` at the current state.
@@ -23,11 +27,29 @@ pub struct FireWorkspace {
     pub(crate) k2: Field2,
     /// Heun predictor `ψ* = ψ + dt·k1`.
     pub(crate) psi_star: Field2,
-    /// ψ before the update, kept for the ignition-time crossing detection.
-    pub(crate) psi_old: Field2,
 }
 
 impl FireWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Scratch buffers for [`crate::reinit::reinitialize_into`]: the unsigned
+/// distance field and the frozen-node mask of the fast-sweeping solver.
+/// Sized lazily on first use and reused thereafter, so steady-state
+/// reinitialization performs no heap allocation (pinned by the
+/// counting-allocator test in `wildfire-bench`).
+#[derive(Debug, Clone, Default)]
+pub struct ReinitWorkspace {
+    /// Unsigned distance to the interface, per node.
+    pub(crate) dist: Vec<f64>,
+    /// Nodes whose distance was fixed exactly in the initialization phase.
+    pub(crate) frozen: Vec<bool>,
+}
+
+impl ReinitWorkspace {
     /// An empty workspace; buffers are sized on first use.
     pub fn new() -> Self {
         Self::default()

@@ -47,10 +47,11 @@ proptest! {
             0.0,
         );
         let wind = VectorField2::from_fn(grid, |_, _| (wx, wy));
+        let mut ws = wildfire_fire::FireWorkspace::new();
         let mut prev_burned = state.burned_nodes();
         for _ in 0..steps {
-            let dt = solver.max_stable_dt(&state, &wind).min(1.0);
-            solver.step(&mut state, &wind, dt).unwrap();
+            let dt = solver.max_stable_dt_ws(&state, &wind, &mut ws).min(1.0);
+            solver.step_ws(&mut state, &wind, dt, &mut ws).unwrap();
             let now = state.burned_nodes();
             prop_assert!(now >= prev_burned, "burned region shrank");
             prev_burned = now;

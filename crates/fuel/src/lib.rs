@@ -16,7 +16,7 @@
 pub mod model;
 pub mod moisture;
 
-pub use model::{FuelCategory, FuelModel, HeatFluxes};
+pub use model::{FuelCategory, FuelModel, HeatFluxes, SpreadCoeffs};
 pub use moisture::MoistureModel;
 
 /// Latent heat of vaporization of water at fire temperatures, J/kg.

@@ -222,6 +222,87 @@ impl FuelModel {
     pub fn total_heat_per_area(&self) -> f64 {
         self.fuel_load * self.heat_content
     }
+
+    /// Flattens the spread-rate law into the per-evaluation constants the
+    /// level-set kernels stream: the moisture damping (a pure function of
+    /// the fuel constants) and the zero-wind wind term are folded in once,
+    /// so the hot loop does not recompute them per node.
+    ///
+    /// [`SpreadCoeffs::spread_rate`] is bitwise-identical to
+    /// [`FuelModel::spread_rate`] for every input — the equivalence is
+    /// pinned by a property test in `tests/proptest_fuel.rs`.
+    pub fn spread_coeffs(&self) -> SpreadCoeffs {
+        SpreadCoeffs {
+            r0: self.r0,
+            wind_factor: self.wind_factor,
+            wind_exponent: self.wind_exponent,
+            slope_factor: self.slope_factor,
+            max_spread: self.max_spread,
+            moisture_damping: (1.0 - self.moisture / self.moisture_extinction).clamp(0.0, 1.0),
+            zero_wind_term: self.wind_factor * 0.0_f64.powf(self.wind_exponent),
+        }
+    }
+}
+
+/// The §2.1 spread-rate law of one [`FuelModel`], flattened to the constants
+/// an evaluation actually needs. Extracted once per solver (palette entry)
+/// and stored in contiguous arrays by the fused level-set kernel, so the hot
+/// loop reads plain `f64` planes instead of chasing the full model struct.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpreadCoeffs {
+    /// Background (no-wind, no-slope) rate of spread, m/s.
+    pub r0: f64,
+    /// Wind coefficient `a` in `a·(v·n)^b`.
+    pub wind_factor: f64,
+    /// Wind exponent `b`.
+    pub wind_exponent: f64,
+    /// Slope coefficient `d`, m/s per unit slope.
+    pub slope_factor: f64,
+    /// Maximum spread rate cutoff `Smax`, m/s.
+    pub max_spread: f64,
+    /// Precomputed moisture damping `(1 − m/m_ext)` clipped to `[0, 1]`.
+    pub moisture_damping: f64,
+    /// Precomputed `a · 0^b` — the wind term at zero head wind (0 for
+    /// `b > 0`, `a` for `b = 0`), so the no-head-wind branch skips `powf`
+    /// while staying bitwise-identical to evaluating it.
+    pub zero_wind_term: f64,
+}
+
+impl SpreadCoeffs {
+    /// Spread rate `S` (m/s) — bitwise-identical to
+    /// [`FuelModel::spread_rate`] with the same wind/slope components, but
+    /// without recomputing the moisture damping, and skipping `powf` when
+    /// the along-normal wind is not a head wind.
+    #[inline]
+    pub fn spread_rate(&self, wind_along_normal: f64, slope_along_normal: f64) -> f64 {
+        let s =
+            (self.r0 + self.wind_term(wind_along_normal) + self.slope_factor * slope_along_normal)
+                * self.moisture_damping;
+        s.clamp(0.0, self.max_spread)
+    }
+
+    /// Spread rate on exactly flat terrain — bitwise-identical to
+    /// [`SpreadCoeffs::spread_rate`] with a zero terrain gradient: adding
+    /// the slope term `d · (±0·n⃗)` never changes the bits of the
+    /// (nonnegative) base rate, so the flat-terrain kernel skips the two
+    /// multiplies and the add outright.
+    #[inline]
+    pub fn spread_rate_flat(&self, wind_along_normal: f64) -> f64 {
+        let s = (self.r0 + self.wind_term(wind_along_normal)) * self.moisture_damping;
+        s.clamp(0.0, self.max_spread)
+    }
+
+    /// The wind term `a · max(0, v⃗·n⃗)^b`, with the `powf` skipped when
+    /// there is no head wind.
+    #[inline]
+    fn wind_term(&self, wind_along_normal: f64) -> f64 {
+        let wa = wind_along_normal.max(0.0);
+        if wa > 0.0 {
+            self.wind_factor * wa.powf(self.wind_exponent)
+        } else {
+            self.zero_wind_term
+        }
+    }
 }
 
 #[cfg(test)]

@@ -21,6 +21,37 @@ proptest! {
         prop_assert!(s <= f.max_spread);
     }
 
+    /// The flattened [`wildfire_fuel::SpreadCoeffs`] evaluate the spread law
+    /// bitwise-identically to the full model, for built-in categories and
+    /// custom parameter sets (including the `powf`-skipping no-head-wind
+    /// branch and degenerate wind exponents).
+    #[test]
+    fn spread_coeffs_match_model_bitwise(
+        cat in arb_category(),
+        r0 in 0.0f64..0.1,
+        a in 0.0f64..0.5,
+        b in 0.0f64..3.0,
+        d in -0.3f64..0.3,
+        smax in 0.1f64..8.0,
+        moisture in 0.0f64..0.4,
+        wind in -100.0f64..100.0,
+        slope in -5.0f64..5.0,
+    ) {
+        let mut custom = FuelModel::custom(r0, a, b, d, smax, 30.0, 1.0, 17.4e6, moisture);
+        custom.moisture = moisture;
+        for f in [FuelModel::for_category(cat), custom] {
+            let c = f.spread_coeffs();
+            for w in [wind, 0.0, -wind] {
+                let reference = f.spread_rate(w, slope);
+                let flattened = c.spread_rate(w, slope);
+                prop_assert!(
+                    reference.to_bits() == flattened.to_bits(),
+                    "model {reference} vs coeffs {flattened} at wind {w}"
+                );
+            }
+        }
+    }
+
     /// Spread rate is monotone non-decreasing in head wind.
     #[test]
     fn spread_monotone_in_wind(

@@ -196,6 +196,27 @@ impl Field2 {
         &self.data
     }
 
+    /// Contiguous row `iy` (all `nx` values along `x`) — the slice view the
+    /// fused level-set row sweeps and other kernels iterate branch-free.
+    ///
+    /// # Panics
+    /// Panics when `iy` is out of bounds.
+    #[inline]
+    pub fn row(&self, iy: usize) -> &[f64] {
+        let nx = self.grid.nx;
+        &self.data[iy * nx..(iy + 1) * nx]
+    }
+
+    /// Mutable variant of [`Field2::row`].
+    ///
+    /// # Panics
+    /// Panics when `iy` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, iy: usize) -> &mut [f64] {
+        let nx = self.grid.nx;
+        &mut self.data[iy * nx..(iy + 1) * nx]
+    }
+
     /// Mutable raw data slice.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
@@ -378,6 +399,24 @@ mod tests {
         assert!(g.contains(12.0, 22.0));
         assert!(!g.contains(9.99, 21.0));
         assert!(!g.contains(12.5, 21.0));
+    }
+
+    #[test]
+    fn row_slices_view_row_major_storage() {
+        let g = Grid2::new(3, 2, 1.0, 1.0).unwrap();
+        let mut f = Field2::from_fn(g, |ix, iy| (10 * iy + ix) as f64);
+        assert_eq!(f.row(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(f.row(1), &[10.0, 11.0, 12.0]);
+        f.row_mut(1)[2] = 99.0;
+        assert_eq!(f.get(2, 1), 99.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_out_of_bounds_panics() {
+        let g = Grid2::new(3, 2, 1.0, 1.0).unwrap();
+        let f = Field2::zeros(g);
+        let _ = f.row(2);
     }
 
     #[test]

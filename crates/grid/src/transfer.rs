@@ -153,33 +153,43 @@ pub fn restrict_into(fine: &Field2, out: &mut Field2) -> Result<()> {
     // with the neighboring dual cell.
     let hx = (refn.rx / 2) as isize;
     let hy = (refn.ry / 2) as isize;
+    let even_x = refn.rx % 2 == 0;
+    let even_y = refn.ry % 2 == 0;
     for cy in 0..coarse_grid.ny {
+        let fy = (cy * refn.ry) as isize;
+        // Clamp the dual-cell sample window to the domain up front (the
+        // skipped samples contributed nothing), so the sample loops below
+        // run branch-free over contiguous row slices. The surviving
+        // samples accumulate in the identical order with the identical
+        // weights, so the result is bit-for-bit what the bounds-checked
+        // per-sample formulation produced.
+        let dy_lo = (-hy).max(-fy);
+        let dy_hi = hy.min(fg.ny as isize - 1 - fy);
         for cx in 0..coarse_grid.nx {
             let fx = (cx * refn.rx) as isize;
-            let fy = (cy * refn.ry) as isize;
+            let dx_lo = (-hx).max(-fx);
+            let dx_hi = hx.min(fg.nx as isize - 1 - fx);
             let mut sum = 0.0;
             let mut count = 0.0;
-            for dy in -hy..=hy {
-                for dx in -hx..=hx {
-                    let ix = fx + dx;
-                    let iy = fy + dy;
-                    if ix < 0 || iy < 0 || ix >= fg.nx as isize || iy >= fg.ny as isize {
-                        continue;
-                    }
-                    // Edge-of-dual-cell samples count half (trapezoid rule in
-                    // each axis) so adjacent dual cells tile the plane.
-                    let wx = if dx.unsigned_abs() == hx as usize && refn.rx % 2 == 0 {
-                        0.5
-                    } else {
-                        1.0
-                    };
-                    let wy = if dy.unsigned_abs() == hy as usize && refn.ry % 2 == 0 {
+            for dy in dy_lo..=dy_hi {
+                // Edge-of-dual-cell samples count half (trapezoid rule in
+                // each axis) so adjacent dual cells tile the plane.
+                let wy = if dy.unsigned_abs() == hy as usize && even_y {
+                    0.5
+                } else {
+                    1.0
+                };
+                let row = fine.row((fy + dy) as usize);
+                let span = &row[(fx + dx_lo) as usize..=(fx + dx_hi) as usize];
+                for (k, &v) in span.iter().enumerate() {
+                    let dx = dx_lo + k as isize;
+                    let wx = if dx.unsigned_abs() == hx as usize && even_x {
                         0.5
                     } else {
                         1.0
                     };
                     let w = wx * wy;
-                    sum += w * fine.get(ix as usize, iy as usize);
+                    sum += w * v;
                     count += w;
                 }
             }

@@ -121,13 +121,15 @@ impl VectorField2 {
         self.v.map_inplace(|x| alpha * x);
     }
 
-    /// Maximum vector magnitude over the nodes.
+    /// Maximum vector magnitude over the nodes. One square root at the end:
+    /// `sqrt` is monotone (and correctly rounded), so maximizing the squared
+    /// magnitudes first yields the identical value.
     pub fn max_magnitude(&self) -> f64 {
         let mut m = 0.0_f64;
         for (a, b) in self.u.as_slice().iter().zip(self.v.as_slice().iter()) {
-            m = m.max((a * a + b * b).sqrt());
+            m = m.max(a * a + b * b);
         }
-        m
+        m.sqrt()
     }
 
     /// L² norm `√(Σ (u² + v²) dx dy)` — the `‖T‖` regularization term of the
