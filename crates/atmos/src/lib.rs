@@ -33,7 +33,7 @@ pub mod state;
 pub mod workspace;
 
 pub use model::AtmosModel;
-pub use multigrid::MgHierarchy;
+pub use multigrid::{MgHierarchy, PackedSmoother};
 pub use params::{AtmosParams, PoissonSolver};
 pub use state::AtmosState;
 pub use workspace::{AtmosWorkspace, PoissonWorkspace};

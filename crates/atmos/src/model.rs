@@ -2,7 +2,7 @@
 
 use crate::advect::{diffusion_tendency_into, momentum_tendencies_into, scalar_tendency_into};
 use crate::params::AtmosParams;
-use crate::poisson::solve_poisson_into;
+use crate::poisson::{solve_poisson_into, solve_poisson_warm_into};
 use crate::state::{AtmosGrid, AtmosState};
 use crate::workspace::AtmosWorkspace;
 use crate::{AtmosError, Result};
@@ -224,15 +224,31 @@ impl AtmosModel {
                 }
             }
         }
-        solve_poisson_into(
-            &g,
-            div,
-            p.pressure_solver,
-            p.pressure_tol,
-            p.pressure_max_iter,
-            &mut ws.poisson,
-            &mut ws.phi,
-        )?;
+        // Warm starting (opt-in) seeds the solver from `ws.phi`, which still
+        // holds the previous step's potential when the caller reuses the
+        // workspace; the default cold path starts from zero and stays
+        // bit-identical to the seed solver.
+        if p.pressure_warm_start {
+            solve_poisson_warm_into(
+                &g,
+                div,
+                p.pressure_solver,
+                p.pressure_tol,
+                p.pressure_max_iter,
+                &mut ws.poisson,
+                &mut ws.phi,
+            )?;
+        } else {
+            solve_poisson_into(
+                &g,
+                div,
+                p.pressure_solver,
+                p.pressure_tol,
+                p.pressure_max_iter,
+                &mut ws.poisson,
+                &mut ws.phi,
+            )?;
+        }
         let phi = &ws.phi;
         for k in 0..g.nz {
             for j in 0..g.ny {

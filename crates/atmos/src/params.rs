@@ -87,6 +87,19 @@ pub struct AtmosParams {
     pub pressure_tol: f64,
     /// Which pressure-projection solver to run.
     pub pressure_solver: PoissonSolver,
+    /// Warm-start the pressure projection from the previous step's
+    /// potential instead of zero (default `false`).
+    ///
+    /// Successive projection right-hand sides differ only by one step of
+    /// dynamics, so the previous `φ` is an excellent initial iterate and
+    /// cuts solver iterations substantially at small `dt`. The warm solve
+    /// converges to the same relative tolerance as the cold one but takes a
+    /// different iteration trajectory, so enabling this **breaks the
+    /// `step`/`step_ws` bitwise contract**: the allocating
+    /// [`crate::AtmosModel::step`] builds a fresh workspace each call (no
+    /// seed to reuse), while `step_ws` carries `φ` across steps. It is
+    /// therefore opt-in; the default path stays bit-identical to the seed.
+    pub pressure_warm_start: bool,
 }
 
 impl Default for AtmosParams {
@@ -106,6 +119,7 @@ impl Default for AtmosParams {
             pressure_max_iter: 500,
             pressure_tol: 1e-8,
             pressure_solver: PoissonSolver::Auto,
+            pressure_warm_start: false,
         }
     }
 }

@@ -10,7 +10,7 @@
 //! conjugate gradients (this module) and geometric multigrid
 //! ([`crate::multigrid`]), selected per [`crate::PoissonSolver`].
 
-use crate::multigrid::solve_poisson_mg_into;
+use crate::multigrid::{solve_poisson_mg_into, solve_poisson_mg_warm_into};
 use crate::params::PoissonSolver;
 use crate::state::AtmosGrid;
 use crate::workspace::PoissonWorkspace;
@@ -80,12 +80,56 @@ pub(crate) fn cg_mean_free(
 ) -> (bool, f64) {
     r.copy_from_slice(b);
     p.copy_from_slice(r);
+    cg_iterate(g, b, tol, max_iter, x, r, p, ap)
+}
+
+/// [`cg_mean_free`] warm-started from the iterate already in `x`: the mean
+/// is projected out of the seed (keeping the Krylov space orthogonal to the
+/// null space) and the initial residual is the true `r = b − A·x₀`. With a
+/// zero seed this performs exactly the cold iteration.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cg_mean_free_from(
+    g: &AtmosGrid,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    x: &mut [f64],
+    r: &mut [f64],
+    p: &mut [f64],
+    ap: &mut [f64],
+) -> (bool, f64) {
+    remove_mean(x);
+    apply_neg_laplacian(g, x, r);
+    for (ri, &bi) in r.iter_mut().zip(b.iter()) {
+        *ri = bi - *ri;
+    }
+    p.copy_from_slice(r);
+    cg_iterate(g, b, tol, max_iter, x, r, p, ap)
+}
+
+/// The shared CG iteration: assumes `r` holds the initial residual and
+/// `p = r`. Returns `(converged, rs_final)`.
+#[allow(clippy::too_many_arguments)]
+fn cg_iterate(
+    g: &AtmosGrid,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    x: &mut [f64],
+    r: &mut [f64],
+    p: &mut [f64],
+    ap: &mut [f64],
+) -> (bool, f64) {
     let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     if b_norm == 0.0 {
         return (true, 0.0);
     }
     let mut rs_old: f64 = r.iter().map(|v| v * v).sum();
     let target = (tol * b_norm) * (tol * b_norm);
+    if rs_old <= target {
+        // A warm seed can already satisfy the tolerance.
+        return (true, rs_old);
+    }
 
     for _ in 0..max_iter {
         apply_neg_laplacian(g, p, ap);
@@ -158,6 +202,35 @@ pub fn solve_poisson_into(
     }
 }
 
+/// Warm-started [`solve_poisson_into`]: the previous contents of `out`
+/// (normally the last step's potential) seed the iterate instead of zero,
+/// cutting iterations when successive right-hand sides are close — the
+/// regime of small-`dt` pressure projection. Falls back to the cold start
+/// when `out` has the wrong length, so first calls behave identically.
+///
+/// The converged potential satisfies the same relative tolerance as
+/// [`solve_poisson_into`] but is **not** bit-identical to it (the Krylov /
+/// V-cycle trajectory differs), which is why warm starting is opt-in via
+/// `AtmosParams::pressure_warm_start`.
+///
+/// # Errors
+/// Same as [`solve_poisson`].
+pub fn solve_poisson_warm_into(
+    g: &AtmosGrid,
+    rhs: &[f64],
+    solver: PoissonSolver,
+    tol: f64,
+    max_iter: usize,
+    ws: &mut PoissonWorkspace,
+    out: &mut Vec<f64>,
+) -> Result<()> {
+    if solver.uses_multigrid(g) {
+        solve_poisson_mg_warm_into(g, rhs, tol, max_iter, &mut ws.mg, out).map(|_| ())
+    } else {
+        solve_poisson_cg_warm_into(g, rhs, tol, max_iter, ws, out)
+    }
+}
+
 /// The conjugate-gradient path of [`solve_poisson_into`] (the seed solver,
 /// bit-identical to it). The CG vectors come from `ws` and the solution is
 /// written into `out` (both reuse their storage across calls).
@@ -207,6 +280,59 @@ pub fn solve_poisson_cg_into(
     if residual <= tol * 10.0 {
         // Close enough for the projection to be effective; accept with the
         // slightly relaxed tolerance rather than aborting a long run.
+        remove_mean(out);
+        return Ok(());
+    }
+    Err(AtmosError::PressureSolveFailed { residual })
+}
+
+/// The conjugate-gradient path of [`solve_poisson_warm_into`]: identical to
+/// [`solve_poisson_cg_into`] except the iteration starts from the previous
+/// contents of `out` (mean-projected) with the true initial residual
+/// `r = b − A·x₀`, instead of the zero iterate.
+///
+/// # Errors
+/// [`AtmosError::PressureSolveFailed`] if CG does not reach the tolerance
+/// within `max_iter` iterations.
+pub fn solve_poisson_cg_warm_into(
+    g: &AtmosGrid,
+    rhs: &[f64],
+    tol: f64,
+    max_iter: usize,
+    ws: &mut PoissonWorkspace,
+    out: &mut Vec<f64>,
+) -> Result<()> {
+    let n = g.n_cells();
+    assert_eq!(rhs.len(), n, "poisson rhs length mismatch");
+    if out.len() != n {
+        // No usable seed (first call, or the grid changed): run cold.
+        return solve_poisson_cg_into(g, rhs, tol, max_iter, ws, out);
+    }
+    // −∇²φ = −rhs, mean-free.
+    let b = &mut ws.b;
+    b.clear();
+    b.extend(rhs.iter().map(|&x| -x));
+    remove_mean(b);
+
+    let b_norm = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    ws.r.resize(n, 0.0);
+    ws.p.resize(n, 0.0);
+    ws.ap.resize(n, 0.0);
+    if b_norm == 0.0 {
+        // Match the cold solver: the zero right-hand side has the zero
+        // (mean-free) solution regardless of the seed.
+        out.fill(0.0);
+        return Ok(());
+    }
+    let (converged, rs_final) = cg_mean_free_from(
+        g, &ws.b, tol, max_iter, out, &mut ws.r, &mut ws.p, &mut ws.ap,
+    );
+    if converged {
+        remove_mean(out);
+        return Ok(());
+    }
+    let residual = rs_final.sqrt() / b_norm;
+    if residual <= tol * 10.0 {
         remove_mean(out);
         return Ok(());
     }
@@ -324,6 +450,114 @@ mod tests {
         let a_lb: f64 = a.iter().zip(lb.iter()).map(|(x, y)| x * y).sum();
         let b_la: f64 = b.iter().zip(la.iter()).map(|(x, y)| x * y).sum();
         assert!((a_lb - b_la).abs() < 1e-8 * a_lb.abs().max(1.0));
+    }
+
+    /// A warm solve seeded with garbage, a warm solve seeded cold, and the
+    /// cold solve must all agree to solver tolerance, on both solver paths.
+    #[test]
+    fn warm_solve_matches_cold_solve_to_tolerance() {
+        let g = grid();
+        let n = g.n_cells();
+        let rhs: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 % 11) as f64 - 5.0) * 1e-3)
+            .collect();
+        for solver in [PoissonSolver::ConjugateGradient, PoissonSolver::Multigrid] {
+            let mut ws = PoissonWorkspace::default();
+            let mut cold = Vec::new();
+            solve_poisson_into(&g, &rhs, solver, 1e-10, 2000, &mut ws, &mut cold).unwrap();
+            let scale = cold.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-30);
+            // Garbage seed of the right length: must still converge.
+            let mut warm: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64) * 1e3).collect();
+            solve_poisson_warm_into(&g, &rhs, solver, 1e-10, 2000, &mut ws, &mut warm).unwrap();
+            let err = warm
+                .iter()
+                .zip(cold.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0_f64, f64::max);
+            assert!(err / scale < 1e-7, "{solver:?}: garbage seed err {err}");
+            // Re-solving warm from the converged answer must stay put.
+            solve_poisson_warm_into(&g, &rhs, solver, 1e-10, 2000, &mut ws, &mut warm).unwrap();
+            let err = warm
+                .iter()
+                .zip(cold.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0_f64, f64::max);
+            assert!(err / scale < 1e-7, "{solver:?}: converged seed err {err}");
+        }
+    }
+
+    /// An empty (wrong-length) seed falls back to the cold start and is
+    /// then bit-identical to `solve_poisson_into`.
+    #[test]
+    fn warm_solve_without_seed_is_bitwise_cold() {
+        let g = grid();
+        let n = g.n_cells();
+        let rhs: Vec<f64> = (0..n)
+            .map(|i| ((i * 29 % 13) as f64 - 6.0) * 1e-3)
+            .collect();
+        for solver in [PoissonSolver::ConjugateGradient, PoissonSolver::Multigrid] {
+            let mut ws = PoissonWorkspace::default();
+            let mut cold = Vec::new();
+            solve_poisson_into(&g, &rhs, solver, 1e-8, 2000, &mut ws, &mut cold).unwrap();
+            let mut ws2 = PoissonWorkspace::default();
+            let mut warm = Vec::new();
+            solve_poisson_warm_into(&g, &rhs, solver, 1e-8, 2000, &mut ws2, &mut warm).unwrap();
+            assert_eq!(cold.len(), warm.len(), "{solver:?}");
+            for (a, b) in cold.iter().zip(warm.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{solver:?}");
+            }
+        }
+    }
+
+    /// Warm-started CG from the previous answer takes strictly fewer
+    /// iterations than the cold solve for a perturbed right-hand side (the
+    /// pressure-projection regime: successive right-hand sides are close).
+    #[test]
+    fn warm_start_cuts_cg_iterations_for_nearby_rhs() {
+        let g = grid();
+        let n = g.n_cells();
+        let rhs0: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 % 11) as f64 - 5.0) * 1e-3)
+            .collect();
+        // Small perturbation, as between consecutive projection steps.
+        let rhs1: Vec<f64> = rhs0
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + ((i * 7 % 5) as f64 - 2.0) * 1e-6)
+            .collect();
+        let count_iters = |seed: Option<&[f64]>, rhs: &[f64]| -> usize {
+            let mut b: Vec<f64> = rhs.iter().map(|&x| -x).collect();
+            remove_mean(&mut b);
+            let mut x = vec![0.0; n];
+            let (mut r, mut p, mut ap) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+            // Count iterations by shrinking max_iter until convergence fails.
+            let solve =
+                |max_iter: usize, x: &mut Vec<f64>, r: &mut _, p: &mut _, ap: &mut _| match seed {
+                    Some(s) => {
+                        x.copy_from_slice(s);
+                        cg_mean_free_from(&g, &b, 1e-10, max_iter, x, r, p, ap).0
+                    }
+                    None => {
+                        x.fill(0.0);
+                        cg_mean_free(&g, &b, 1e-10, max_iter, x, r, p, ap).0
+                    }
+                };
+            let mut iters = 1;
+            while !solve(iters, &mut x, &mut r, &mut p, &mut ap) {
+                iters += 1;
+                assert!(iters < 10_000, "CG failed to converge");
+            }
+            iters
+        };
+        let cold_iters = count_iters(None, &rhs1);
+        let mut ws = PoissonWorkspace::default();
+        let mut phi0 = Vec::new();
+        solve_poisson_cg_into(&g, &rhs0, 1e-10, 2000, &mut ws, &mut phi0).unwrap();
+        let warm_iters = count_iters(Some(&phi0), &rhs1);
+        assert!(
+            warm_iters < cold_iters,
+            "warm {warm_iters} >= cold {cold_iters}"
+        );
     }
 
     #[test]

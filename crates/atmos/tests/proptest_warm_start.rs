@@ -1,0 +1,129 @@
+//! Trajectory-level property tests for the opt-in warm-started pressure
+//! projection (`AtmosParams::pressure_warm_start`).
+//!
+//! Warm starting seeds each step's Poisson solve from the previous step's
+//! potential. Both cold and warm solves converge to the same relative
+//! residual tolerance, so the two trajectories are not bit-identical but
+//! must stay within a tight bound of each other: the per-step perturbation
+//! is O(tol) on the projection and the model's damping keeps it from
+//! amplifying. These tests pin that contract over multi-step runs with
+//! fire-like forcing, on both solver paths.
+
+use proptest::prelude::*;
+use wildfire_atmos::state::AtmosGrid;
+use wildfire_atmos::{AtmosModel, AtmosParams, AtmosState, AtmosWorkspace, PoissonSolver};
+use wildfire_grid::Field2;
+
+/// The paper's Fig. 1 atmosphere grid (routed to multigrid by `Auto`).
+fn fig1_grid() -> AtmosGrid {
+    AtmosGrid {
+        nx: 10,
+        ny: 10,
+        nz: 6,
+        dx: 60.0,
+        dy: 60.0,
+        dz: 50.0,
+    }
+}
+
+/// Runs `n_steps` of the atmosphere under a stationary fire-like heat
+/// island and returns the final state. One persistent workspace, so the
+/// warm path sees the previous step's potential as its seed.
+fn run(params: &AtmosParams, n_steps: usize, flux: f64, fire_pos: (usize, usize)) -> AtmosState {
+    let g = fig1_grid();
+    let model = AtmosModel::new(g, params.clone()).expect("model");
+    let h = g.horizontal();
+    let qs = Field2::from_fn(h, |i, j| {
+        let dx = i as f64 - fire_pos.0 as f64;
+        let dy = j as f64 - fire_pos.1 as f64;
+        flux * (-(dx * dx + dy * dy) / 4.0).exp()
+    });
+    let ql = Field2::from_fn(h, |i, j| if (i, j) == fire_pos { 0.2 * flux } else { 0.0 });
+    let mut state = model.initial_state();
+    let mut ws = AtmosWorkspace::new();
+    for _ in 0..n_steps {
+        model
+            .step_ws(&mut state, &qs, &ql, 0.5, &mut ws)
+            .expect("step");
+    }
+    state
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0_f64, f64::max)
+}
+
+fn max_abs(a: &[f64]) -> f64 {
+    a.iter().map(|v| v.abs()).fold(0.0_f64, f64::max)
+}
+
+proptest! {
+    /// The warm-started trajectory tracks the default (cold) trajectory:
+    /// after a multi-step run each prognostic field agrees to within
+    /// `1e-5` of its own scale, on both solver paths.
+    #[test]
+    fn warm_start_trajectory_stays_within_drift_bound(
+        flux in 5_000.0f64..40_000.0,
+        fi in 2usize..8,
+        fj in 2usize..8,
+        wind_u in 0.0f64..4.0,
+        solver_pick in 0usize..2,
+        n_steps in 4usize..14,
+    ) {
+        let solver = if solver_pick == 1 {
+            PoissonSolver::Multigrid
+        } else {
+            PoissonSolver::ConjugateGradient
+        };
+        let cold_params = AtmosParams {
+            ambient_wind: (wind_u, 0.0),
+            pressure_solver: solver,
+            ..Default::default()
+        };
+        let warm_params = AtmosParams {
+            pressure_warm_start: true,
+            ..cold_params.clone()
+        };
+        let cold = run(&cold_params, n_steps, flux, (fi, fj));
+        let warm = run(&warm_params, n_steps, flux, (fi, fj));
+        for (name, a, b) in [
+            ("u", &cold.u, &warm.u),
+            ("v", &cold.v, &warm.v),
+            ("w", &cold.w, &warm.w),
+            ("theta", &cold.theta, &warm.theta),
+            ("qv", &cold.qv, &warm.qv),
+        ] {
+            let scale = max_abs(a).max(max_abs(b)).max(1e-12);
+            let drift = max_abs_diff(a, b);
+            prop_assert!(
+                drift <= 1e-5 * scale,
+                "{name}: warm-start drift {drift:.3e} exceeds 1e-5 × scale {scale:.3e} \
+                 ({solver:?}, {n_steps} steps)"
+            );
+        }
+    }
+
+    /// With warm starting disabled the parameter is inert: the trajectory
+    /// is bit-identical to the default, so the opt-out path preserves the
+    /// seed's bitwise contract.
+    #[test]
+    fn disabled_warm_start_is_bitwise_inert(
+        flux in 5_000.0f64..40_000.0,
+        fi in 2usize..8,
+        fj in 2usize..8,
+    ) {
+        let params = AtmosParams::default();
+        let explicit = AtmosParams { pressure_warm_start: false, ..params.clone() };
+        let a = run(&params, 6, flux, (fi, fj));
+        let b = run(&explicit, 6, flux, (fi, fj));
+        for (x, y) in a.u.iter().zip(b.u.iter()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.theta.iter().zip(b.theta.iter()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

@@ -45,8 +45,28 @@ pub fn time_scenario(
     workspace_path: bool,
     solver: Option<PoissonSolver>,
 ) -> StepTiming {
+    time_scenario_opts(name, small, t_end, workspace_path, solver, false, false)
+}
+
+/// [`time_scenario`] with the opt-in speed modes: `fast_math` switches the
+/// spread-law wind power to the polynomial kernel and `warm_start` seeds
+/// each pressure solve from the previous step's potential. Either toggle is
+/// tagged in the label (`::fastmath`, `::warm`), so the default (bitwise)
+/// entries stay comparable across reports.
+#[allow(clippy::fn_params_excessive_bools)]
+pub fn time_scenario_opts(
+    name: &str,
+    small: bool,
+    t_end: f64,
+    workspace_path: bool,
+    solver: Option<PoissonSolver>,
+    fast_math: bool,
+    warm_start: bool,
+) -> StepTiming {
     let scenario = registry::by_name(name).expect("registry scenario");
-    let mut builder = SimulationBuilder::from_scenario(scenario);
+    let mut builder = SimulationBuilder::from_scenario(scenario)
+        .fast_math(fast_math)
+        .warm_start(warm_start);
     if small {
         builder = builder.domain(DomainSpec::SMALL);
     }
@@ -86,15 +106,152 @@ pub fn time_scenario(
             }
         ),
     };
+    let mode_tag = format!(
+        "{}{}",
+        if fast_math { "::fastmath" } else { "" },
+        if warm_start { "::warm" } else { "" },
+    );
     StepTiming {
         label: format!(
-            "{name}{}::{}{solver_tag}",
+            "{name}{}::{}{solver_tag}{mode_tag}",
             if small { " (small)" } else { "" },
             if workspace_path { "workspace" } else { "alloc" },
         ),
         steps,
         wall_secs: start.elapsed().as_secs_f64(),
     }
+}
+
+/// Times the spread-law power kernel in isolation: `evals` evaluations of
+/// `x^b` over a sweep of wind speeds and registry exponents, through libm
+/// `powf` (the bitwise default), the scalar polynomial
+/// [`wildfire_fuel::fast_pow`], and the batched
+/// [`wildfire_fuel::fast_pow_slice`] (the vectorizable form the fast-math
+/// fire kernel actually calls). Returned in that order; `steps` counts
+/// evaluations.
+pub fn time_pow_kernel(evals: usize) -> [StepTiming; 3] {
+    // Representative operands: head winds up to storm strength crossed with
+    // the registry's wind-exponent range.
+    let xs: Vec<f64> = (0..64).map(|i| 0.05 + 0.45 * i as f64).collect();
+    let bs = [0.7, 1.2, 1.4, 1.6, 2.1];
+    let rounds = evals / (xs.len() * bs.len());
+    let mut buf = vec![0.0_f64; xs.len()];
+    let mut best = [f64::INFINITY; 3];
+    for _rep in 0..3 {
+        for slot in 0..3 {
+            let start = Instant::now();
+            let mut acc = 0.0_f64;
+            for r in 0..rounds {
+                let shift = r as f64 * 1e-9;
+                for &b in &bs {
+                    if slot == 2 {
+                        for (o, &x) in buf.iter_mut().zip(&xs) {
+                            *o = x + shift;
+                        }
+                        wildfire_fuel::fast_pow_slice(b, &mut buf);
+                        acc += buf.iter().sum::<f64>();
+                    } else {
+                        for &x in &xs {
+                            let x = x + shift;
+                            acc += if slot == 1 {
+                                wildfire_fuel::fast_pow(x, b)
+                            } else {
+                                x.powf(b)
+                            };
+                        }
+                    }
+                }
+            }
+            let wall_secs = start.elapsed().as_secs_f64();
+            assert!(acc.is_finite() && acc > 0.0, "the timed kernel must run");
+            best[slot] = best[slot].min(wall_secs);
+        }
+    }
+    let steps = rounds * xs.len() * bs.len();
+    let label = |tag: &str| StepTiming {
+        label: format!("pow_kernel::{tag}"),
+        steps,
+        wall_secs: 0.0,
+    };
+    let mut out = [label("bitwise"), label("fast"), label("fast_slice")];
+    for (t, b) in out.iter_mut().zip(best) {
+        t.wall_secs = b;
+    }
+    out
+}
+
+/// Times the multigrid smoother in isolation on the domain's atmosphere
+/// grid: `sweeps` red-black half-sweep pairs through the scalar reference
+/// and the color-contiguous packed layout (in that order; `steps` counts
+/// sweep pairs). Both produce bit-identical iterates — this entry tracks
+/// the layout's throughput edge.
+pub fn time_poisson_smoother(small: bool, sweeps: usize) -> [StepTiming; 2] {
+    use wildfire_atmos::multigrid::smooth_reference;
+    use wildfire_atmos::state::AtmosGrid;
+    use wildfire_atmos::PackedSmoother;
+    let g = if small {
+        AtmosGrid {
+            nx: 8,
+            ny: 8,
+            nz: 5,
+            dx: 60.0,
+            dy: 60.0,
+            dz: 50.0,
+        }
+    } else {
+        AtmosGrid {
+            nx: 10,
+            ny: 10,
+            nz: 6,
+            dx: 60.0,
+            dy: 60.0,
+            dz: 50.0,
+        }
+    };
+    let n = g.n_cells();
+    // Deterministic broadband right-hand side, mean-free.
+    let mut rhs = vec![0.0; n];
+    let mut s = 0x9e3779b97f4a7c15u64;
+    for v in rhs.iter_mut() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *v = ((s >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 1e-2;
+    }
+    let mean = rhs.iter().sum::<f64>() / n as f64;
+    for v in rhs.iter_mut() {
+        *v -= mean;
+    }
+    let mut packed = PackedSmoother::new(&g).expect("even-dimensioned grid packs");
+    let mut x = vec![0.0; n];
+    let mut best = [f64::INFINITY; 2];
+    for _rep in 0..3 {
+        for (slot, use_packed) in [(0, false), (1, true)] {
+            x.fill(0.0);
+            let start = Instant::now();
+            if use_packed {
+                packed.smooth(&g, &rhs, &mut x, sweeps);
+            } else {
+                smooth_reference(&g, &rhs, &mut x, sweeps);
+            }
+            let wall_secs = start.elapsed().as_secs_f64();
+            assert!(x.iter().any(|&v| v != 0.0), "the smoother must do work");
+            best[slot] = best[slot].min(wall_secs);
+        }
+    }
+    let small_tag = if small { " (small)" } else { "" };
+    [
+        StepTiming {
+            label: format!("poisson_smoother{small_tag}::scalar"),
+            steps: sweeps,
+            wall_secs: best[0],
+        },
+        StepTiming {
+            label: format!("poisson_smoother{small_tag}::packed"),
+            steps: sweeps,
+            wall_secs: best[1],
+        },
+    ]
 }
 
 /// Times `evals` level-set RHS evaluations — the fire-only kernel cost,
@@ -357,11 +514,40 @@ pub fn measure(t_end: f64, small: bool, n_members: usize, threads: usize) -> Per
         timings.extend(best_solver);
     }
 
+    // Opt-in speed-mode entries (ISSUE 6): fig1 through the workspace path
+    // with fast-math pow, warm-started projection, and both together. The
+    // default entries above stay bitwise; these record what the relaxed
+    // modes buy. Best-of-three, same protocol.
+    for (fast_math, warm_start) in [(true, false), (false, true), (true, true)] {
+        let mut best_mode: Option<StepTiming> = None;
+        for _rep in 0..3 {
+            let t = time_scenario_opts(
+                "fig1-fireline",
+                small,
+                t_end,
+                true,
+                None,
+                fast_math,
+                warm_start,
+            );
+            if best_mode.as_ref().is_none_or(|b| t.wall_secs < b.wall_secs) {
+                best_mode = Some(t);
+            }
+        }
+        timings.extend(best_mode);
+    }
+
     // Fire-only kernel entries: the fused production RHS vs the scalar
     // reference it is bitwise-pinned to (interleaved best-of-three inside,
     // sharing one warmed scenario). `steps` counts RHS evaluations.
     let rhs_evals = if small { 600 } else { 300 };
     timings.extend(time_level_set_rhs(small, rhs_evals));
+
+    // Isolated kernel entries for the ISSUE-6 hotspots: the spread-law
+    // power kernel (bitwise libm vs polynomial fast path) and the multigrid
+    // smoother (scalar vs color-contiguous packed layout).
+    timings.extend(time_pow_kernel(2_000_000));
+    timings.extend(time_poisson_smoother(small, 20_000));
 
     let (cycle_ws_secs, cycle_alloc_secs) = time_cycle(small, n_members, threads);
     PerfMeasurement {

@@ -281,6 +281,71 @@ fn standard_enkf_analysis_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn etkf_analysis_is_allocation_free_after_warmup() {
+    // The ISSUE-6 satellite bar: the deterministic filter's N×N
+    // eigendecomposition (the last allocating piece of the analysis) now
+    // factors into workspace scratch, so the whole ETKF analysis is
+    // steady-state allocation-free. N = 25 matches the paper's ensemble
+    // size and exceeds the stable-sort allocation threshold (20), which is
+    // why the eigenvalue sort must be the unstable (buffer-free) one.
+    let mut rng = GaussianSampler::new(42);
+    let n_state = 200;
+    let m_obs = 30;
+    let n_ens = 25;
+    let mut x = rng.normal_matrix(n_state, n_ens, 1.0);
+    let y = x.submatrix(0, m_obs, 0, n_ens);
+    let data = vec![0.5; m_obs];
+    let obs_var = vec![0.3; m_obs];
+    let filter = wildfire_enkf::Etkf::new(1.05);
+    let mut ws = AnalysisWorkspace::new();
+    filter
+        .analyze_ws(&mut x, &y, &data, &obs_var, &mut ws)
+        .unwrap();
+    let n = allocations_during(|| {
+        for _ in 0..3 {
+            filter
+                .analyze_ws(&mut x, &y, &data, &obs_var, &mut ws)
+                .unwrap();
+        }
+    });
+    assert_eq!(n, 0, "ETKF analyze_ws must not allocate in steady state");
+}
+
+#[test]
+fn warm_started_projection_is_allocation_free_after_warmup() {
+    // The warm-started pressure projection (ISSUE-6 tentpole c) seeds each
+    // solve from the previous potential already resident in the workspace —
+    // the seed path must add no allocations over the cold path, on both
+    // solver backends.
+    for solver in [
+        wildfire_atmos::PoissonSolver::Multigrid,
+        wildfire_atmos::PoissonSolver::ConjugateGradient,
+    ] {
+        let params = wildfire_atmos::AtmosParams {
+            pressure_solver: solver,
+            pressure_warm_start: true,
+            ..Default::default()
+        };
+        let model = wildfire_atmos::AtmosModel::new(small_atmos_grid(), params).unwrap();
+        let h = model.grid.horizontal();
+        let qs = Field2::from_fn(h, |i, j| if i == 4 && j == 4 { 40_000.0 } else { 0.0 });
+        let ql = Field2::zeros(h);
+        let mut state = model.initial_state();
+        let mut ws = AtmosWorkspace::new();
+        model.step_ws(&mut state, &qs, &ql, 0.5, &mut ws).unwrap();
+        let n = allocations_during(|| {
+            for _ in 0..5 {
+                model.step_ws(&mut state, &qs, &ql, 0.5, &mut ws).unwrap();
+            }
+        });
+        assert_eq!(
+            n, 0,
+            "warm-started step_ws with {solver:?} must not allocate in steady state"
+        );
+    }
+}
+
+#[test]
 fn obs_set_packing_is_allocation_free_after_warmup() {
     // The ISSUE-3 acceptance bar for the observation pipeline: packing a
     // heterogeneous pool (strided ψ + a station network) into (y, H(X), R)

@@ -8,7 +8,7 @@
 
 use crate::workspace::AnalysisWorkspace;
 use crate::{EnkfError, Result};
-use wildfire_math::{Matrix, SymmetricEigen};
+use wildfire_math::Matrix;
 
 /// The ensemble transform Kalman filter.
 #[derive(Debug, Clone, Default)]
@@ -42,12 +42,12 @@ impl Etkf {
         self.analyze_ws(ensemble, synthetic, data, obs_var, &mut ws)
     }
 
-    /// Workspace-backed [`Etkf::analyze`]: the state-sized temporaries (the
-    /// anomaly matrices, the scaled observation anomalies, and the
-    /// transformed ensemble) come from `ws` and are reused across calls.
-    /// The `N × N` ensemble-space eigendecomposition still allocates — its
-    /// footprint is independent of the state dimension, which is what
-    /// dominates for grid-sized states. Bit-identical to the allocating
+    /// Workspace-backed [`Etkf::analyze`]: every temporary — the anomaly
+    /// matrices, the scaled observation anomalies, the transformed
+    /// ensemble, and the `N × N` ensemble-space eigendecomposition
+    /// (`SymmetricEigen::factor_into` with Jacobi scratch in `ws`) — comes
+    /// from `ws` and is reused across calls, so a steady-state analysis
+    /// performs no heap allocation. Bit-identical to the allocating
     /// wrapper.
     ///
     /// # Errors
@@ -103,9 +103,16 @@ impl Etkf {
         let m_mat = &mut ws.c;
         s.tr_matmul_into(s, m_mat)?;
         m_mat.add_diagonal_mut(1.0);
-        let eig = SymmetricEigen::new(m_mat)?;
-        let m_inv = eig.map(|lam| 1.0 / lam.max(1e-14));
-        let m_inv_sqrt = eig.map(|lam| 1.0 / lam.max(1e-14).sqrt());
+        ws.eig.factor_into(&ws.c, &mut ws.eig_ws)?;
+        // M⁻¹ into the (otherwise idle) stochastic-filter weight slot and
+        // M^{-1/2} into the Cholesky slot; `c` is free again after the
+        // factorization and serves as the map scratch.
+        ws.eig
+            .map_into(|lam| 1.0 / lam.max(1e-14), &mut ws.c, &mut ws.w);
+        let m_inv = &ws.w;
+        ws.eig
+            .map_into(|lam| 1.0 / lam.max(1e-14).sqrt(), &mut ws.c, &mut ws.l);
+        let m_inv_sqrt = &ws.l;
 
         // Mean update: x̄ ← x̄ + A·M⁻¹·Sᵀ·R^{-1/2}(d − ȳ)/√(N−1).
         let innov = &mut ws.innov;
@@ -117,16 +124,19 @@ impl Etkf {
         let st_innov = &mut ws.wvec;
         st_innov.clear();
         st_innov.resize(n_ens, 0.0);
-        s.tr_matvec_into(innov, st_innov)?;
-        let wbar = m_inv.matvec(st_innov)?;
+        ws.delta.tr_matvec_into(innov, st_innov)?;
+        let wbar = &mut ws.wvec2;
+        wbar.clear();
+        wbar.resize(n_ens, 0.0);
+        m_inv.matvec_into(&ws.wvec, wbar)?;
         let dx = &mut ws.xvec;
         dx.clear();
         dx.resize(n, 0.0);
-        ws.a.matvec_into(&wbar, dx)?;
+        ws.a.matvec_into(&ws.wvec2, dx)?;
 
         // Anomaly update: A ← A·M^{-1/2} (symmetric square root keeps the
         // ensemble mean-free).
-        ws.a.matmul_into(&m_inv_sqrt, &mut ws.update)?;
+        ws.a.matmul_into(m_inv_sqrt, &mut ws.update)?;
         let a_new = &ws.update;
 
         for j in 0..n_ens {

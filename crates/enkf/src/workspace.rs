@@ -9,7 +9,7 @@
 //! first use, reused thereafter, so a steady-state analysis performs no
 //! heap allocation.
 
-use wildfire_math::Matrix;
+use wildfire_math::{EigenWorkspace, Matrix, SymmetricEigen};
 
 /// Scratch buffers for one EnKF/ETKF analysis.
 ///
@@ -42,8 +42,16 @@ pub struct AnalysisWorkspace {
     pub innov: Vec<f64>,
     /// Length-`N` ensemble-space scratch.
     pub wvec: Vec<f64>,
+    /// Second length-`N` ensemble-space scratch (the ETKF mean-update
+    /// weights).
+    pub wvec2: Vec<f64>,
     /// Length-`n` state-space scratch.
     pub xvec: Vec<f64>,
+    /// Reusable eigendecomposition of the ETKF ensemble-space matrix
+    /// (`N × N`) — the last allocating piece of the deterministic analysis.
+    pub eig: SymmetricEigen,
+    /// Jacobi scratch backing `eig`.
+    pub eig_ws: EigenWorkspace,
 }
 
 impl AnalysisWorkspace {

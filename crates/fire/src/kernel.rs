@@ -242,6 +242,26 @@ fn rhs_fused_dispatch<const GODUNOV: bool, const UNIFORM: bool, const FLAT: bool
         let out_row = out.row_mut(iy);
         out_row[0] = v_first;
         out_row[nx - 1] = v_last;
+        if UNIFORM && !uniform_coeffs.pow.is_bitwise() {
+            // Fast-math palettes batch the wind power per row block (the
+            // vectorizable `PowPlan::eval_slice` form) — bitwise-identical
+            // to the scalar loop below, just evaluated lanes at a time.
+            interior_row_batched::<GODUNOV, FLAT>(
+                &uniform_coeffs,
+                row,
+                below,
+                above,
+                wu,
+                wv,
+                tzx,
+                tzy,
+                inv_dx,
+                inv_dy,
+                out_row,
+                &mut s_max,
+            );
+            continue;
+        }
         for i in 1..nx - 1 {
             let here = row[i];
             // Same expressions as `diff_x`/`diff_y` at an interior node.
@@ -278,6 +298,100 @@ fn rhs_fused_dispatch<const GODUNOV: bool, const UNIFORM: bool, const FLAT: bool
         }
     }
     s_max
+}
+
+/// Batched interior row for fast-math uniform-palette sweeps: stages a
+/// block of nodes' head-wind operands and evaluates the wind power as one
+/// [`wildfire_fuel::PowPlan::eval_slice`] call — the vectorizable form of
+/// the polynomial kernel — instead of one scalar call per node.
+///
+/// Bitwise-identical to the scalar interior loop in
+/// [`rhs_fused_dispatch`]: every lane runs the same per-node arithmetic in
+/// the same order (`eval_slice` is pinned bitwise to element-wise `eval`),
+/// zero-gradient nodes write the same `0.0`, and no-head-wind nodes take
+/// the same precomputed zero-wind term — those lanes carry a `1.0`
+/// sentinel through the batched power so the block never leaves the
+/// all-positive vector path.
+#[allow(clippy::too_many_arguments)]
+fn interior_row_batched<const GODUNOV: bool, const FLAT: bool>(
+    c: &SpreadCoeffs,
+    row: &[f64],
+    below: &[f64],
+    above: &[f64],
+    wu: &[f64],
+    wv: &[f64],
+    tzx: &[f64],
+    tzy: &[f64],
+    inv_dx: f64,
+    inv_dy: f64,
+    out_row: &mut [f64],
+    s_max: &mut f64,
+) {
+    const BLOCK: usize = 32;
+    let nx = row.len();
+    let mut norm_b = [0.0_f64; BLOCK];
+    let mut wa_b = [0.0_f64; BLOCK];
+    let mut pow_b = [0.0_f64; BLOCK];
+    let mut slope_b = [0.0_f64; BLOCK];
+    let mut start = 1;
+    while start < nx - 1 {
+        let len = BLOCK.min(nx - 1 - start);
+        for k in 0..len {
+            let i = start + k;
+            let here = row[i];
+            let left = (here - row[i - 1]) * inv_dx;
+            let right = (row[i + 1] - here) * inv_dx;
+            let down = (here - below[i]) * inv_dy;
+            let up = (above[i] - here) * inv_dy;
+            let (gx, gy) = if GODUNOV {
+                (godunov_select(left, right), godunov_select(down, up))
+            } else {
+                (0.5 * (left + right), 0.5 * (down + up))
+            };
+            let norm = (gx * gx + gy * gy).sqrt();
+            norm_b[k] = norm;
+            if norm == 0.0 {
+                wa_b[k] = 0.0;
+                pow_b[k] = 1.0;
+                slope_b[k] = 0.0;
+                continue;
+            }
+            let n = (gx / norm, gy / norm);
+            let wa = (wu[i] * n.0 + wv[i] * n.1).max(0.0);
+            wa_b[k] = wa;
+            pow_b[k] = if wa > 0.0 { wa } else { 1.0 };
+            slope_b[k] = if FLAT {
+                0.0
+            } else {
+                tzx[i] * n.0 + tzy[i] * n.1
+            };
+        }
+        c.pow.eval_slice(&mut pow_b[..len]);
+        for k in 0..len {
+            let norm = norm_b[k];
+            if norm == 0.0 {
+                out_row[start + k] = 0.0;
+                continue;
+            }
+            // Same term order as `spread_rate` / `spread_rate_flat`:
+            // (r0 + wind) [+ slope], damped, clamped.
+            let wind_term = if wa_b[k] > 0.0 {
+                c.wind_factor * pow_b[k]
+            } else {
+                c.zero_wind_term
+            };
+            let base_rate = c.r0 + wind_term;
+            let s = if FLAT {
+                base_rate
+            } else {
+                base_rate + c.slope_factor * slope_b[k]
+            };
+            let s = (s * c.moisture_damping).clamp(0.0, c.max_spread);
+            *s_max = s_max.max(s);
+            out_row[start + k] = -s * norm;
+        }
+        start += len;
+    }
 }
 
 /// `out = a + alpha·b`, fully overwriting `out` — one fused pass with the

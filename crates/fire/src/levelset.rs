@@ -102,6 +102,17 @@ impl LevelSetSolver {
         self.planes = KernelPlanes::build(&self.mesh);
     }
 
+    /// Switches the solver between bitwise `powf` and the polynomial
+    /// fast-math `pow` kernel for the wind term, rebuilding the kernel
+    /// planes so the fused sweep picks up the new [`wildfire_fuel::PowPlan`]s.
+    ///
+    /// Off (bitwise) is the default and keeps the golden-trajectory pins;
+    /// fast-math relaxes spread rates to within `1e-12` relative error.
+    pub fn set_fast_math(&mut self, fast_math: bool) {
+        self.mesh.fuel.set_fast_math(fast_math);
+        self.refresh_kernel_planes();
+    }
+
     /// Upwinded partial derivatives of ψ at a node — the paper's Godunov
     /// selection per axis. Returns `(Dx, Dy)`.
     pub fn godunov_gradient(psi: &Field2, ix: usize, iy: usize) -> (f64, f64) {

@@ -75,6 +75,18 @@ impl FuelMap {
         &self.palette
     }
 
+    /// Switches every palette entry between bitwise `powf` and the
+    /// polynomial fast-math `pow` kernel (see [`wildfire_fuel::fast_pow`]).
+    ///
+    /// Callers holding derived spread coefficients (kernel planes) must
+    /// rebuild them afterwards; [`crate::LevelSetSolver::set_fast_math`]
+    /// does both.
+    pub fn set_fast_math(&mut self, fast_math: bool) {
+        for fuel in &mut self.palette {
+            fuel.fast_math = fast_math;
+        }
+    }
+
     /// The per-node palette indices, row-major in `x` (one `u8` per grid
     /// node). Every value is a valid index into [`FuelMap::palette`]; the
     /// fused level-set kernel streams this plane next to its flattened

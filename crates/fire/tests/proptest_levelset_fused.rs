@@ -126,6 +126,43 @@ proptest! {
         }
     }
 
+    /// Fast-math mode keeps the same contract: with the polynomial pow
+    /// plan active the fused kernel takes the batched `eval_slice` interior
+    /// path (uniform palettes), which must still match the scalar reference
+    /// bit for bit. The 40-wide grid exercises full 32-node power blocks,
+    /// their remainders, and the no-head-wind sentinel lanes.
+    #[test]
+    fn fast_math_fused_rhs_is_bitwise_identical_to_reference(
+        ny in 3usize..10,
+        psi_vals in prop::collection::vec(-40.0f64..40.0, 40 * 10),
+        wind_vals in prop::collection::vec(-25.0f64..25.0, 2 * 40 * 10),
+        terrain_vals in prop::collection::vec(-12.0f64..12.0, 40 * 10),
+        flat_terrain in 0u32..2,
+        fuel_pick in 0u32..2,
+    ) {
+        let grid = Grid2::new(40, ny, 1.5, 2.0).unwrap();
+        let n = grid.len();
+        let psi = Field2::from_vec(grid, psi_vals[..n].to_vec());
+        let wind = VectorField2::new(
+            Field2::from_vec(grid, wind_vals[..n].to_vec()),
+            Field2::from_vec(grid, wind_vals[n..2 * n].to_vec()),
+        )
+        .unwrap();
+        let terrain = if flat_terrain == 1 {
+            Field2::filled(grid, 0.0)
+        } else {
+            Field2::from_vec(grid, terrain_vals[..n].to_vec())
+        };
+        let mesh = FireMesh::new(grid, build_fuel_map(grid, fuel_pick), terrain).unwrap();
+        let mut solver = LevelSetSolver::new(mesh);
+        solver.set_fast_math(true);
+        for gradient in [GradientScheme::Godunov, GradientScheme::Central] {
+            solver.gradient = gradient;
+            let mismatch = equivalence_mismatch(&solver, &psi, &wind);
+            prop_assert!(mismatch.is_none(), "{gradient:?}: {}", mismatch.unwrap());
+        }
+    }
+
     /// Stepping through the fused kernel stays bitwise-identical along a
     /// whole trajectory: the multi-step workspace path (fused) against a
     /// manual Heun step driven by the reference RHS.

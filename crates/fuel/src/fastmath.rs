@@ -1,0 +1,461 @@
+//! Vectorizable polynomial `pow` kernel and the [`PowPlan`] dispatch.
+//!
+//! The wind term `a · max(0, v⃗·n⃗)^b` is the single hottest operation of the
+//! fused level-set sweep: libm's `powf` is correctly rounded but opaque to
+//! the autovectorizer and costs hundreds of cycles per node. This module
+//! provides the opt-in replacement: [`fast_pow`] evaluates `x^b` as
+//! `exp2(b · log2 x)` through two short polynomials (an atanh series for
+//! `log2`, a Taylor series for `exp`), using only adds, multiplies, and a
+//! handful of bit manipulations — straight-line code the compiler can
+//! pipeline and vectorize.
+//!
+//! # Accuracy contract
+//!
+//! For finite `x > 0` and exponents in the fuel-model range (`0 ≤ b ≤ 3`),
+//! the relative error of [`fast_pow`] against `f64::powf` is bounded by
+//! `1e-12` whenever the exact result is a normal number (the bound is pinned
+//! by the property suite in `tests/proptest_fastmath.rs`; measured worst
+//! case is ~2e-14). Zero, negative, infinite, and NaN bases delegate to
+//! `powf` outright, so every edge keeps the exact libm semantics.
+//!
+//! # Bitwise contract
+//!
+//! `fast_pow` is **not** bitwise-identical to `powf`, which is why it is
+//! opt-in: the default [`PowPlan::Bitwise`] keeps libm and therefore keeps
+//! every golden/equivalence pin in the workspace intact. Enabling
+//! [`FuelModel::fast_math`](crate::FuelModel::fast_math) swaps the plan to
+//! [`PowPlan::fast`] and relaxes the trajectory contract to the relative
+//! error bound above.
+
+/// Coefficients `1/(2k+1)` of the atanh series for `ln`, through `z¹⁹`:
+/// `ln m = 2z·(1 + z²/3 + z⁴/5 + …)` with `z = (m−1)/(m+1)`.
+const ATANH: [f64; 9] = [
+    1.0 / 3.0,
+    1.0 / 5.0,
+    1.0 / 7.0,
+    1.0 / 9.0,
+    1.0 / 11.0,
+    1.0 / 13.0,
+    1.0 / 15.0,
+    1.0 / 17.0,
+    1.0 / 19.0,
+];
+
+/// `log2 x` for finite, normal-or-subnormal `x > 0`.
+///
+/// The base is split into exponent and mantissa by bit extraction; the
+/// mantissa is centered into `[√2/2, √2]` so the atanh argument stays in
+/// `|z| ≤ 0.1716`, where the degree-19 series truncates below `3e-16`.
+#[inline(always)]
+fn fast_log2(x: f64) -> f64 {
+    debug_assert!(x > 0.0 && x.is_finite());
+    // Normalize subnormals with an exact scale so bit extraction works.
+    // Select, not branch: this body must stay straight-line code so the
+    // slice driver autovectorizes (and so data-dependent predicates never
+    // hit the branch predictor in the hot loops).
+    let sub = x < f64::MIN_POSITIVE;
+    let x = if sub { x * (1u64 << 52) as f64 } else { x };
+    let sub_e = if sub { -52.0 } else { 0.0 };
+    let bits = x.to_bits();
+    let e = ((bits >> 52) as i32 & 0x7ff) - 1023;
+    // Mantissa in [1, 2), then halved into [√2/2, √2] when above √2.
+    let m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+    let hi = m > std::f64::consts::SQRT_2;
+    let m = if hi { 0.5 * m } else { m };
+    // i32 → f64 (exact): the i64 exponent would need AVX-512 to convert
+    // in-register, the 32-bit conversion vectorizes everywhere.
+    let e = f64::from(e + i32::from(hi)) + sub_e;
+    let z = (m - 1.0) / (m + 1.0);
+    // Degree-8 series in w = z² by Estrin's scheme: the squared-square
+    // ladder halves the dependency depth of a Horner chain, which is what
+    // bounds this latency-critical kernel.
+    let w = z * z;
+    let w2 = w * w;
+    let w4 = w2 * w2;
+    let q01 = ATANH[0] + ATANH[1] * w;
+    let q23 = ATANH[2] + ATANH[3] * w;
+    let q45 = ATANH[4] + ATANH[5] * w;
+    let q67 = ATANH[6] + ATANH[7] * w;
+    let lo = q01 + q23 * w2;
+    let hi = (q45 + q67 * w2) + ATANH[8] * w4;
+    let p = 1.0 + w * (lo + hi * w4);
+    // ln m = 2·z·p; divide by ln 2 once via a precomputed constant.
+    e + (2.0 / std::f64::consts::LN_2) * z * p
+}
+
+/// Coefficients `1/k!` of the exp Taylor series, through `r¹³`.
+const EXP_TAYLOR: [f64; 12] = [
+    1.0 / 2.0,
+    1.0 / 6.0,
+    1.0 / 24.0,
+    1.0 / 120.0,
+    1.0 / 720.0,
+    1.0 / 5040.0,
+    1.0 / 40320.0,
+    1.0 / 362_880.0,
+    1.0 / 3_628_800.0,
+    1.0 / 39_916_800.0,
+    1.0 / 479_001_600.0,
+    1.0 / 6_227_020_800.0,
+];
+
+/// Exact `2^n` for integer `n ∈ [−1022, 1023]`, by exponent-field
+/// construction.
+#[inline]
+fn exp2i(n: i64) -> f64 {
+    debug_assert!((-1022..=1023).contains(&n));
+    f64::from_bits(((n + 1023) as u64) << 52)
+}
+
+/// `2^t` for finite `t`, with overflow to `∞` and underflow to `0`.
+///
+/// `t` is split into the nearest integer `n` and a remainder `|r| ≤ ln2/2`;
+/// `exp(r)` comes from a degree-13 Taylor polynomial (truncation `< 5e-18`)
+/// and the `2^n` scale is applied in two exact halves so the product stays
+/// representable from the subnormal range up to overflow. Straight-line
+/// (saturation by clamp, not branch) so the slice driver autovectorizes;
+/// NaN input is the caller's responsibility ([`fast_pow`] delegates
+/// non-finite operands to libm before getting here).
+#[inline(always)]
+fn fast_exp2(t: f64) -> f64 {
+    // Saturating clamp: 2^1024 overflows to ∞ through the exact two-stage
+    // scale below, 2^−1075 is half the smallest subnormal and rounds to 0.
+    let t = t.clamp(-1075.0, 1024.0);
+    // Round to nearest integer by the shift trick (adding 1.5·2⁵² forces
+    // the fraction off the end of the mantissa): two adds instead of a
+    // libm `round` call on baseline x86-64. Ties go to even, which only
+    // nudges which |r| ≤ ln2/2 remainder we expand around. Valid for
+    // |t| < 2⁵¹; `t` is clamped to [−1075, 1024] above.
+    const SHIFT: f64 = 1.5 * (1u64 << 52) as f64;
+    let u = t + SHIFT;
+    let n = u - SHIFT;
+    let r = (t - n) * std::f64::consts::LN_2;
+    // exp r = 1 + r + r²·P(r), with the degree-11 tail P by Estrin's
+    // scheme (see `fast_log2` for why depth matters here).
+    let r2 = r * r;
+    let r4 = r2 * r2;
+    let r8 = r4 * r4;
+    let p01 = EXP_TAYLOR[0] + EXP_TAYLOR[1] * r;
+    let p23 = EXP_TAYLOR[2] + EXP_TAYLOR[3] * r;
+    let p45 = EXP_TAYLOR[4] + EXP_TAYLOR[5] * r;
+    let p67 = EXP_TAYLOR[6] + EXP_TAYLOR[7] * r;
+    let p89 = EXP_TAYLOR[8] + EXP_TAYLOR[9] * r;
+    let pab = EXP_TAYLOR[10] + EXP_TAYLOR[11] * r;
+    let lo = (p01 + p23 * r2) + (p45 + p67 * r2) * r4;
+    let p = lo + (p89 + pab * r2) * r8;
+    let p = 1.0 + r + r2 * p;
+    // The integer part drops out of the shifted sum's mantissa bits
+    // (two's-complement, valid for |n| < 2⁵¹) — no f64 → i64 conversion,
+    // which would need AVX-512 to stay in-register.
+    let n = (u.to_bits() as i64).wrapping_sub(SHIFT.to_bits() as i64);
+    // Two-stage scaling: each half exponent is in [−538, 512], so both the
+    // intermediate product and the exact 2^k factors stay representable.
+    // The bias keeps the halving a logical shift (`n` ≥ −1075 after the
+    // clamp), which AVX2 has; an arithmetic i64 shift needs AVX-512.
+    let n1 = ((n + 1076) as u64 >> 1) as i64 - 538;
+    p * exp2i(n1) * exp2i(n - n1)
+}
+
+/// Polynomial `x^b`: `exp2(b · log2 x)` for finite `x > 0` and finite `b`,
+/// libm `powf` for every other operand (zero, negative, infinite, or NaN
+/// base; non-finite exponent), plus exact fast paths for `b = 1` and
+/// `b = 2`. See the module docs for the accuracy contract.
+#[inline]
+pub fn fast_pow(x: f64, b: f64) -> f64 {
+    if b == 1.0 {
+        return x;
+    }
+    if b == 2.0 {
+        return x * x;
+    }
+    if x > 0.0 && x.is_finite() && b.is_finite() {
+        return fast_exp2(b * fast_log2(x));
+    }
+    x.powf(b)
+}
+
+/// [`fast_pow`] over a contiguous slice in place, bitwise-identical to the
+/// scalar loop `for x in xs { *x = fast_pow(*x, b) }`.
+///
+/// This is the form the "vectorizable" in the module docs cashes out as:
+/// the polynomial kernel is straight-line select-based code, so once the
+/// per-element edge-case branch is hoisted into a per-chunk check the
+/// autovectorizer turns it into 4-wide AVX2 arithmetic — IEEE ops are
+/// exact per lane, which is why vectorizing cannot break the bitwise
+/// equality with the scalar loop. Chunks containing a zero, negative, or
+/// non-finite element (never the case in the spread-rate hot loops, where
+/// the operand is `max(0, v⃗·n⃗)` filtered through the positive branch) fall
+/// back to the scalar path element by element.
+pub fn fast_pow_slice(b: f64, xs: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 requirement was just checked at runtime.
+        return unsafe { fast_pow_slice_avx2(b, xs) };
+    }
+    fast_pow_slice_impl(b, xs);
+}
+
+/// [`fast_pow_slice_impl`] recompiled with AVX2 codegen: same source, same
+/// per-lane IEEE arithmetic, so the results stay bitwise-identical to the
+/// portable build — the wider registers only change how many lanes move
+/// per instruction. (Baseline x86-64 is SSE2, which caps the
+/// autovectorizer at 2 lanes; the compile-time feature gate is the only
+/// way to emit 4-wide code from a binary that must still boot on older
+/// machines, hence the runtime dispatch above.)
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fast_pow_slice_avx2(b: f64, xs: &mut [f64]) {
+    fast_pow_slice_impl(b, xs);
+}
+
+/// The shared [`fast_pow_slice`] body; monomorphized per ISA level by the
+/// dispatch wrappers.
+#[inline(always)]
+fn fast_pow_slice_impl(b: f64, xs: &mut [f64]) {
+    if b == 1.0 {
+        return;
+    }
+    if b == 2.0 {
+        for x in xs.iter_mut() {
+            *x *= *x;
+        }
+        return;
+    }
+    if !b.is_finite() {
+        for x in xs.iter_mut() {
+            *x = x.powf(b);
+        }
+        return;
+    }
+    const LANES: usize = 8;
+    let mut chunks = xs.chunks_exact_mut(LANES);
+    for chunk in &mut chunks {
+        // `v < ∞` rejects both infinities and NaN; subnormals stay on the
+        // vector path (the kernel's exact-scale select handles them).
+        if chunk.iter().all(|&v| v > 0.0 && v < f64::INFINITY) {
+            for v in chunk.iter_mut() {
+                *v = fast_exp2(b * fast_log2(*v));
+            }
+        } else {
+            for v in chunk.iter_mut() {
+                *v = fast_pow(*v, b);
+            }
+        }
+    }
+    for v in chunks.into_remainder() {
+        *v = fast_pow(*v, b);
+    }
+}
+
+/// A precompiled strategy for evaluating `x ↦ x^b` with a fixed exponent —
+/// the form the spread-rate hot loops store per palette entry, so the
+/// bitwise-vs-fast decision and the common-exponent special cases are
+/// resolved once per solver instead of per node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PowPlan {
+    /// libm `powf` — correctly rounded, the bitwise default.
+    Bitwise(f64),
+    /// `b = 1`: the identity (fast-math mode only).
+    Identity,
+    /// `b = 2`: one multiply (fast-math mode only).
+    Square,
+    /// The polynomial [`fast_pow`] kernel (fast-math mode only).
+    Fast(f64),
+}
+
+impl PowPlan {
+    /// The plan for exponent `b` in the requested mode: [`PowPlan::Bitwise`]
+    /// when `fast_math` is off, otherwise [`PowPlan::fast`].
+    pub fn new(b: f64, fast_math: bool) -> PowPlan {
+        if fast_math {
+            PowPlan::fast(b)
+        } else {
+            PowPlan::Bitwise(b)
+        }
+    }
+
+    /// The fast-math plan for exponent `b`: the `b = 1` / `b = 2` special
+    /// cases when they apply exactly, the polynomial kernel otherwise.
+    pub fn fast(b: f64) -> PowPlan {
+        if b == 1.0 {
+            PowPlan::Identity
+        } else if b == 2.0 {
+            PowPlan::Square
+        } else {
+            PowPlan::Fast(b)
+        }
+    }
+
+    /// Evaluates `x^b`. For a given plan value this is a pure function of
+    /// `x`, so two call sites holding equal plans produce bitwise-equal
+    /// results — the property the model/coefficient equivalence tests pin.
+    #[inline]
+    pub fn eval(self, x: f64) -> f64 {
+        match self {
+            PowPlan::Bitwise(b) => x.powf(b),
+            PowPlan::Identity => x,
+            PowPlan::Square => x * x,
+            PowPlan::Fast(b) => fast_pow(x, b),
+        }
+    }
+
+    /// Evaluates `x ↦ x^b` over a contiguous slice in place — the batch
+    /// form of [`PowPlan::eval`], bitwise-identical to the element-wise
+    /// loop. The fast-math plans dispatch to [`fast_pow_slice`], whose
+    /// straight-line kernel autovectorizes; the bitwise plan stays a libm
+    /// loop (opaque calls cannot vectorize, by design — that is what the
+    /// bitwise contract pins).
+    pub fn eval_slice(self, xs: &mut [f64]) {
+        match self {
+            PowPlan::Bitwise(b) => {
+                for x in xs.iter_mut() {
+                    *x = x.powf(b);
+                }
+            }
+            PowPlan::Identity => {}
+            PowPlan::Square => {
+                for x in xs.iter_mut() {
+                    *x *= *x;
+                }
+            }
+            PowPlan::Fast(b) => fast_pow_slice(b, xs),
+        }
+    }
+
+    /// The exponent this plan raises to.
+    pub fn exponent(self) -> f64 {
+        match self {
+            PowPlan::Bitwise(b) | PowPlan::Fast(b) => b,
+            PowPlan::Identity => 1.0,
+            PowPlan::Square => 2.0,
+        }
+    }
+
+    /// Whether this plan keeps the bitwise libm contract.
+    pub fn is_bitwise(self) -> bool {
+        matches!(self, PowPlan::Bitwise(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_pow_matches_powf_closely_on_the_fuel_range() {
+        let mut worst = 0.0_f64;
+        for i in 0..=2000 {
+            let x = 1e-3 * f64::from(i) * f64::from(i).mul_add(0.03, 0.05);
+            for b in [0.25, 0.46, 1.15, 1.2, 1.25, 1.3, 1.35, 2.7] {
+                if x <= 0.0 {
+                    continue;
+                }
+                let exact = x.powf(b);
+                let fast = fast_pow(x, b);
+                let rel = ((fast - exact) / exact).abs();
+                worst = worst.max(rel);
+            }
+        }
+        assert!(worst <= 1e-13, "worst relative error {worst:.3e}");
+    }
+
+    #[test]
+    fn fast_pow_special_cases_are_exact() {
+        for x in [0.0, 0.5, 1.0, 3.7, 1e300, f64::INFINITY] {
+            assert_eq!(fast_pow(x, 1.0).to_bits(), x.to_bits());
+            assert_eq!(fast_pow(x, 2.0).to_bits(), (x * x).to_bits());
+        }
+        // Zero base: exact libm semantics via delegation.
+        assert_eq!(fast_pow(0.0, 0.0), 1.0);
+        assert_eq!(fast_pow(0.0, 1.3), 0.0);
+        assert_eq!(fast_pow(0.0, -1.0), f64::INFINITY);
+        // Exact powers of two at integer exponents of the polynomial path.
+        assert_eq!(fast_pow(4.0, 3.0), 64.0);
+        assert_eq!(fast_pow(1.0, 1.35), 1.0);
+        // Non-finite and negative bases delegate.
+        assert!(fast_pow(f64::NAN, 1.3).is_nan());
+        assert!(fast_pow(-2.0, 1.3).is_nan());
+        assert_eq!(fast_pow(f64::INFINITY, 1.3), f64::INFINITY);
+    }
+
+    /// The slice form is pinned bitwise to the element-wise scalar loop —
+    /// including mixed chunks where zeros/negatives/non-finites force the
+    /// scalar fallback, odd remainder lengths, and subnormals on the
+    /// vector path. This is the property the batched fire-kernel row
+    /// relies on.
+    #[test]
+    fn fast_pow_slice_is_bitwise_identical_to_scalar() {
+        let mut vals: Vec<f64> = (0..100)
+            .map(|i| 1e-3 * f64::from(i * i).mul_add(0.03, 0.05))
+            .collect();
+        // Edge cases scattered so some 8-lane chunks are clean and some mixed.
+        vals[3] = 0.0;
+        vals[17] = -2.5;
+        vals[40] = f64::INFINITY;
+        vals[41] = f64::NAN;
+        vals[77] = 1e-310; // subnormal: stays on the vector path
+        vals[78] = 1e300;
+        for b in [0.46, 1.0, 1.35, 2.0, 2.7, f64::NAN] {
+            let scalar: Vec<f64> = vals.iter().map(|&x| fast_pow(x, b)).collect();
+            // Odd lengths exercise the chunk remainders.
+            for len in [vals.len(), 13, 8, 5, 1, 0] {
+                let mut sliced = vals[..len].to_vec();
+                fast_pow_slice(b, &mut sliced);
+                for (i, (s, v)) in scalar.iter().zip(&sliced).enumerate() {
+                    assert!(
+                        s.to_bits() == v.to_bits() || (s.is_nan() && v.is_nan()),
+                        "b={b} len={len} i={i}: scalar {s:?} vs slice {v:?}"
+                    );
+                }
+            }
+        }
+        // PowPlan::eval_slice agrees with element-wise eval for every variant.
+        for plan in [
+            PowPlan::Bitwise(1.35),
+            PowPlan::Identity,
+            PowPlan::Square,
+            PowPlan::Fast(1.35),
+        ] {
+            let scalar: Vec<f64> = vals.iter().map(|&x| plan.eval(x)).collect();
+            let mut sliced = vals.clone();
+            plan.eval_slice(&mut sliced);
+            for (i, (s, v)) in scalar.iter().zip(&sliced).enumerate() {
+                assert!(
+                    s.to_bits() == v.to_bits() || (s.is_nan() && v.is_nan()),
+                    "{plan:?} i={i}: scalar {s:?} vs slice {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exp2i_is_exact() {
+        assert_eq!(exp2i(0), 1.0);
+        assert_eq!(exp2i(10), 1024.0);
+        assert_eq!(exp2i(-1022), f64::MIN_POSITIVE);
+        assert_eq!(exp2i(1023), 2.0_f64.powi(1023));
+    }
+
+    #[test]
+    fn fast_exp2_saturates_cleanly() {
+        assert_eq!(fast_exp2(1024.0), f64::INFINITY);
+        assert_eq!(fast_exp2(-1080.0), 0.0);
+        assert!((fast_exp2(0.5) - std::f64::consts::SQRT_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn plan_selects_the_documented_variants() {
+        assert_eq!(PowPlan::new(1.2, false), PowPlan::Bitwise(1.2));
+        assert_eq!(PowPlan::new(1.0, true), PowPlan::Identity);
+        assert_eq!(PowPlan::new(2.0, true), PowPlan::Square);
+        assert_eq!(PowPlan::new(1.2, true), PowPlan::Fast(1.2));
+        assert!(PowPlan::Bitwise(1.2).is_bitwise());
+        assert!(!PowPlan::Fast(1.2).is_bitwise());
+        for plan in [PowPlan::Bitwise(1.0), PowPlan::Identity, PowPlan::Fast(1.0)] {
+            assert_eq!(plan.exponent(), 1.0);
+            assert_eq!(plan.eval(3.25), 3.25);
+        }
+        assert_eq!(PowPlan::Square.exponent(), 2.0);
+        assert_eq!(PowPlan::Square.eval(3.0), 9.0);
+    }
+}

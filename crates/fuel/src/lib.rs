@@ -13,9 +13,11 @@
 //! documented per category; they are plain data, so calibrated values can be
 //! substituted through [`FuelModel::custom`].
 
+pub mod fastmath;
 pub mod model;
 pub mod moisture;
 
+pub use fastmath::{fast_pow, fast_pow_slice, PowPlan};
 pub use model::{FuelCategory, FuelModel, HeatFluxes, SpreadCoeffs};
 pub use moisture::MoistureModel;
 

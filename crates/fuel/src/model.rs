@@ -1,5 +1,6 @@
 //! Fuel categories, spread-rate coefficients, and heat release.
 
+use crate::fastmath::PowPlan;
 use crate::{COMBUSTION_WATER_YIELD, LATENT_HEAT_VAPORIZATION};
 
 /// Standard fuel categories.
@@ -103,6 +104,11 @@ pub struct FuelModel {
     pub moisture: f64,
     /// Moisture fraction at which spread stops entirely.
     pub moisture_extinction: f64,
+    /// Opt into the polynomial [`crate::fastmath::fast_pow`] kernel for the
+    /// wind term instead of bitwise libm `powf`. Off by default: enabling it
+    /// relaxes spread rates to the fast-math relative-error bound (≤ 1e-12)
+    /// and therefore diverges bitwise-pinned trajectories.
+    pub fast_math: bool,
 }
 
 impl FuelModel {
@@ -129,6 +135,7 @@ impl FuelModel {
             heat_content: 17.4e6,
             moisture: m,
             moisture_extinction: 0.30,
+            fast_math: false,
         }
     }
 
@@ -157,7 +164,23 @@ impl FuelModel {
             heat_content,
             moisture,
             moisture_extinction: 0.30,
+            fast_math: false,
         }
+    }
+
+    /// Returns the model with the fast-math wind-term kernel toggled (see
+    /// [`FuelModel::fast_math`]).
+    pub fn with_fast_math(mut self, fast_math: bool) -> FuelModel {
+        self.fast_math = fast_math;
+        self
+    }
+
+    /// The `x ↦ x^b` evaluation plan this model's mode selects for the wind
+    /// term. [`FuelModel::spread_rate`] and the flattened
+    /// [`SpreadCoeffs::spread_rate`] evaluate through equal plans, which is
+    /// what keeps them bitwise-identical to each other in *both* modes.
+    pub fn pow_plan(&self) -> PowPlan {
+        PowPlan::new(self.wind_exponent, self.fast_math)
     }
 
     /// Spread rate `S` (m/s) given the wind and terrain-gradient components
@@ -171,7 +194,7 @@ impl FuelModel {
     /// The result is damped by fuel moisture (linear to extinction) and
     /// clipped into `[0, Smax]`, both as the paper prescribes.
     pub fn spread_rate(&self, wind_along_normal: f64, slope_along_normal: f64) -> f64 {
-        let wind_term = self.wind_factor * wind_along_normal.max(0.0).powf(self.wind_exponent);
+        let wind_term = self.wind_factor * self.pow_plan().eval(wind_along_normal.max(0.0));
         let slope_term = self.slope_factor * slope_along_normal;
         let moisture_damping = (1.0 - self.moisture / self.moisture_extinction).clamp(0.0, 1.0);
         let s = (self.r0 + wind_term + slope_term) * moisture_damping;
@@ -232,14 +255,15 @@ impl FuelModel {
     /// [`FuelModel::spread_rate`] for every input — the equivalence is
     /// pinned by a property test in `tests/proptest_fuel.rs`.
     pub fn spread_coeffs(&self) -> SpreadCoeffs {
+        let pow = self.pow_plan();
         SpreadCoeffs {
             r0: self.r0,
             wind_factor: self.wind_factor,
-            wind_exponent: self.wind_exponent,
+            pow,
             slope_factor: self.slope_factor,
             max_spread: self.max_spread,
             moisture_damping: (1.0 - self.moisture / self.moisture_extinction).clamp(0.0, 1.0),
-            zero_wind_term: self.wind_factor * 0.0_f64.powf(self.wind_exponent),
+            zero_wind_term: self.wind_factor * pow.eval(0.0),
         }
     }
 }
@@ -254,8 +278,10 @@ pub struct SpreadCoeffs {
     pub r0: f64,
     /// Wind coefficient `a` in `a·(v·n)^b`.
     pub wind_factor: f64,
-    /// Wind exponent `b`.
-    pub wind_exponent: f64,
+    /// Precompiled wind-exponent plan: how `(v·n)^b` is evaluated — libm
+    /// `powf` by default, the polynomial fast-math kernel when the source
+    /// model opted in (see [`FuelModel::fast_math`]).
+    pub pow: PowPlan,
     /// Slope coefficient `d`, m/s per unit slope.
     pub slope_factor: f64,
     /// Maximum spread rate cutoff `Smax`, m/s.
@@ -298,10 +324,15 @@ impl SpreadCoeffs {
     fn wind_term(&self, wind_along_normal: f64) -> f64 {
         let wa = wind_along_normal.max(0.0);
         if wa > 0.0 {
-            self.wind_factor * wa.powf(self.wind_exponent)
+            self.wind_factor * self.pow.eval(wa)
         } else {
             self.zero_wind_term
         }
+    }
+
+    /// The wind exponent `b` of this entry's plan.
+    pub fn wind_exponent(&self) -> f64 {
+        self.pow.exponent()
     }
 }
 

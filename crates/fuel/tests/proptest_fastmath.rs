@@ -1,0 +1,114 @@
+//! Property-based accuracy bounds for the fast-math `pow` kernel.
+//!
+//! The opt-in contract of [`wildfire_fuel::fast_pow`]: for finite positive
+//! bases and exponents across (and beyond) the fuel-model range, the result
+//! stays within `1e-12` relative error of libm `powf` whenever the exact
+//! result is a normal number. Edge bases — zero (the no-head-wind case),
+//! negatives, denormals — keep exact or near-exact libm semantics.
+
+use proptest::prelude::*;
+use wildfire_fuel::{fast_pow, FuelCategory, FuelModel, PowPlan};
+
+/// Relative-error bound of the fast-math contract.
+const REL_TOL: f64 = 1e-12;
+
+/// Asserts `fast` is within the contract of `exact`: the relative bound for
+/// normal results, absolute slack of one `MIN_POSITIVE` where the exact
+/// result is subnormal (relative error is meaningless at that quantization).
+fn assert_within_contract(x: f64, b: f64, fast: f64, exact: f64) -> Result<(), TestCaseError> {
+    if exact.is_nan() {
+        prop_assert!(fast.is_nan(), "powf NaN but fast_pow {fast} at {x}^{b}");
+        return Ok(());
+    }
+    if exact.is_infinite() {
+        prop_assert!(fast == exact, "powf {exact} but fast_pow {fast} at {x}^{b}");
+        return Ok(());
+    }
+    if exact < f64::MIN_POSITIVE {
+        prop_assert!(
+            (fast - exact).abs() <= f64::MIN_POSITIVE,
+            "{x}^{b}: fast {fast:e} vs exact {exact:e} outside the normal range"
+        );
+        return Ok(());
+    }
+    let rel = ((fast - exact) / exact).abs();
+    prop_assert!(
+        rel <= REL_TOL,
+        "{x}^{b}: fast {fast:.17e} vs exact {exact:.17e}, relative error {rel:.3e}"
+    );
+    Ok(())
+}
+
+proptest! {
+    /// Random head winds across the physical range, random exponents across
+    /// (and past) the fuel-model range: relative error ≤ 1e-12.
+    #[test]
+    fn fast_pow_meets_the_relative_bound(
+        wind in 1e-12f64..200.0,
+        b in 0.0f64..3.0,
+    ) {
+        assert_within_contract(wind, b, fast_pow(wind, b), wind.powf(b))?;
+    }
+
+    /// Extreme magnitudes, including bases that drive the result subnormal
+    /// or to overflow: the contract holds over the full exponent span.
+    #[test]
+    fn fast_pow_survives_extreme_magnitudes(
+        log10x in -320.0f64..300.0,
+        b in 0.0f64..3.0,
+    ) {
+        let x = 10.0f64.powf(log10x);
+        assert_within_contract(x, b, fast_pow(x, b), x.powf(b))?;
+    }
+
+    /// Denormal bases: either both results agree to a denormal quantum or
+    /// the normal-range relative bound holds.
+    #[test]
+    fn fast_pow_handles_denormal_bases(
+        mantissa in 1u64..0x000f_ffff_ffff_ffff,
+        b in 0.0f64..3.0,
+    ) {
+        let x = f64::from_bits(mantissa); // all denormals
+        prop_assert!(x < f64::MIN_POSITIVE && x > 0.0);
+        assert_within_contract(x, b, fast_pow(x, b), x.powf(b))?;
+    }
+
+    /// Zero and negative along-normal winds (no head wind): exact libm
+    /// semantics via delegation, for any exponent.
+    #[test]
+    fn fast_pow_keeps_libm_edges(b in -3.0f64..3.0) {
+        prop_assert_eq!(fast_pow(0.0, b).to_bits(), 0.0f64.powf(b).to_bits());
+        prop_assert_eq!(fast_pow(-0.0, b).to_bits(), (-0.0f64).powf(b).to_bits());
+        // Negative bases must delegate to libm outright.
+        prop_assert_eq!(fast_pow(-1.7, b).to_bits(), (-1.7f64).powf(b).to_bits());
+    }
+
+    /// The `b = 1` / `b = 2` plans are exact, not approximations.
+    #[test]
+    fn common_exponent_fast_paths_are_exact(x in 0.0f64..1e8) {
+        prop_assert_eq!(fast_pow(x, 1.0).to_bits(), x.to_bits());
+        prop_assert_eq!(fast_pow(x, 2.0).to_bits(), (x * x).to_bits());
+        prop_assert_eq!(PowPlan::fast(1.0).eval(x).to_bits(), x.to_bits());
+        prop_assert_eq!(PowPlan::fast(2.0).eval(x).to_bits(), (x * x).to_bits());
+    }
+
+    /// End-to-end: a fast-math fuel model's spread rate stays within the
+    /// relative bound of its bitwise twin, across the full wind/slope range
+    /// (moisture damping, slope, and clipping are untouched by the mode).
+    #[test]
+    fn fast_math_spread_rate_tracks_bitwise(
+        cat in prop::sample::select(FuelCategory::ALL.to_vec()),
+        wind in -100.0f64..100.0,
+        slope in -5.0f64..5.0,
+    ) {
+        let bitwise = FuelModel::for_category(cat);
+        let fast = bitwise.clone().with_fast_math(true);
+        let s_bit = bitwise.spread_rate(wind, slope);
+        let s_fast = fast.spread_rate(wind, slope);
+        let scale = s_bit.abs().max(1e-300);
+        prop_assert!(
+            ((s_fast - s_bit) / scale).abs() <= REL_TOL,
+            "spread rate {s_fast} vs {s_bit}"
+        );
+    }
+}

@@ -39,15 +39,22 @@ proptest! {
     ) {
         let mut custom = FuelModel::custom(r0, a, b, d, smax, 30.0, 1.0, 17.4e6, moisture);
         custom.moisture = moisture;
-        for f in [FuelModel::for_category(cat), custom] {
-            let c = f.spread_coeffs();
-            for w in [wind, 0.0, -wind] {
-                let reference = f.spread_rate(w, slope);
-                let flattened = c.spread_rate(w, slope);
-                prop_assert!(
-                    reference.to_bits() == flattened.to_bits(),
-                    "model {reference} vs coeffs {flattened} at wind {w}"
-                );
+        // The model/coeffs equivalence must hold in both pow modes: the
+        // fast-math plan is shared between the two evaluation paths, so the
+        // pair stays bitwise-identical even though fast-math itself is only
+        // 1e-12-close to libm.
+        for fast_math in [false, true] {
+            for f in [FuelModel::for_category(cat), custom.clone()] {
+                let f = f.with_fast_math(fast_math);
+                let c = f.spread_coeffs();
+                for w in [wind, 0.0, -wind] {
+                    let reference = f.spread_rate(w, slope);
+                    let flattened = c.spread_rate(w, slope);
+                    prop_assert!(
+                        reference.to_bits() == flattened.to_bits(),
+                        "model {reference} vs coeffs {flattened} at wind {w} (fast_math {fast_math})"
+                    );
+                }
             }
         }
     }

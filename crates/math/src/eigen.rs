@@ -12,12 +12,33 @@ use crate::matrix::Matrix;
 use crate::{MathError, Result};
 
 /// Eigendecomposition `A = V · diag(λ) · Vᵀ` of a symmetric matrix.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SymmetricEigen {
     /// Eigenvalues in ascending order.
     pub values: Vec<f64>,
     /// Orthonormal eigenvectors as columns, in the same order as `values`.
     pub vectors: Matrix,
+}
+
+/// Reusable scratch for [`SymmetricEigen::factor_into`]: the Jacobi working
+/// copy, the rotation accumulator, and the eigenvalue sort permutation.
+/// Sized on first use, reused thereafter, so repeated factorizations of a
+/// fixed size perform no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct EigenWorkspace {
+    /// Jacobi working copy of the input matrix.
+    m: Matrix,
+    /// Accumulated rotations (becomes the unsorted eigenvector matrix).
+    v: Matrix,
+    /// Eigenvalue sort permutation.
+    order: Vec<usize>,
+}
+
+impl EigenWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl SymmetricEigen {
@@ -32,13 +53,32 @@ impl SymmetricEigen {
     /// [`MathError::NotSquare`] for non-square input;
     /// [`MathError::NoConvergence`] if the sweep budget is exhausted.
     pub fn new(a: &Matrix) -> Result<Self> {
+        let mut out = SymmetricEigen::default();
+        out.factor_into(a, &mut EigenWorkspace::new())?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`SymmetricEigen::new`]: re-factorizes `a` into
+    /// `self`'s storage, with the Jacobi working matrices coming from `ws`.
+    /// The arithmetic is identical (results are bit-identical to `new`);
+    /// all buffers resize on first use and are reused, so repeated
+    /// factorizations at a fixed size perform no heap allocation.
+    ///
+    /// # Errors
+    /// Same as [`SymmetricEigen::new`].
+    pub fn factor_into(&mut self, a: &Matrix, ws: &mut EigenWorkspace) -> Result<()> {
         if !a.is_square() {
             return Err(MathError::NotSquare { dims: a.dims() });
         }
         let n = a.rows();
-        let mut m = a.clone();
+        let EigenWorkspace { m, v, order } = ws;
+        m.copy_from(a);
         m.symmetrize_mut();
-        let mut v = Matrix::identity(n);
+        // V ← I, reusing the existing storage.
+        v.resize_zeroed(n, n);
+        for i in 0..n {
+            v[(i, i)] = 1.0;
+        }
         let norm = m.fro_norm().max(f64::MIN_POSITIVE);
         let tol = 1e-14 * norm;
 
@@ -51,7 +91,8 @@ impl SymmetricEigen {
                 }
             }
             if (2.0 * off).sqrt() <= tol {
-                return Ok(Self::sorted(m, v));
+                self.store_sorted(m, v, order);
+                return Ok(());
             }
             for p in 0..n {
                 for q in (p + 1)..n {
@@ -100,17 +141,25 @@ impl SymmetricEigen {
         })
     }
 
-    fn sorted(m: Matrix, v: Matrix) -> Self {
+    /// Sorts the converged diagonal into `self.values` / `self.vectors`
+    /// (ascending), reusing their storage. `sort_unstable_by` keeps this
+    /// allocation-free (stable sort buffers above 20 elements) and is
+    /// deterministic for a given input.
+    fn store_sorted(&mut self, m: &Matrix, v: &Matrix, order: &mut Vec<usize>) {
         let n = m.rows();
-        let mut order: Vec<usize> = (0..n).collect();
-        let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-        order.sort_by(|&a, &b| diag[a].partial_cmp(&diag[b]).expect("finite eigenvalues"));
-        let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
-        let mut vectors = Matrix::zeros(n, n);
+        order.clear();
+        order.extend(0..n);
+        order.sort_unstable_by(|&a, &b| {
+            m[(a, a)]
+                .partial_cmp(&m[(b, b)])
+                .expect("finite eigenvalues")
+        });
+        self.values.clear();
+        self.values.extend(order.iter().map(|&i| m[(i, i)]));
+        self.vectors.resize_no_zero(n, n);
         for (newj, &oldj) in order.iter().enumerate() {
-            vectors.set_col(newj, v.col(oldj));
+            self.vectors.set_col(newj, v.col(oldj));
         }
-        SymmetricEigen { values, vectors }
     }
 
     /// Applies a scalar function to the eigenvalues and reassembles the
@@ -118,7 +167,17 @@ impl SymmetricEigen {
     ///
     /// This is how the filter computes matrix functions such as `A^{-1/2}`.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        let mut scaled = self.vectors.clone();
+        let mut scaled = Matrix::default();
+        let mut out = Matrix::default();
+        self.map_into(f, &mut scaled, &mut out);
+        out
+    }
+
+    /// Allocation-free [`SymmetricEigen::map`]: `scaled` is scratch for the
+    /// column-scaled eigenvector copy and `V · diag(f(λ)) · Vᵀ` is written
+    /// into `out`; both reuse their storage across calls.
+    pub fn map_into(&self, f: impl Fn(f64) -> f64, scaled: &mut Matrix, out: &mut Matrix) {
+        scaled.copy_from(&self.vectors);
         for (j, &lam) in self.values.iter().enumerate() {
             let flam = f(lam);
             for x in scaled.col_mut(j) {
@@ -126,8 +185,8 @@ impl SymmetricEigen {
             }
         }
         scaled
-            .matmul_tr(&self.vectors)
-            .expect("square dims always agree")
+            .matmul_tr_into(&self.vectors, out)
+            .expect("square dims always agree");
     }
 
     /// Reconstructs the original matrix `V · diag(λ) · Vᵀ`.
@@ -200,5 +259,37 @@ mod tests {
     #[test]
     fn rejects_non_square() {
         assert!(SymmetricEigen::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(SymmetricEigen::default()
+            .factor_into(&Matrix::zeros(2, 3), &mut EigenWorkspace::new())
+            .is_err());
+    }
+
+    /// A reused decomposition + workspace produces bit-identical results to
+    /// fresh `new` calls, across factorizations of different sizes.
+    #[test]
+    fn factor_into_reuse_matches_new_bitwise() {
+        let mut eig = SymmetricEigen::default();
+        let mut ws = EigenWorkspace::new();
+        for (size, seed) in [(5usize, 3usize), (8, 11), (3, 7), (8, 29)] {
+            let b = Matrix::from_fn(size, size, |i, j| {
+                ((seed * i + j * j + 1) % 13) as f64 - 6.0
+            });
+            let mut a = b.tr_matmul(&b).unwrap();
+            a.symmetrize_mut();
+            let fresh = SymmetricEigen::new(&a).unwrap();
+            eig.factor_into(&a, &mut ws).unwrap();
+            assert_eq!(fresh.values, eig.values, "size {size}");
+            assert_eq!(
+                fresh.vectors.as_slice(),
+                eig.vectors.as_slice(),
+                "size {size}"
+            );
+            // map_into agrees with map.
+            let mut scaled = Matrix::default();
+            let mut out = Matrix::default();
+            eig.map_into(|l| 1.0 / l.max(1e-14), &mut scaled, &mut out);
+            let direct = fresh.map(|l| 1.0 / l.max(1e-14));
+            assert_eq!(direct.as_slice(), out.as_slice(), "size {size}");
+        }
     }
 }

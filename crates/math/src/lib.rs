@@ -27,7 +27,7 @@ pub mod svd;
 pub mod vecops;
 
 pub use cholesky::Cholesky;
-pub use eigen::SymmetricEigen;
+pub use eigen::{EigenWorkspace, SymmetricEigen};
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::Qr;

@@ -42,6 +42,8 @@ impl SimulationBuilder {
                 }],
                 ignition_time: 0.0,
                 coupled: true,
+                fast_math: false,
+                pressure_warm_start: false,
                 dt: 0.5,
                 streams: Vec::new(),
             },
@@ -139,6 +141,20 @@ impl SimulationBuilder {
         self
     }
 
+    /// Toggles fast-math spread-rate evaluation (see
+    /// [`Scenario::fast_math`]). Off by default.
+    pub fn fast_math(mut self, fast_math: bool) -> Self {
+        self.scenario.fast_math = fast_math;
+        self
+    }
+
+    /// Toggles warm-started pressure projection (see
+    /// [`Scenario::pressure_warm_start`]). Off by default.
+    pub fn warm_start(mut self, warm: bool) -> Self {
+        self.scenario.pressure_warm_start = warm;
+        self
+    }
+
     /// Sets the reference coupled step (s).
     pub fn dt(mut self, dt: f64) -> Self {
         self.scenario.dt = dt;
@@ -176,6 +192,7 @@ impl SimulationBuilder {
         let atmos_grid = s.domain.atmos_grid();
         let params = AtmosParams {
             ambient_wind: s.wind.ambient,
+            pressure_warm_start: s.pressure_warm_start,
             ..Default::default()
         };
         let mut model = match &s.fuel {
@@ -201,6 +218,9 @@ impl SimulationBuilder {
             }
         };
         model.coupled = s.coupled;
+        if s.fast_math {
+            model.fire.set_fast_math(true);
+        }
         Ok(model)
     }
 

@@ -66,6 +66,8 @@ fn scenario(
         ignitions,
         ignition_time: 0.0,
         coupled,
+        fast_math: false,
+        pressure_warm_start: false,
         dt: 0.5,
         streams: Vec::new(),
     }
@@ -145,6 +147,8 @@ pub fn all() -> Vec<Scenario> {
             }],
             ignition_time: 0.0,
             coupled: true,
+            fast_math: false,
+            pressure_warm_start: false,
             dt: 0.5,
             streams: Vec::new(),
         },

@@ -174,6 +174,16 @@ pub struct Scenario {
     pub ignition_time: f64,
     /// Two-way fire–atmosphere coupling switch.
     pub coupled: bool,
+    /// Opt-in fast-math mode: evaluate the spread-law wind power through
+    /// the polynomial `pow` kernel (`wildfire_fuel::fast_pow`) instead of
+    /// bitwise libm `powf`. Off by default; enabling it relaxes trajectories
+    /// to within `1e-12` relative error per spread-rate evaluation.
+    pub fast_math: bool,
+    /// Opt-in warm-started pressure projection: seed each step's Poisson
+    /// solve from the previous step's potential (see
+    /// `wildfire_atmos::AtmosParams::pressure_warm_start`). Off by default
+    /// because it breaks the `step`/`step_ws` bitwise contract.
+    pub pressure_warm_start: bool,
     /// Reference coupled time step (s); the paper uses 0.5 s.
     pub dt: f64,
     /// Declared observation data streams (Fig. 2's "real data pool"):
@@ -218,6 +228,20 @@ impl Scenario {
     /// Returns the scenario with coupling toggled.
     pub fn with_coupling(mut self, coupled: bool) -> Self {
         self.coupled = coupled;
+        self
+    }
+
+    /// Returns the scenario with fast-math pow evaluation toggled (see the
+    /// [`Scenario::fast_math`] field).
+    pub fn with_fast_math(mut self, fast_math: bool) -> Self {
+        self.fast_math = fast_math;
+        self
+    }
+
+    /// Returns the scenario with warm-started pressure projection toggled
+    /// (see the [`Scenario::pressure_warm_start`] field).
+    pub fn with_warm_start(mut self, warm: bool) -> Self {
+        self.pressure_warm_start = warm;
         self
     }
 
