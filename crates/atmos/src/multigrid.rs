@@ -181,7 +181,7 @@ fn prolong_table(n_fine: usize, n_coarse: usize, periodic: bool) -> Vec<Stencil1
 ///
 /// Because a proper two-coloring makes same-color cells mutually
 /// independent within a half-sweep, the packed traversal performs exactly
-/// the per-cell arithmetic of [`rbgs_half_sweep`] — results are
+/// the per-cell arithmetic of `rbgs_half_sweep` — results are
 /// bit-for-bit identical, which keeps every bitwise-determinism pin in the
 /// workspace valid whether or not a level is packable.
 #[derive(Debug, Clone, Default)]

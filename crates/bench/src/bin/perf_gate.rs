@@ -7,13 +7,17 @@
 //! fresh measurement is always written to `BENCH_steps.json` so CI can
 //! upload it as a workflow artifact regardless of the verdict.
 //!
-//! Usage: `perf_gate [--floor X] [--update-baseline]`
+//! Usage: `perf_gate [--floor X] [--update-baseline] [--filter PREFIX]`
 //!
 //! * `--floor X` — override the regression floor (also: the
 //!   `PERF_GATE_FLOOR` environment variable; the flag wins).
 //! * `--update-baseline` — rewrite `BENCH_baseline_small.json` from this
 //!   machine's measurement instead of gating. Run this after a deliberate
 //!   perf-relevant change (or on new CI hardware) and commit the result.
+//! * `--filter PREFIX` — measure and gate only baseline entries whose
+//!   label starts with `PREFIX` (e.g. `--filter sim_batch`). For local
+//!   iteration on one subsystem: skips the rest of the suite and writes no
+//!   files (incompatible with `--update-baseline`).
 //!
 //! The baseline is hardware-dependent: it should be recorded on hardware
 //! comparable to the CI runners. The 0.7 floor absorbs normal runner
@@ -21,7 +25,7 @@
 //! hardware change — in which case re-baseline deliberately).
 
 use std::process::ExitCode;
-use wildfire_bench::perf::{measure, parse_step_timings};
+use wildfire_bench::perf::{measure_filtered, parse_step_timings};
 
 const BASELINE_PATH: &str = "BENCH_baseline_small.json";
 const DEFAULT_FLOOR: f64 = 0.7;
@@ -29,6 +33,15 @@ const DEFAULT_FLOOR: f64 = 0.7;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let update_baseline = args.iter().any(|a| a == "--update-baseline");
+    let filter = args
+        .iter()
+        .position(|a| a == "--filter")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if update_baseline && filter.is_some() {
+        eprintln!("perf_gate: --filter cannot be combined with --update-baseline (a partial measurement would clobber the full baseline)");
+        return ExitCode::FAILURE;
+    }
     let floor = args
         .iter()
         .position(|a| a == "--floor")
@@ -46,13 +59,15 @@ fn main() -> ExitCode {
     // the perf_report smoke): at small-domain speeds a run is only ~10 ms,
     // and the longer window plus the harness's best-of-three keeps
     // scheduler jitter out of the gated numbers.
-    let m = measure(30.0, true, 6, 4);
+    let m = measure_filtered(30.0, true, 6, 4, filter.as_deref());
     for t in &m.timings {
         println!("{:56} {:10.1} steps/s", t.label, t.steps_per_sec());
     }
     let json = m.to_json();
-    std::fs::write("BENCH_steps.json", &json).expect("write BENCH_steps.json");
-    println!("wrote BENCH_steps.json");
+    if filter.is_none() {
+        std::fs::write("BENCH_steps.json", &json).expect("write BENCH_steps.json");
+        println!("wrote BENCH_steps.json");
+    }
 
     if update_baseline {
         std::fs::write(BASELINE_PATH, &json).expect("write baseline");
@@ -78,6 +93,11 @@ fn main() -> ExitCode {
     let mut compared = 0;
     let mut failed = false;
     for (label, base_sps) in &baseline {
+        if let Some(f) = filter.as_deref() {
+            if !label.starts_with(f) {
+                continue;
+            }
+        }
         let Some((_, new_sps)) = fresh.iter().find(|(l, _)| l == label) else {
             eprintln!("perf_gate: baseline entry \"{label}\" missing from the fresh measurement");
             failed = true;

@@ -7,26 +7,36 @@
 //! full ensemble forecast–analysis cycle, and writes the numbers to
 //! `BENCH_steps.json` so the bench trajectory is recorded per PR.
 //!
-//! Usage: `perf_report [t_end_seconds] [--small]`
+//! Usage: `perf_report [t_end_seconds] [--small] [--filter PREFIX]`
 //! `--small` switches to the SMALL ensemble domain (CI smoke runs).
+//! `--filter PREFIX` reruns only step-timing entries whose label starts
+//! with `PREFIX` (e.g. `--filter sim_batch`) — for local iteration on one
+//! subsystem. Skips the ensemble-cycle timing, the workspace/alloc
+//! acceptance assert, and the `BENCH_steps.json` write.
 //!
 //! See also `perf_gate`, which reruns this measurement on the small domain
 //! and fails on regression against the committed baseline.
 
-use wildfire_bench::perf::measure;
+use wildfire_bench::perf::measure_filtered;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
+    let filter = args
+        .iter()
+        .position(|a| a == "--filter")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let t_end: f64 = args
         .iter()
+        .filter(|a| Some(a.as_str()) != filter.as_deref())
         .find_map(|a| a.parse().ok())
         .unwrap_or(if small { 10.0 } else { 60.0 });
     let n_members = if small { 6 } else { 12 };
     let threads = 4;
 
     println!("== perf_report: workspace vs allocating stepping (t_end = {t_end} s) ==");
-    let m = measure(t_end, small, n_members, threads);
+    let m = measure_filtered(t_end, small, n_members, threads, filter.as_deref());
     for t in &m.timings {
         println!(
             "{:48} {:6} steps  {:9.3} s  {:10.1} steps/s",
@@ -35,6 +45,11 @@ fn main() {
             t.wall_secs,
             t.steps_per_sec()
         );
+    }
+    if filter.is_some() {
+        // Partial rerun: no cycle timing, no acceptance assert, no file
+        // write — just the matching entries above.
+        return;
     }
     println!(
         "ensemble cycle ({n_members} members, {threads} threads): workspace {:.3} s, alloc {:.3} s",

@@ -10,10 +10,12 @@
 
 use std::time::Instant;
 use wildfire_atmos::PoissonSolver;
+use wildfire_ensemble::pool;
 use wildfire_ensemble::{EnsembleDriver, EnsembleSetup, EnsembleWorkspace, FilterKind};
 use wildfire_math::GaussianSampler;
+use wildfire_sim::batch::SimBatch;
 use wildfire_sim::scenario::DomainSpec;
-use wildfire_sim::{registry, SimulationBuilder};
+use wildfire_sim::{perturb, registry, PerturbationSpec, Simulation, SimulationBuilder};
 
 /// One timed run of a scenario through one stepping path.
 pub struct StepTiming {
@@ -311,6 +313,87 @@ pub fn time_level_set_rhs(small: bool, evals: usize) -> [StepTiming; 2] {
     ]
 }
 
+/// Times batched multi-fire stepping ([`SimBatch`]) against the same
+/// `n_fires` fig1-sized fires advanced as independent [`Simulation`] loops
+/// distributed over the same worker pool — the ISSUE-7 acceptance
+/// comparison. The fires are ignition-displaced fig1 variants sharing one
+/// solver configuration, so the batch path steps them as a single SoA
+/// group (cross-fire row sweeps); the independent baseline gets identical
+/// work-stealing parallelism but no grouping, isolating what the SoA path
+/// buys. `steps` counts fire·steps, so `steps_per_sec` is the fires·steps/s
+/// throughput. Interleaved best-of-three (batched, independent, …).
+///
+/// `fast_math` (labelled `::fastmath`) selects the polynomial pow palette:
+/// that is the configuration where the grouped sweep batches its pow lanes
+/// *across fires* (`rhs_multi_batched`), so it is where the SoA fusion is
+/// designed to pay. With the default bitwise palette the grouped path runs
+/// the identical per-slot sweep and only the scheduling differs.
+pub fn time_sim_batch(
+    small: bool,
+    t_end: f64,
+    n_fires: usize,
+    threads: usize,
+    fast_math: bool,
+) -> [StepTiming; 2] {
+    let scenario = {
+        let mut b = SimulationBuilder::from_scenario(
+            registry::by_name("fig1-fireline").expect("registry scenario"),
+        )
+        .fast_math(fast_math);
+        if small {
+            b = b.domain(DomainSpec::SMALL);
+        }
+        b.into_scenario()
+    };
+    let spec = PerturbationSpec::position_only(20.0, 1234);
+    let build = || perturb::perturbed_simulations(&scenario, &spec, n_fires).expect("fires build");
+
+    let mut best = [f64::INFINITY; 2];
+    let mut steps = [0usize; 2];
+    for _rep in 0..3 {
+        // Batched: one SoA group stepped cooperatively on the pool.
+        let mut batch = SimBatch::new(threads);
+        for sim in build() {
+            batch.push(sim);
+        }
+        let start = Instant::now();
+        batch.advance_to(t_end).expect("batch advance");
+        let wall = start.elapsed().as_secs_f64();
+        steps[0] = batch.products().iter().map(|p| p.coupled_steps).sum();
+        best[0] = best[0].min(wall);
+
+        // Independent: the same fires, each through its own run_until loop,
+        // work-stolen from the same pool (parallelism yes, grouping no).
+        let mut sims: Vec<(Simulation, usize)> = build().into_iter().map(|s| (s, 0usize)).collect();
+        let mut scratch = vec![(); threads.max(1)];
+        let start = Instant::now();
+        pool::parallel_for_each_dynamic_ws(&mut sims, &mut scratch, |_, slot, ()| {
+            let mut n = 0usize;
+            slot.0
+                .run_until(t_end, |_, _| n += 1)
+                .expect("independent run");
+            slot.1 = n;
+        });
+        let wall = start.elapsed().as_secs_f64();
+        steps[1] = sims.iter().map(|s| s.1).sum();
+        best[1] = best[1].min(wall);
+    }
+    let small_tag = if small { " (small)" } else { "" };
+    let mode_tag = if fast_math { "::fastmath" } else { "" };
+    [
+        StepTiming {
+            label: format!("sim_batch{small_tag}::n{n_fires}{mode_tag}::batched"),
+            steps: steps[0],
+            wall_secs: best[0],
+        },
+        StepTiming {
+            label: format!("sim_batch{small_tag}::n{n_fires}{mode_tag}::independent"),
+            steps: steps[1],
+            wall_secs: best[1],
+        },
+    ]
+}
+
 /// Wall time of one ensemble forecast–analysis cycle through the workspace
 /// and the allocating path (in that order).
 pub fn time_cycle(small: bool, n_members: usize, threads: usize) -> (f64, f64) {
@@ -453,30 +536,75 @@ impl PerfMeasurement {
         json
     }
 
-    /// Throughput ratio of the first two timings (fig1 workspace / alloc).
+    /// Throughput ratio of the fig1 workspace entry over the allocating
+    /// one, found by label (NaN when either is absent, e.g. under a
+    /// `--filter` that excludes them).
     pub fn fig1_workspace_over_alloc(&self) -> f64 {
-        self.timings[0].steps_per_sec() / self.timings[1].steps_per_sec()
+        let small_tag = if self.small_domain { " (small)" } else { "" };
+        let sps = |path: &str| {
+            let label = format!("fig1-fireline{small_tag}::{path}");
+            self.timings
+                .iter()
+                .find(|t| t.label == label)
+                .map(StepTiming::steps_per_sec)
+        };
+        match (sps("workspace"), sps("alloc")) {
+            (Some(ws), Some(alloc)) => ws / alloc,
+            _ => f64::NAN,
+        }
     }
 }
 
 /// Runs the standard measurement: interleaved best-of-three over the
 /// shift-free scenarios and both stepping paths, one per-solver CG entry
 /// for fig1 (the default entries already run the default, multigrid, path),
-/// and the ensemble cycle timing.
+/// the batched multi-fire scaling entries, and the ensemble cycle timing.
 pub fn measure(t_end: f64, small: bool, n_members: usize, threads: usize) -> PerfMeasurement {
+    measure_filtered(t_end, small, n_members, threads, None)
+}
+
+/// [`measure`] restricted to entries whose label starts with `filter`
+/// (None runs everything). Sections that cannot produce a matching label
+/// are skipped entirely, so local bench iteration (`--filter sim_batch`)
+/// does not pay for the full suite; the ensemble-cycle timing only runs
+/// unfiltered (it has no step-timing label to match).
+pub fn measure_filtered(
+    t_end: f64,
+    small: bool,
+    n_members: usize,
+    threads: usize,
+    filter: Option<&str>,
+) -> PerfMeasurement {
+    // A section with label prefix `p` runs when the filter and the prefix
+    // agree on their common length (either may be the longer string).
+    let sect = |p: &str| filter.is_none_or(|f| f.starts_with(p) || p.starts_with(f));
     // Untimed warmup: fault in the binary, spin up the CPU, and populate
-    // the allocator before anything is measured.
-    for workspace_path in [true, false] {
-        let _ = time_scenario(
-            "fig1-fireline",
-            small,
-            (t_end * 0.25).min(10.0),
-            workspace_path,
-            None,
-        );
+    // the allocator before anything is measured. Skipped when the filter
+    // rules out every scenario-stepping section.
+    if [
+        "fig1-fireline",
+        "uncoupled-baseline",
+        "sim_batch",
+        "level_set_rhs",
+    ]
+    .iter()
+    .any(|p| sect(p))
+    {
+        for workspace_path in [true, false] {
+            let _ = time_scenario(
+                "fig1-fireline",
+                small,
+                (t_end * 0.25).min(10.0),
+                workspace_path,
+                None,
+            );
+        }
     }
     let mut timings = Vec::new();
     for name in ["fig1-fireline", "uncoupled-baseline"] {
+        if !sect(name) {
+            continue;
+        }
         // Interleaved best-of-three (workspace, alloc, workspace, alloc, …)
         // so neither path systematically benefits from running later with
         // warmer caches: the report tracks the achievable rate.
@@ -500,56 +628,89 @@ pub fn measure(t_end: f64, small: bool, n_members: usize, threads: usize) -> Per
     // each solver forced, so the report records CG (the seed solver) and
     // multigrid side by side regardless of what `Auto` (the default
     // entries above) resolved to. Best-of-three, same protocol.
-    for solver in [PoissonSolver::ConjugateGradient, PoissonSolver::Multigrid] {
-        let mut best_solver: Option<StepTiming> = None;
-        for _rep in 0..3 {
-            let t = time_scenario("fig1-fireline", small, t_end, true, Some(solver));
-            if best_solver
-                .as_ref()
-                .is_none_or(|b| t.wall_secs < b.wall_secs)
-            {
-                best_solver = Some(t);
+    if sect("fig1-fireline") {
+        for solver in [PoissonSolver::ConjugateGradient, PoissonSolver::Multigrid] {
+            let mut best_solver: Option<StepTiming> = None;
+            for _rep in 0..3 {
+                let t = time_scenario("fig1-fireline", small, t_end, true, Some(solver));
+                if best_solver
+                    .as_ref()
+                    .is_none_or(|b| t.wall_secs < b.wall_secs)
+                {
+                    best_solver = Some(t);
+                }
             }
+            timings.extend(best_solver);
         }
-        timings.extend(best_solver);
     }
 
     // Opt-in speed-mode entries (ISSUE 6): fig1 through the workspace path
     // with fast-math pow, warm-started projection, and both together. The
     // default entries above stay bitwise; these record what the relaxed
     // modes buy. Best-of-three, same protocol.
-    for (fast_math, warm_start) in [(true, false), (false, true), (true, true)] {
-        let mut best_mode: Option<StepTiming> = None;
-        for _rep in 0..3 {
-            let t = time_scenario_opts(
-                "fig1-fireline",
-                small,
-                t_end,
-                true,
-                None,
-                fast_math,
-                warm_start,
-            );
-            if best_mode.as_ref().is_none_or(|b| t.wall_secs < b.wall_secs) {
-                best_mode = Some(t);
+    if sect("fig1-fireline") {
+        for (fast_math, warm_start) in [(true, false), (false, true), (true, true)] {
+            let mut best_mode: Option<StepTiming> = None;
+            for _rep in 0..3 {
+                let t = time_scenario_opts(
+                    "fig1-fireline",
+                    small,
+                    t_end,
+                    true,
+                    None,
+                    fast_math,
+                    warm_start,
+                );
+                if best_mode.as_ref().is_none_or(|b| t.wall_secs < b.wall_secs) {
+                    best_mode = Some(t);
+                }
             }
+            timings.extend(best_mode);
         }
-        timings.extend(best_mode);
     }
 
     // Fire-only kernel entries: the fused production RHS vs the scalar
     // reference it is bitwise-pinned to (interleaved best-of-three inside,
     // sharing one warmed scenario). `steps` counts RHS evaluations.
-    let rhs_evals = if small { 600 } else { 300 };
-    timings.extend(time_level_set_rhs(small, rhs_evals));
+    if sect("level_set_rhs") {
+        let rhs_evals = if small { 600 } else { 300 };
+        timings.extend(time_level_set_rhs(small, rhs_evals));
+    }
 
     // Isolated kernel entries for the ISSUE-6 hotspots: the spread-law
     // power kernel (bitwise libm vs polynomial fast path) and the multigrid
     // smoother (scalar vs color-contiguous packed layout).
-    timings.extend(time_pow_kernel(2_000_000));
-    timings.extend(time_poisson_smoother(small, 20_000));
+    if sect("pow_kernel") {
+        timings.extend(time_pow_kernel(2_000_000));
+    }
+    if sect("poisson_smoother") {
+        timings.extend(time_poisson_smoother(small, 20_000));
+    }
 
-    let (cycle_ws_secs, cycle_alloc_secs) = time_cycle(small, n_members, threads);
+    // Batched multi-fire scaling (ISSUE 7): SimBatch vs independent loops
+    // at N ∈ {1, 4, 16, 64} group-compatible fig1 fires. A shorter horizon
+    // than the per-scenario entries keeps the N=64 sweep affordable on the
+    // full domain.
+    if sect("sim_batch") {
+        let t_batch = if small { t_end } else { t_end.min(15.0) };
+        for n_fires in [1usize, 4, 16, 64] {
+            timings.extend(time_sim_batch(small, t_batch, n_fires, threads, false));
+        }
+        // The fast-math palette is where the grouped sweep batches pow
+        // lanes across fires — the configuration the SoA path targets.
+        for n_fires in [16usize, 64] {
+            timings.extend(time_sim_batch(small, t_batch, n_fires, threads, true));
+        }
+    }
+
+    if let Some(f) = filter {
+        timings.retain(|t| t.label.starts_with(f));
+    }
+    let (cycle_ws_secs, cycle_alloc_secs) = if filter.is_none() {
+        time_cycle(small, n_members, threads)
+    } else {
+        (0.0, 0.0)
+    };
     PerfMeasurement {
         t_end_secs: t_end,
         small_domain: small,

@@ -11,7 +11,10 @@ use std::cell::Cell;
 
 use wildfire_atmos::AtmosWorkspace;
 use wildfire_core::{CoupledModel, CoupledWorkspace};
-use wildfire_enkf::{AnalysisWorkspace, EnsembleKalmanFilter};
+use wildfire_enkf::{
+    register_into, AnalysisWorkspace, DisplacementField, EnsembleKalmanFilter, RegistrationConfig,
+    RegistrationWorkspace,
+};
 use wildfire_fire::{FireWorkspace, IgnitionShape};
 use wildfire_grid::{Field2, VectorField2};
 use wildfire_math::GaussianSampler;
@@ -309,6 +312,41 @@ fn etkf_analysis_is_allocation_free_after_warmup() {
         }
     });
     assert_eq!(n, 0, "ETKF analyze_ws must not allocate in steady state");
+}
+
+#[test]
+fn morphing_analysis_registration_is_allocation_free_after_warmup() {
+    // The ISSUE-7 satellite bar: registration — the expensive transform
+    // phase of a morphing-EnKF analysis step, and previously the last hot
+    // allocating piece of the assimilation cycle — now draws its reference
+    // gradient fields and per-level descent buffers from the
+    // `RegistrationWorkspace` scratch pyramid. A warm `register_into`
+    // (warm workspace + warm output displacement) must not touch the heap,
+    // including when the registered fields change between calls, as they
+    // do every cycle.
+    let g = wildfire_grid::Grid2::new(41, 41, 2.0, 2.0).unwrap();
+    let cone = |cx: f64, cy: f64| {
+        Field2::from_world_fn(g, |x, y| {
+            ((x - cx).powi(2) + (y - cy).powi(2)).sqrt() - 14.0
+        })
+    };
+    let u0 = cone(40.0, 40.0);
+    let members = [cone(52.0, 34.0), cone(30.0, 46.0), cone(44.0, 44.0)];
+    let cfg = RegistrationConfig {
+        max_shift: 30.0,
+        levels: vec![3, 5],
+        iterations: 20,
+        ..Default::default()
+    };
+    let mut ws = RegistrationWorkspace::new();
+    let mut out = DisplacementField::zero(g, 2);
+    register_into(&members[0], &u0, &cfg, &mut ws, &mut out).unwrap();
+    let n = allocations_during(|| {
+        for u in &members {
+            register_into(u, &u0, &cfg, &mut ws, &mut out).unwrap();
+        }
+    });
+    assert_eq!(n, 0, "register_into must not allocate in steady state");
 }
 
 #[test]

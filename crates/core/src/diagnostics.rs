@@ -2,7 +2,7 @@
 
 /// Summary quantities reported after each coupled step — the observables the
 //  paper's Fig. 1 visualizes (heat flux, ground-level wind, front behavior).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StepDiagnostics {
     /// Simulation time after the step (s).
     pub time: f64,
@@ -17,6 +17,9 @@ pub struct StepDiagnostics {
     pub total_latent_power: f64,
     /// Maximum near-surface wind speed (m/s), ambient + fire-induced.
     pub max_surface_wind: f64,
+    /// Maximum front spread rate `S` (m/s) seen by any level-set sub-step
+    /// within the coupled step — the CFL-governing quantity.
+    pub max_spread_rate: f64,
 }
 
 impl StepDiagnostics {
@@ -39,6 +42,7 @@ mod tests {
             total_sensible_power: 5.0e6,
             total_latent_power: 1.0e6,
             max_surface_wind: 4.0,
+            max_spread_rate: 0.5,
         };
         assert_eq!(d.total_power(), 6.0e6);
     }

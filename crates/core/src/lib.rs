@@ -24,7 +24,7 @@ pub mod coupled;
 pub mod diagnostics;
 pub mod workspace;
 
-pub use coupled::{CoupledModel, CoupledState};
+pub use coupled::{step_group_ws, BatchSlot, CoupledModel, CoupledState};
 pub use diagnostics::StepDiagnostics;
 pub use workspace::CoupledWorkspace;
 

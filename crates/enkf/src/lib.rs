@@ -34,7 +34,10 @@ pub mod workspace;
 pub use enkf::{EnkfConfig, EnsembleKalmanFilter};
 pub use etkf::Etkf;
 pub use morphing_enkf::{MorphingConfig, MorphingEnkf, MorphingWorkspace};
-pub use registration::{register, DisplacementField, RegistrationConfig};
+pub use registration::{
+    register, register_into, register_ws, DisplacementField, RegistrationConfig,
+    RegistrationWorkspace,
+};
 pub use workspace::AnalysisWorkspace;
 
 /// Errors from the assimilation layer.

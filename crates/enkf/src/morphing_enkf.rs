@@ -17,7 +17,9 @@
 
 use crate::enkf::{EnkfConfig, EnsembleKalmanFilter};
 use crate::morph::{reconstruct, residual};
-use crate::registration::{register, DisplacementField, RegistrationConfig};
+use crate::registration::{
+    register_ws, DisplacementField, RegistrationConfig, RegistrationWorkspace,
+};
 use crate::workspace::AnalysisWorkspace;
 use crate::{EnkfError, Result};
 use wildfire_grid::Field2;
@@ -39,6 +41,9 @@ pub struct MorphingWorkspace {
     pub(crate) obs_var: Vec<f64>,
     /// Inner stochastic-EnKF scratch.
     pub enkf: AnalysisWorkspace,
+    /// Registration scratch pyramid (gradient fields + per-level descent
+    /// buffers) for [`MorphingEnkf::to_extended_ws`].
+    pub reg: RegistrationWorkspace,
 }
 
 impl MorphingWorkspace {
@@ -111,15 +116,38 @@ impl MorphingEnkf {
         reference: &[Field2],
         reg_index: usize,
     ) -> Result<ExtendedState> {
+        self.to_extended_ws(
+            fields,
+            reference,
+            reg_index,
+            &mut RegistrationWorkspace::new(),
+        )
+    }
+
+    /// [`MorphingEnkf::to_extended`] with caller-provided registration
+    /// scratch (e.g. [`MorphingWorkspace::reg`], or one workspace per
+    /// worker when registrations fan out in parallel). Bit-identical to
+    /// the allocating wrapper.
+    ///
+    /// # Errors
+    /// Registration/grid failures.
+    pub fn to_extended_ws(
+        &self,
+        fields: &[Field2],
+        reference: &[Field2],
+        reg_index: usize,
+        reg: &mut RegistrationWorkspace,
+    ) -> Result<ExtendedState> {
         if fields.len() != reference.len() || fields.is_empty() {
             return Err(EnkfError::DimensionMismatch {
                 what: "member and reference field counts differ",
             });
         }
-        let t = register(
+        let t = register_ws(
             &fields[reg_index],
             &reference[reg_index],
             &self.config.registration,
+            reg,
         )?;
         let residuals = fields
             .iter()

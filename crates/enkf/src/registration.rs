@@ -112,6 +112,46 @@ impl DisplacementField {
     }
 }
 
+/// Reusable scratch for [`register_ws`]/[`register_into`]: the reference
+/// gradient fields plus one set of control-grid buffers per refinement
+/// level (the scratch *pyramid* — each level's displacement, trial
+/// displacement, and gradient pairs live in their own preallocated slot,
+/// so multilevel descent re-runs without touching the heap). Sized on
+/// first use, reused thereafter.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrationWorkspace {
+    /// `∂u0/∂x` on the field grid (chain-rule term of the data gradient).
+    u0_gx: Field2,
+    /// `∂u0/∂y` on the field grid.
+    u0_gy: Field2,
+    /// Per-level control-grid scratch, coarsest first.
+    levels: Vec<LevelScratch>,
+}
+
+impl RegistrationWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One level of the scratch pyramid.
+#[derive(Debug, Clone, Default)]
+struct LevelScratch {
+    /// Current control displacement `T` of this level.
+    t: VectorField2,
+    /// Backtracking trial displacement.
+    t_try: VectorField2,
+    /// Gradient of the objective at `t`.
+    gx: Field2,
+    /// y-component gradient at `t`.
+    gy: Field2,
+    /// Gradient at `t_try`.
+    gx_try: Field2,
+    /// y-component gradient at `t_try`.
+    gy_try: Field2,
+}
+
 /// Control grid of `n × n` nodes covering exactly the domain of `field_grid`.
 fn control_grid(field_grid: Grid2, n: usize) -> Grid2 {
     let n = n.max(2);
@@ -142,9 +182,11 @@ fn shift_misfit(u: &Field2, u0: &Field2, sx: f64, sy: f64) -> f64 {
 
 /// Full objective and its gradient with respect to the control values.
 ///
-/// Returns `(J, dJ/dTx, dJ/dTy)` where the gradient fields live on the
-/// control grid.
-fn objective_and_gradient(
+/// Returns `J`; the gradient fields `dJ/dTx`, `dJ/dTy` are written into
+/// `grad_x`/`grad_y` (re-targeted to the control grid and zeroed first,
+/// so warm buffers make the call allocation-free).
+#[allow(clippy::too_many_arguments)]
+fn objective_and_gradient_into(
     u: &Field2,
     u0: &Field2,
     u0_gx: &Field2,
@@ -152,12 +194,14 @@ fn objective_and_gradient(
     t: &VectorField2,
     c_t: f64,
     c_grad: f64,
-) -> (f64, Field2, Field2) {
+    grad_x: &mut Field2,
+    grad_y: &mut Field2,
+) -> f64 {
     let g = u.grid();
     let cg = t.grid();
     let mut j_data = 0.0;
-    let mut grad_x = Field2::zeros(cg);
-    let mut grad_y = Field2::zeros(cg);
+    grad_x.resize_zeroed(cg);
+    grad_y.resize_zeroed(cg);
     let cell_area = g.dx * g.dy;
 
     for iy in 0..g.ny {
@@ -223,7 +267,7 @@ fn objective_and_gradient(
                     let d = (f.get(jx + 1, jy) - f.get(jx, jy)) / cg.dx;
                     j_reg += c_grad * d * d * ctrl_area;
                     let gcoef = 2.0 * c_grad * d / cg.dx * ctrl_area;
-                    let gf = if comp == 0 { &mut grad_x } else { &mut grad_y };
+                    let gf: &mut Field2 = if comp == 0 { grad_x } else { grad_y };
                     gf.set(jx + 1, jy, gf.get(jx + 1, jy) + gcoef);
                     gf.set(jx, jy, gf.get(jx, jy) - gcoef);
                 }
@@ -234,7 +278,7 @@ fn objective_and_gradient(
                     let d = (f.get(jx, jy + 1) - f.get(jx, jy)) / cg.dy;
                     j_reg += c_grad * d * d * ctrl_area;
                     let gcoef = 2.0 * c_grad * d / cg.dy * ctrl_area;
-                    let gf = if comp == 0 { &mut grad_x } else { &mut grad_y };
+                    let gf: &mut Field2 = if comp == 0 { grad_x } else { grad_y };
                     gf.set(jx, jy + 1, gf.get(jx, jy + 1) + gcoef);
                     gf.set(jx, jy, gf.get(jx, jy) - gcoef);
                 }
@@ -242,14 +286,15 @@ fn objective_and_gradient(
         }
     }
 
-    (j_data + j_reg, grad_x, grad_y)
+    j_data + j_reg
 }
 
-/// Central-difference gradient fields of `u0` (for the chain rule).
-fn gradient_fields(u0: &Field2) -> (Field2, Field2) {
+/// Central-difference gradient fields of `u0` (for the chain rule),
+/// written into warm buffers (every node is set, so no zeroing).
+fn gradient_fields_into(u0: &Field2, gx: &mut Field2, gy: &mut Field2) {
     let g = u0.grid();
-    let mut gx = Field2::zeros(g);
-    let mut gy = Field2::zeros(g);
+    gx.resize_no_zero(g);
+    gy.resize_no_zero(g);
     for iy in 0..g.ny {
         for ix in 0..g.nx {
             let (dx, dy) = u0.gradient(ix, iy);
@@ -257,7 +302,6 @@ fn gradient_fields(u0: &Field2) -> (Field2, Field2) {
             gy.set(ix, iy, dy);
         }
     }
-    (gx, gy)
 }
 
 /// Registers `u` against the reference `u0`: returns `T` with
@@ -270,6 +314,40 @@ fn gradient_fields(u0: &Field2) -> (Field2, Field2) {
 /// # Errors
 /// [`crate::EnkfError::Grid`] when the grids differ.
 pub fn register(u: &Field2, u0: &Field2, cfg: &RegistrationConfig) -> Result<DisplacementField> {
+    register_ws(u, u0, cfg, &mut RegistrationWorkspace::new())
+}
+
+/// Workspace-backed [`register`]: gradient fields and per-level descent
+/// scratch come from `ws` and are reused across calls. Bit-identical to
+/// the allocating wrapper; only the returned displacement is allocated.
+///
+/// # Errors
+/// [`crate::EnkfError::Grid`] when the grids differ.
+pub fn register_ws(
+    u: &Field2,
+    u0: &Field2,
+    cfg: &RegistrationConfig,
+    ws: &mut RegistrationWorkspace,
+) -> Result<DisplacementField> {
+    let mut out = DisplacementField::zero(u.grid(), 2);
+    register_into(u, u0, cfg, ws, &mut out)?;
+    Ok(out)
+}
+
+/// Fully preallocated [`register`]: the result overwrites `out` (re-sized
+/// to the finest control grid) and all scratch comes from `ws`, so warm
+/// buffers make the whole registration heap-allocation-free — the
+/// acceptance bar for the morphing analysis' registration phase.
+///
+/// # Errors
+/// [`crate::EnkfError::Grid`] when the grids differ.
+pub fn register_into(
+    u: &Field2,
+    u0: &Field2,
+    cfg: &RegistrationConfig,
+    ws: &mut RegistrationWorkspace,
+    out: &mut DisplacementField,
+) -> Result<()> {
     if u.grid() != u0.grid() {
         return Err(crate::EnkfError::Grid(
             wildfire_grid::GridError::GridMismatch("registration fields"),
@@ -300,28 +378,56 @@ pub fn register(u: &Field2, u0: &Field2, cfg: &RegistrationConfig) -> Result<Dis
         radius *= 2.0 / (samples - 1) as f64; // refine around the winner
     }
 
-    // Phase 2: multilevel control-grid descent.
-    let (u0_gx, u0_gy) = gradient_fields(u0);
-    let mut disp: Option<DisplacementField> = None;
-    for &nctrl in &cfg.levels {
+    // Phase 2: multilevel control-grid descent on the scratch pyramid.
+    let RegistrationWorkspace {
+        u0_gx,
+        u0_gy,
+        levels,
+    } = ws;
+    gradient_fields_into(u0, u0_gx, u0_gy);
+    if levels.len() < cfg.levels.len() {
+        levels.resize_with(cfg.levels.len(), LevelScratch::default);
+    }
+    let mut last: Option<usize> = None;
+    for (li, &nctrl) in cfg.levels.iter().enumerate() {
         let cg = control_grid(fg, nctrl);
-        let mut t = match &disp {
-            None => VectorField2::from_fn(cg, |_, _| (best.0, best.1)),
-            Some(prev) => VectorField2::from_fn(cg, |ix, iy| {
-                let (x, y) = cg.world(ix, iy);
-                prev.sample(x, y)
-            }),
-        };
+        // Split so the previous level's result stays readable while this
+        // level's scratch is mutated.
+        let (done, rest) = levels.split_at_mut(li);
+        let lvl = &mut rest[0];
+        lvl.t.resize_no_zero(cg);
+        match last {
+            None => lvl.t.fill((best.0, best.1)),
+            Some(p) => {
+                let prev = &done[p].t;
+                for iy in 0..cg.ny {
+                    for ix in 0..cg.nx {
+                        let (x, y) = cg.world(ix, iy);
+                        lvl.t.set(ix, iy, prev.sample_bilinear(x, y));
+                    }
+                }
+            }
+        }
         let mut step = cfg.initial_step;
-        let (mut j_cur, mut gx, mut gy) =
-            objective_and_gradient(u, u0, &u0_gx, &u0_gy, &t, cfg.c_t, cfg.c_grad);
+        let mut j_cur = objective_and_gradient_into(
+            u,
+            u0,
+            u0_gx,
+            u0_gy,
+            &lvl.t,
+            cfg.c_t,
+            cfg.c_grad,
+            &mut lvl.gx,
+            &mut lvl.gy,
+        );
         for _ in 0..cfg.iterations {
             // Normalize the step by the gradient's max magnitude so `step`
             // is in meters of control displacement.
-            let gmax = gx
+            let gmax = lvl
+                .gx
                 .as_slice()
                 .iter()
-                .chain(gy.as_slice().iter())
+                .chain(lvl.gy.as_slice().iter())
                 .fold(0.0_f64, |m, &v| m.max(v.abs()));
             if gmax < 1e-30 {
                 break;
@@ -335,19 +441,29 @@ pub fn register(u: &Field2, u0: &Field2, cfg: &RegistrationConfig) -> Result<Dis
             // corners), which empties the reconstructed fire.
             let bound = 1.5 * cfg.max_shift.max(1.0);
             for _ in 0..20 {
-                let mut t_try = t.clone();
-                t_try.u.axpy(-scale, &gx).expect("same grid");
+                lvl.t_try.u.copy_from(&lvl.t.u);
+                lvl.t_try.v.copy_from(&lvl.t.v);
+                lvl.t_try.u.axpy(-scale, &lvl.gx).expect("same grid");
                 // The x/y gradients apply to their own components.
-                t_try.v.axpy(-scale, &gy).expect("same grid");
-                t_try.u.map_inplace(|v| v.clamp(-bound, bound));
-                t_try.v.map_inplace(|v| v.clamp(-bound, bound));
-                let (j_try, gx_try, gy_try) =
-                    objective_and_gradient(u, u0, &u0_gx, &u0_gy, &t_try, cfg.c_t, cfg.c_grad);
+                lvl.t_try.v.axpy(-scale, &lvl.gy).expect("same grid");
+                lvl.t_try.u.map_inplace(|v| v.clamp(-bound, bound));
+                lvl.t_try.v.map_inplace(|v| v.clamp(-bound, bound));
+                let j_try = objective_and_gradient_into(
+                    u,
+                    u0,
+                    u0_gx,
+                    u0_gy,
+                    &lvl.t_try,
+                    cfg.c_t,
+                    cfg.c_grad,
+                    &mut lvl.gx_try,
+                    &mut lvl.gy_try,
+                );
                 if j_try < j_cur {
-                    t = t_try;
+                    std::mem::swap(&mut lvl.t, &mut lvl.t_try);
                     j_cur = j_try;
-                    gx = gx_try;
-                    gy = gy_try;
+                    std::mem::swap(&mut lvl.gx, &mut lvl.gx_try);
+                    std::mem::swap(&mut lvl.gy, &mut lvl.gy_try);
                     step *= 1.5;
                     accepted = true;
                     break;
@@ -361,10 +477,18 @@ pub fn register(u: &Field2, u0: &Field2, cfg: &RegistrationConfig) -> Result<Dis
                 break;
             }
         }
-        disp = Some(DisplacementField { control: t });
+        last = Some(li);
     }
 
-    Ok(disp.unwrap_or_else(|| DisplacementField::zero(fg, 2)))
+    match last {
+        Some(li) => {
+            let t = &levels[li].t;
+            out.control.u.copy_from(&t.u);
+            out.control.v.copy_from(&t.v);
+        }
+        None => out.control.resize_zeroed(control_grid(fg, 2)),
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -491,6 +615,34 @@ mod tests {
             let (fx, fy) = full.sample_bilinear(x, y);
             assert!((sx - fx).abs() < 1e-9);
             assert!((sy - fy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn workspace_registration_matches_allocating_registration_bitwise() {
+        // The scratch-pyramid path must be bit-identical to the allocating
+        // one, including when a warm (stale-valued) workspace is reused
+        // across different inputs and different level configurations.
+        let g = test_grid();
+        let u0 = bump(g, 20.0, 20.0);
+        let cases = [
+            (bump(g, 14.0, 24.0), vec![3, 5]),
+            (bump(g, 26.0, 18.0), vec![3, 5, 9]),
+            (bump(g, 20.0, 20.0), vec![5]),
+        ];
+        let mut ws = RegistrationWorkspace::new();
+        let mut out = DisplacementField::zero(g, 2);
+        for (u, levels) in cases {
+            let cfg = RegistrationConfig {
+                max_shift: 12.0,
+                levels,
+                ..Default::default()
+            };
+            let fresh = register(&u, &u0, &cfg).unwrap();
+            let warm = register_ws(&u, &u0, &cfg, &mut ws).unwrap();
+            assert_eq!(fresh, warm, "register_ws must be bit-identical");
+            register_into(&u, &u0, &cfg, &mut ws, &mut out).unwrap();
+            assert_eq!(fresh, out, "register_into must be bit-identical");
         }
     }
 

@@ -9,12 +9,14 @@
 
 use crate::metrics::{evaluate_coupled_ensemble, EnsembleMetrics};
 use crate::parallel_enkf::ParallelEnkf;
-use crate::pool::{parallel_for_each, parallel_for_each_ws, parallel_map};
+use crate::pool::{parallel_for_each, parallel_for_each_dynamic_ws, parallel_for_each_ws};
 use crate::store::StateStore;
 use crate::{EnsembleError, Result};
 use wildfire_core::{CoupledModel, CoupledState, CoupledWorkspace};
 use wildfire_enkf::morphing_enkf::ExtendedState;
-use wildfire_enkf::{AnalysisWorkspace, Etkf, MorphingConfig, MorphingEnkf, MorphingWorkspace};
+use wildfire_enkf::{
+    AnalysisWorkspace, Etkf, MorphingConfig, MorphingEnkf, MorphingWorkspace, RegistrationWorkspace,
+};
 use wildfire_fire::ignition::IgnitionShape;
 use wildfire_fire::FireState;
 use wildfire_grid::Field2;
@@ -44,6 +46,9 @@ pub struct EnsembleWorkspace {
     pub analysis: AnalysisWorkspace,
     /// Morphing-EnKF scratch (morphing path).
     pub morph: MorphingWorkspace,
+    /// Per-worker registration scratch pyramids for the parallel
+    /// member-registration phase of the morphing analyses.
+    pub reg_pool: Vec<RegistrationWorkspace>,
     /// Gridded-ψ data field scratch for the morphing observation path.
     pub(crate) psi_data: Field2,
     /// Data field slots `[ψ, capped t_i]` for the morphing analyses.
@@ -459,10 +464,11 @@ impl EnsembleDriver {
     }
 
     /// Workspace-backed [`EnsembleDriver::analyze_morphing`]: the inner
-    /// EnKF's packed matrices and dense temporaries come from `ws.morph`.
-    /// The registration phase still allocates its per-member displacement
-    /// fields (they are returned values, not scratch). Bit-identical to the
-    /// allocating wrapper.
+    /// EnKF's packed matrices and dense temporaries come from `ws.morph`,
+    /// and the parallel registration phase draws per-worker scratch
+    /// pyramids from `ws.reg_pool` (the per-member extended states are
+    /// returned values, not scratch, and remain the only per-cycle
+    /// registration allocations). Bit-identical to the allocating wrapper.
     ///
     /// # Errors
     /// Filter failures.
@@ -534,18 +540,30 @@ impl EnsembleDriver {
         ws.data_fields[0].copy_from(psi_data);
         ws.data_fields[1].copy_from(tig_data.unwrap_or(&reference[1]));
 
-        // Parallel registrations (the expensive transform phase).
-        let member_fields: Vec<Vec<Field2>> = members.iter().map(|m| to_fields(&m.fire)).collect();
-        let extended: Vec<std::result::Result<ExtendedState, wildfire_enkf::EnkfError>> =
-            parallel_map(&member_fields, self.threads, |_, fields| {
-                filter.to_extended(fields, &reference, 0)
-            });
+        // Parallel registrations (the expensive transform phase): members
+        // are stolen from a shared cursor by workers that each reuse a
+        // pooled registration scratch pyramid, so the steady-state per-cycle
+        // allocations are the returned extended states themselves.
+        let workers = self.threads.max(1);
+        if ws.reg_pool.len() < workers {
+            ws.reg_pool.resize_with(workers, RegistrationWorkspace::new);
+        }
+        type ExtResult = std::result::Result<ExtendedState, wildfire_enkf::EnkfError>;
+        let mut reg_items: Vec<(Vec<Field2>, Option<ExtResult>)> =
+            members.iter().map(|m| (to_fields(&m.fire), None)).collect();
+        parallel_for_each_dynamic_ws(
+            &mut reg_items,
+            &mut ws.reg_pool[..workers],
+            |_, item, reg| {
+                item.1 = Some(filter.to_extended_ws(&item.0, &reference, 0, reg));
+            },
+        );
         let mut ext_states = Vec::with_capacity(n_ens);
-        for e in extended {
-            ext_states.push(e.map_err(EnsembleError::Filter)?);
+        for (_, e) in reg_items {
+            ext_states.push(e.expect("registered").map_err(EnsembleError::Filter)?);
         }
         let data_ext = filter
-            .to_extended(&ws.data_fields, &reference, 0)
+            .to_extended_ws(&ws.data_fields, &reference, 0, &mut ws.morph.reg)
             .map_err(EnsembleError::Filter)?;
 
         let analyzed = filter

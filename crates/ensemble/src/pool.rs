@@ -86,6 +86,82 @@ where
     .expect("worker thread panicked");
 }
 
+/// Work-stealing variant of [`parallel_for_each_ws`]: instead of carving
+/// the items into static contiguous chunks, every worker pulls the next
+/// unclaimed item index from a shared atomic cursor until the queue drains.
+/// Cheap or already-finished items therefore never pin a worker while
+/// another worker grinds through an expensive one — the load balances
+/// dynamically, which is what a batch of fires with different grid sizes
+/// and step counts needs. Each item's computation is independent of which
+/// worker claims it, so results are bit-identical to the sequential loop
+/// for every workspace count; only the scratch buffers are worker-local.
+/// With a single workspace the loop runs inline.
+///
+/// # Panics
+/// Panics if `workspaces` is empty while `items` is not.
+pub fn parallel_for_each_dynamic_ws<T: Send, W: Send, F>(
+    items: &mut [T],
+    workspaces: &mut [W],
+    f: F,
+) where
+    F: Fn(usize, &mut T, &mut W) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    assert!(
+        !workspaces.is_empty(),
+        "parallel_for_each_dynamic_ws needs at least one workspace"
+    );
+    let threads = workspaces.len().min(n);
+    if threads == 1 {
+        let w = &mut workspaces[0];
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item, w);
+        }
+        return;
+    }
+
+    /// Raw base pointer of the item slice, made sendable so each scoped
+    /// worker can materialize disjoint `&mut` borrows from claimed indices.
+    struct SendPtr<T>(*mut T);
+    unsafe impl<T> Send for SendPtr<T> {}
+    impl<T> Clone for SendPtr<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<T> Copy for SendPtr<T> {}
+
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let base = SendPtr(items.as_mut_ptr());
+    crossbeam::thread::scope(|scope| {
+        for w in workspaces.iter_mut().take(threads) {
+            let f = &f;
+            let cursor = &cursor;
+            scope.spawn(move |_| {
+                // Capture the whole `SendPtr` (edition-2021 closures would
+                // otherwise capture the bare `*mut T` field, which is !Send).
+                let base = base;
+                loop {
+                    let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // SAFETY: `fetch_add` hands out each index in `0..n` to
+                    // exactly one worker, so the `&mut` borrows formed here
+                    // are disjoint, in-bounds, and outlived by the scope that
+                    // holds the exclusive borrow of `items`.
+                    let item = unsafe { &mut *base.0.add(i) };
+                    f(i, item, w);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
 /// Runs `f(col_index, column)` over the contiguous length-`col_len` columns
 /// of a column-major buffer, partitioned into one contiguous *chunk of
 /// columns* per worker. Unlike fanning `parallel_for_each` over a
@@ -222,6 +298,94 @@ mod tests {
         let mut items = vec![1u8];
         let mut wss: Vec<()> = vec![];
         parallel_for_each_ws(&mut items, &mut wss, |_, _, _| {});
+    }
+
+    #[test]
+    fn dynamic_ws_bitwise_identical_across_worker_counts() {
+        // The claim order is nondeterministic, but each item's computation
+        // depends only on its own index/value, so outputs must be
+        // bit-identical for every workspace count.
+        let init: Vec<f64> = (0..83).map(|i| (i as f64) * 0.61 - 20.0).collect();
+        let run = |n_ws: usize| -> Vec<u64> {
+            let mut items = init.clone();
+            let mut wss: Vec<Vec<f64>> = vec![Vec::new(); n_ws];
+            parallel_for_each_dynamic_ws(&mut items, &mut wss, |i, x, scratch| {
+                scratch.clear();
+                scratch.resize(8, *x);
+                let s: f64 = scratch.iter().sum();
+                *x = (s * 0.125 + i as f64).sin();
+            });
+            items.iter().map(|v| v.to_bits()).collect()
+        };
+        let seq = run(1);
+        for n_ws in [2, 3, 7, 100] {
+            assert_eq!(seq, run(n_ws), "workspaces = {n_ws}");
+        }
+    }
+
+    #[test]
+    fn dynamic_ws_skewed_costs_overlap() {
+        // One slot blocks until every other slot has finished. Static
+        // chunking would co-locate the blocker with undone slots on the
+        // same worker and never complete; the dynamic cursor lets the
+        // other worker drain the cheap slots while the blocker waits.
+        let n = 16;
+        let mut items: Vec<usize> = vec![0; n];
+        let mut wss: Vec<()> = vec![(), ()];
+        let done = AtomicUsize::new(0);
+        let overlapped = AtomicUsize::new(0);
+        parallel_for_each_dynamic_ws(&mut items, &mut wss, |i, item, _| {
+            if i == 0 {
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+                while done.load(Ordering::SeqCst) < n - 1 {
+                    if std::time::Instant::now() > deadline {
+                        return; // overlapped stays 0 -> assert below fails
+                    }
+                    std::thread::yield_now();
+                }
+                overlapped.store(1, Ordering::SeqCst);
+            }
+            *item = i + 1;
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(
+            overlapped.load(Ordering::SeqCst),
+            1,
+            "cheap slots did not overlap the expensive one"
+        );
+        for (i, v) in items.iter().enumerate() {
+            assert_eq!(*v, i + 1, "slot {i} not visited exactly once");
+        }
+    }
+
+    #[test]
+    fn dynamic_ws_handles_empty_items() {
+        let mut empty: Vec<u8> = vec![];
+        let mut wss: Vec<()> = vec![];
+        parallel_for_each_dynamic_ws(&mut empty, &mut wss, |_, _, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workspace")]
+    fn dynamic_ws_rejects_missing_workspaces() {
+        let mut items = vec![1u8];
+        let mut wss: Vec<()> = vec![];
+        parallel_for_each_dynamic_ws(&mut items, &mut wss, |_, _, _| {});
+    }
+
+    #[test]
+    fn dynamic_ws_more_slots_than_workers_visits_each_once() {
+        let mut items: Vec<usize> = vec![0; 37];
+        let mut wss: Vec<()> = vec![(); 3];
+        let visits = AtomicUsize::new(0);
+        parallel_for_each_dynamic_ws(&mut items, &mut wss, |i, item, _| {
+            *item += i;
+            visits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(visits.load(Ordering::Relaxed), 37);
+        for (i, v) in items.iter().enumerate() {
+            assert_eq!(*v, i);
+        }
     }
 
     #[test]

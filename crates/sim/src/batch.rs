@@ -1,0 +1,305 @@
+//! [`SimBatch`]: many concurrent fire forecasts stepped as one batch.
+//!
+//! The paper's end goal is an operational service running many data-driven
+//! fire forecasts at once, not one simulation per process. `SimBatch` is
+//! that service layer's execution core: it owns N realized
+//! [`Simulation`]s (each a coupled model + state + private workspace) and
+//! advances them toward a shared horizon with two cooperating mechanisms:
+//!
+//! * **Cooperative scheduling** — slots are claimed from a shared atomic
+//!   cursor by the ensemble worker pool
+//!   (`wildfire_ensemble::pool::parallel_for_each_dynamic_ws`), so cheap
+//!   or already-finished fires never pin a worker while another grinds
+//!   through an expensive one.
+//! * **SoA cross-fire stepping** — slots whose fire solvers are
+//!   [`group_compatible`](wildfire_core::CoupledModel) (same grid, fuel
+//!   palette, terrain, integrator and CFL configuration) are stepped in
+//!   lockstep through [`wildfire_core::step_group_ws`]: every level-set
+//!   RHS evaluation is one row-major sweep across the fires of the
+//!   unit, sharing one pass over the static kernel planes and filling
+//!   the fast-math pow lanes with nodes drawn across fires even on
+//!   narrow grids. Compatibility groups larger than `MAX_GROUP` split
+//!   into several lockstep units so a unit's working set stays
+//!   cache-sized and the pool has more units to balance.
+//!
+//! **Bitwise contract.** Batched stepping is bit-identical to running
+//! every slot alone through [`Simulation::run_until`] — grouping, lane
+//! packing and work-stealing are pure schedule changes, never arithmetic
+//! changes. The proptest suite in `crates/sim/tests/` pins this, and the
+//! single-`Simulation` path itself routes through the same grouped code
+//! as a batch of one, so there is exactly one stepping path to trust.
+//!
+//! ```no_run
+//! use wildfire_sim::batch::SimBatch;
+//! use wildfire_sim::registry;
+//!
+//! let mut batch = SimBatch::new(4);
+//! for name in [registry::FIG1_FIRELINE, registry::WIND_SHIFT] {
+//!     let scenario = registry::by_name(name).unwrap();
+//!     batch.push_scenario(&scenario).unwrap();
+//! }
+//! batch.advance_to(60.0).unwrap();
+//! for p in batch.products() {
+//!     println!("{}: burned {:.0} m², perimeter {:.0} m", p.name, p.burned_area, p.perimeter_length);
+//! }
+//! ```
+
+use crate::builder::Simulation;
+use crate::scenario::Scenario;
+use crate::{Result, SimulationBuilder};
+use wildfire_core::{step_group_ws, BatchSlot, StepDiagnostics};
+use wildfire_ensemble::pool;
+use wildfire_fire::perimeter::perimeter_length;
+
+/// Per-slot rollup of the diagnostics stream a slot produced while the
+/// batch advanced — running maxima/counters only, so it composes across
+/// repeated [`SimBatch::advance_to`] calls.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct Rollup {
+    steps: usize,
+    max_spread_rate: f64,
+    max_updraft: f64,
+    max_surface_wind: f64,
+    peak_sensible_power: f64,
+    peak_latent_power: f64,
+}
+
+impl Rollup {
+    fn absorb(&mut self, d: &StepDiagnostics) {
+        self.steps += 1;
+        self.max_spread_rate = self.max_spread_rate.max(d.max_spread_rate);
+        self.max_updraft = self.max_updraft.max(d.max_updraft);
+        self.max_surface_wind = self.max_surface_wind.max(d.max_surface_wind);
+        self.peak_sensible_power = self.peak_sensible_power.max(d.total_sensible_power);
+        self.peak_latent_power = self.peak_latent_power.max(d.total_latent_power);
+    }
+}
+
+/// One owned simulation inside the batch plus its rollup and its position
+/// in the caller's indexing (restored after every advance, since grouping
+/// permutes the internal order).
+struct Slot {
+    sim: Simulation,
+    rollup: Rollup,
+    original: usize,
+}
+
+/// Batch-level products for one slot, as reported by
+/// [`SimBatch::products`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotProducts {
+    /// Scenario name of the slot.
+    pub name: String,
+    /// Slot simulation time (s).
+    pub time: f64,
+    /// Coupled steps taken since the slot joined the batch.
+    pub coupled_steps: usize,
+    /// Burned area (m²).
+    pub burned_area: f64,
+    /// Fire-front perimeter length (m), via the marching-front extractor
+    /// in [`wildfire_fire::perimeter`].
+    pub perimeter_length: f64,
+    /// Largest front spread rate seen by any level-set sub-step (m/s).
+    pub max_spread_rate: f64,
+    /// Largest updraft seen after any coupled step (m/s).
+    pub max_updraft: f64,
+    /// Largest near-surface wind speed seen after any coupled step (m/s).
+    pub max_surface_wind: f64,
+    /// Peak domain-integrated sensible heat release (W).
+    pub peak_sensible_power: f64,
+    /// Peak domain-integrated latent heat release (W).
+    pub peak_latent_power: f64,
+}
+
+/// Upper bound on the number of fires stepped as one lockstep unit. Larger
+/// compatibility groups are split into chunks of this size before being
+/// handed to the pool: the bound keeps a unit's combined ψ/workspace
+/// footprint cache-sized (lockstep rotation across many fires is a
+/// measurable per-step cost) while staying wide enough to fill the
+/// cross-fire pow lanes on narrow grids.
+const MAX_GROUP: usize = 4;
+
+/// A batch of concurrent fire forecasts; see the [module docs](self).
+pub struct SimBatch {
+    slots: Vec<Slot>,
+    threads: usize,
+}
+
+impl SimBatch {
+    /// An empty batch that will step its slots on up to `threads` workers
+    /// (clamped to at least one; a value of 1 runs inline).
+    pub fn new(threads: usize) -> Self {
+        SimBatch {
+            slots: Vec::new(),
+            threads: threads.max(1),
+        }
+    }
+
+    /// Adds a realized simulation; returns its stable slot index.
+    pub fn push(&mut self, sim: Simulation) -> usize {
+        let original = self.slots.len();
+        self.slots.push(Slot {
+            sim,
+            rollup: Rollup::default(),
+            original,
+        });
+        original
+    }
+
+    /// Builds and adds a simulation from a scenario; returns its stable
+    /// slot index.
+    ///
+    /// # Errors
+    /// Propagates [`SimulationBuilder::build`] failures.
+    pub fn push_scenario(&mut self, scenario: &Scenario) -> Result<usize> {
+        let sim = SimulationBuilder::from_scenario(scenario.clone()).build()?;
+        Ok(self.push(sim))
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the batch holds no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The slot's simulation (indices are stable across advances).
+    pub fn simulation(&self, slot: usize) -> &Simulation {
+        &self.slots[slot].sim
+    }
+
+    /// Mutable access to a slot's simulation. Mutating model configuration
+    /// mid-batch is allowed — grouping is re-derived on every
+    /// [`SimBatch::advance_to`] call.
+    pub fn simulation_mut(&mut self, slot: usize) -> &mut Simulation {
+        &mut self.slots[slot].sim
+    }
+
+    /// Advances every slot to `horizon` (slots already past it are left
+    /// untouched). Compatible slots step as SoA groups in lockstep; groups
+    /// (and incompatible singletons) are distributed over the worker pool
+    /// by the dynamic work-stealing scheduler. Results are bit-identical
+    /// to advancing each slot alone, for every thread count.
+    ///
+    /// # Errors
+    /// The first failing slot's error, with the batch left partially
+    /// advanced (failed groups stop at the failing step; other groups
+    /// complete).
+    pub fn advance_to(&mut self, horizon: f64) -> Result<()> {
+        if self.slots.is_empty() {
+            return Ok(());
+        }
+        // Greedy grouping: a slot joins the first group whose
+        // representative has a bitwise-compatible fire solver, the same
+        // reference dt, and the same clock (lockstep requirement). O(N²)
+        // in the number of groups, which is tiny.
+        let mut order: Vec<Vec<Slot>> = Vec::new();
+        for slot in self.slots.drain(..) {
+            let found = order.iter_mut().find(|group| {
+                let rep = &group[0].sim;
+                rep.model.fire.group_compatible(&slot.sim.model.fire)
+                    && rep.dt.to_bits() == slot.sim.dt.to_bits()
+                    && rep.time().to_bits() == slot.sim.time().to_bits()
+            });
+            match found {
+                Some(group) => group.push(slot),
+                None => order.push(vec![slot]),
+            }
+        }
+        // Split every compatibility group into lockstep units of at most
+        // MAX_GROUP slots; workers steal units from the shared cursor. The
+        // split bounds a unit's cache working set (a 64-fire lockstep
+        // round cycles 64 ψ/workspace sets through cache every step and
+        // measurably loses to independent stepping) and hands the pool
+        // more units to balance. Grouping is a pure schedule choice under
+        // the bitwise contract, so the split never changes results. The
+        // unit carries its outcome so the pool closure stays infallible.
+        let mut units: Vec<(Vec<Slot>, Result<()>)> = Vec::new();
+        for group in order {
+            let mut rest = group;
+            while rest.len() > MAX_GROUP {
+                let tail = rest.split_off(MAX_GROUP);
+                units.push((rest, Ok(())));
+                rest = tail;
+            }
+            units.push((rest, Ok(())));
+        }
+        let mut worker_scratch = vec![(); self.threads];
+        pool::parallel_for_each_dynamic_ws(&mut units, &mut worker_scratch, |_, unit, ()| {
+            unit.1 = advance_unit(&mut unit.0, horizon);
+        });
+        let mut first_err = Ok(());
+        for (group, outcome) in units {
+            if first_err.is_ok() {
+                if let Err(e) = outcome {
+                    first_err = Err(e);
+                }
+            }
+            self.slots.extend(group);
+        }
+        // Grouping permuted the slots; restore the caller's indexing.
+        self.slots.sort_by_key(|s| s.original);
+        first_err
+    }
+
+    /// The batch product table, in slot order: per-fire burned area,
+    /// perimeter length, and the diagnostics rollups accumulated across
+    /// every advance so far.
+    pub fn products(&self) -> Vec<SlotProducts> {
+        self.slots
+            .iter()
+            .map(|s| SlotProducts {
+                name: s.sim.scenario.name.clone(),
+                time: s.sim.time(),
+                coupled_steps: s.rollup.steps,
+                burned_area: s.sim.state.fire.burned_area(),
+                perimeter_length: perimeter_length(&s.sim.state.fire.psi),
+                max_spread_rate: s.rollup.max_spread_rate,
+                max_updraft: s.rollup.max_updraft,
+                max_surface_wind: s.rollup.max_surface_wind,
+                peak_sensible_power: s.rollup.peak_sensible_power,
+                peak_latent_power: s.rollup.peak_latent_power,
+            })
+            .collect()
+    }
+}
+
+/// Advances one compatibility group to the horizon. A singleton runs the
+/// plain [`Simulation::run_until`] loop (which itself routes through the
+/// grouped core path as a batch of one); larger groups step in lockstep
+/// rounds through [`wildfire_core::step_group_ws`], applying each slot's
+/// wind-shift schedule at the same times the independent loop would.
+fn advance_unit(slots: &mut [Slot], horizon: f64) -> Result<()> {
+    if let [slot] = slots {
+        let rollup = &mut slot.rollup;
+        return slot.sim.run_until(horizon, |_, diag| rollup.absorb(diag));
+    }
+    let mut diags = vec![StepDiagnostics::default(); slots.len()];
+    while slots[0].sim.time() < horizon - 1e-9 {
+        // All slots share dt and clock (the grouping key), so one round
+        // steps everyone by the same clamped dt — exactly the step sizes
+        // `run_until` would choose slot by slot.
+        let time = slots[0].sim.time();
+        let dt = slots[0].sim.dt.min(horizon - time);
+        for slot in slots.iter_mut() {
+            slot.sim.apply_due_shifts(time);
+        }
+        let mut group: Vec<BatchSlot<'_>> = slots
+            .iter_mut()
+            .map(|slot| BatchSlot {
+                model: &slot.sim.model,
+                state: &mut slot.sim.state,
+                ws: &mut slot.sim.workspace,
+            })
+            .collect();
+        step_group_ws(&mut group, dt, &mut diags).map_err(crate::SimError::Model)?;
+        drop(group);
+        for (slot, diag) in slots.iter_mut().zip(diags.iter()) {
+            slot.rollup.absorb(diag);
+        }
+    }
+    Ok(())
+}

@@ -16,6 +16,10 @@
 //! * [`builder`] — [`SimulationBuilder`], a fluent constructor, and
 //!   [`Simulation`], a model + state pair that applies scheduled wind
 //!   shifts while stepping;
+//! * [`batch`] — [`SimBatch`], batched multi-fire execution: N scenarios
+//!   stepped cooperatively on the worker pool, with compatible fires
+//!   sharing SoA cross-fire level-set sweeps (bit-identical to stepping
+//!   each alone);
 //! * [`registry`] — named, ready-to-run scenarios (the paper's Fig. 1
 //!   fireline, circle ignition, multi-ignition merge, mid-run wind shift,
 //!   heterogeneous fuel map, uncoupled baseline, the Fig. 2 data-driven
@@ -29,11 +33,13 @@
 //! how often. [`Scenario::timeline`] expands the declarations into the
 //! sorted [`wildfire_obs::ObsTimeline`] an assimilation driver walks.
 
+pub mod batch;
 pub mod builder;
 pub mod perturb;
 pub mod registry;
 pub mod scenario;
 
+pub use batch::{SimBatch, SlotProducts};
 pub use builder::{Simulation, SimulationBuilder};
 pub use perturb::{perturbed_scenarios, PerturbationSpec};
 pub use scenario::{DomainSpec, FuelPatch, FuelSpec, Scenario, WindShift, WindSpec};
