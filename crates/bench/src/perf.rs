@@ -394,6 +394,77 @@ pub fn time_sim_batch(
     ]
 }
 
+/// Times [`SimBatch`] against independent loops on the **service shape**:
+/// many narrow-grid fires (a 13×13 fire mesh each, the forecast-service
+/// request granularity) spread over a multi-worker pool. On grids this
+/// small the adaptive lockstep-unit bound widens well past the legacy
+/// cap of 4, so this is the configuration that exercises wide SoA groups;
+/// labels are `sim_batch::service::…`. Interleaved best-of-three, same
+/// protocol as [`time_sim_batch`].
+pub fn time_sim_batch_service(t_end: f64, n_fires: usize, threads: usize) -> [StepTiming; 2] {
+    let domain = DomainSpec {
+        nx: 5,
+        ny: 5,
+        nz: 4,
+        dx: 60.0,
+        dy: 60.0,
+        dz: 50.0,
+        refinement: 3,
+    };
+    // Ignite explicitly: the builder's default circle is centered on the
+    // PAPER domain, which lies outside this narrow one.
+    let scenario = SimulationBuilder::new()
+        .name("service-shape")
+        .domain(domain)
+        .ignite(wildfire_fire::IgnitionShape::Circle {
+            center: domain.center(),
+            radius: 30.0,
+        })
+        .into_scenario();
+    let spec = PerturbationSpec::position_only(10.0, 1234);
+    let build = || perturb::perturbed_simulations(&scenario, &spec, n_fires).expect("fires build");
+
+    let mut best = [f64::INFINITY; 2];
+    let mut steps = [0usize; 2];
+    for _rep in 0..3 {
+        let mut batch = SimBatch::new(threads);
+        for sim in build() {
+            batch.push(sim);
+        }
+        let start = Instant::now();
+        batch.advance_to(t_end).expect("batch advance");
+        let wall = start.elapsed().as_secs_f64();
+        steps[0] = batch.products().iter().map(|p| p.coupled_steps).sum();
+        best[0] = best[0].min(wall);
+
+        let mut sims: Vec<(Simulation, usize)> = build().into_iter().map(|s| (s, 0usize)).collect();
+        let mut scratch = vec![(); threads.max(1)];
+        let start = Instant::now();
+        pool::parallel_for_each_dynamic_ws(&mut sims, &mut scratch, |_, slot, ()| {
+            let mut n = 0usize;
+            slot.0
+                .run_until(t_end, |_, _| n += 1)
+                .expect("independent run");
+            slot.1 = n;
+        });
+        let wall = start.elapsed().as_secs_f64();
+        steps[1] = sims.iter().map(|s| s.1).sum();
+        best[1] = best[1].min(wall);
+    }
+    [
+        StepTiming {
+            label: format!("sim_batch::service::n{n_fires}t{threads}::batched"),
+            steps: steps[0],
+            wall_secs: best[0],
+        },
+        StepTiming {
+            label: format!("sim_batch::service::n{n_fires}t{threads}::independent"),
+            steps: steps[1],
+            wall_secs: best[1],
+        },
+    ]
+}
+
 /// Wall time of one ensemble forecast–analysis cycle through the workspace
 /// and the allocating path (in that order).
 pub fn time_cycle(small: bool, n_members: usize, threads: usize) -> (f64, f64) {
@@ -700,6 +771,12 @@ pub fn measure_filtered(
         // lanes across fires — the configuration the SoA path targets.
         for n_fires in [16usize, 64] {
             timings.extend(time_sim_batch(small, t_batch, n_fires, threads, true));
+        }
+        // Service shape (ISSUE 8): many narrow-grid fires on a multi-worker
+        // pool — the forecast-service request granularity, where the
+        // adaptive lockstep-unit bound widens the SoA groups.
+        for n_fires in [8usize, 32] {
+            timings.extend(time_sim_batch_service(30.0, n_fires, 4));
         }
     }
 

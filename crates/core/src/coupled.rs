@@ -323,6 +323,56 @@ pub struct BatchSlot<'a> {
     pub ws: &'a mut CoupledWorkspace,
 }
 
+/// Reusable scratch for [`step_group_scratch_ws`]: carries the capacity of
+/// the per-step `Vec` of per-slot borrows across coupled steps, so a caller
+/// stepping the same batch repeatedly (e.g. `wildfire-sim`'s `SimBatch`)
+/// performs no heap allocation per step in steady state (pinned by the
+/// counting-allocator tests in `wildfire-bench`).
+///
+/// The buffer is empty between calls — only its allocation is recycled —
+/// so no borrow outlives the step that created it.
+#[derive(Default)]
+pub struct GroupScratch {
+    /// Always empty between steps; only the capacity is carried over.
+    group: Vec<GroupSlot<'static>>,
+}
+
+impl std::fmt::Debug for GroupScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupScratch")
+            .field("capacity", &self.group.capacity())
+            .finish()
+    }
+}
+
+impl GroupScratch {
+    /// An empty scratch; the borrow buffer is sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out the recycled (empty) buffer re-borrowed at the caller's
+    /// lifetime.
+    fn take<'a>(&mut self) -> Vec<GroupSlot<'a>> {
+        let v = std::mem::take(&mut self.group);
+        debug_assert!(v.is_empty());
+        // SAFETY: the vector is empty, so it holds no values of the
+        // `'static`-annotated element type — only its raw allocation
+        // (pointer + capacity, lifetime-free) is being reused. Layout is
+        // identical: the types differ only in a lifetime parameter.
+        unsafe { std::mem::transmute::<Vec<GroupSlot<'static>>, Vec<GroupSlot<'a>>>(v) }
+    }
+
+    /// Parks the buffer's capacity for the next step, dropping its contents.
+    fn put(&mut self, mut v: Vec<GroupSlot<'_>>) {
+        v.clear();
+        // SAFETY: emptied above, so no borrow escapes into storage; see
+        // `take` for the layout argument.
+        self.group =
+            unsafe { std::mem::transmute::<Vec<GroupSlot<'_>>, Vec<GroupSlot<'static>>>(v) };
+    }
+}
+
 /// Advances a group of coupled simulations by one shared step `dt`,
 /// writing each slot's diagnostics into the matching `diags` entry.
 ///
@@ -332,7 +382,9 @@ pub struct BatchSlot<'a> {
 /// lanes fill with nodes drawn across fires. The atmosphere phase then
 /// finishes per slot. A group of one takes an allocation-free inline path
 /// (this is how [`CoupledModel::step_ws`] routes); larger groups build one
-/// small `Vec` of per-slot borrows per step.
+/// small `Vec` of per-slot borrows per step — use
+/// [`step_group_scratch_ws`] with a reusable [`GroupScratch`] to amortise
+/// even that across steps.
 ///
 /// **Contract (debug-asserted):** all slots' fire solvers are mutually
 /// [`LevelSetSolver::group_compatible`] and all slots share the same fire
@@ -351,6 +403,27 @@ pub fn step_group_ws(
     slots: &mut [BatchSlot<'_>],
     dt: f64,
     diags: &mut [StepDiagnostics],
+) -> Result<()> {
+    let mut scratch = GroupScratch::new();
+    step_group_scratch_ws(slots, dt, diags, &mut scratch)
+}
+
+/// [`step_group_ws`] with a caller-owned [`GroupScratch`], recycling the
+/// per-step `Vec` of per-slot borrows across steps. With a warm scratch the
+/// grouped step is allocation-free for groups of any size (matching the
+/// batch-of-one inline path), which is what batched drivers stepping many
+/// coupled steps per call should use.
+///
+/// # Panics
+/// Panics when `diags.len() != slots.len()`.
+///
+/// # Errors
+/// Same as [`step_group_ws`].
+pub fn step_group_scratch_ws(
+    slots: &mut [BatchSlot<'_>],
+    dt: f64,
+    diags: &mut [StepDiagnostics],
+    scratch: &mut GroupScratch,
 ) -> Result<()> {
     assert_eq!(
         slots.len(),
@@ -398,23 +471,29 @@ pub fn step_group_ws(
         return Ok(());
     }
 
-    // 3: grouped fire advance — the one small per-step allocation of the
-    // batched path (a Vec of per-slot borrows; the heavy buffers all live
-    // in the slots' workspaces).
-    let mut group: Vec<GroupSlot<'_>> = Vec::with_capacity(slots.len());
+    // 3: grouped fire advance. The Vec of per-slot borrows is recycled
+    // through the scratch, so with a warm scratch this phase is
+    // allocation-free (the heavy buffers all live in the slots'
+    // workspaces).
+    let mut group: Vec<GroupSlot<'_>> = scratch.take();
+    group.reserve(slots.len());
     for (i, slot) in slots.iter_mut().enumerate() {
         let ws = &mut *slot.ws;
         let mut gs = GroupSlot::new(&mut slot.state.fire, &ws.wind, &mut ws.fire);
         gs.tag = i;
         group.push(gs);
     }
-    model0.fire.advance_group_to_ws(&mut group, t_target, dt)?;
-    // The group may have been permuted by the retire compaction; park each
-    // slot's spread-rate rollup in its diagnostics entry via the tag.
-    for gs in &group {
-        diags[gs.tag].max_spread_rate = gs.max_spread_rate;
+    let advanced = model0.fire.advance_group_to_ws(&mut group, t_target, dt);
+    if advanced.is_ok() {
+        // The group may have been permuted by the retire compaction; park
+        // each slot's spread-rate rollup in its diagnostics entry via the
+        // tag.
+        for gs in &group {
+            diags[gs.tag].max_spread_rate = gs.max_spread_rate;
+        }
     }
-    drop(group);
+    scratch.put(group);
+    advanced?;
 
     // 4–7: per-slot heat fluxes, atmosphere, diagnostics.
     for (slot, diag) in slots.iter_mut().zip(diags.iter_mut()) {

@@ -24,7 +24,9 @@ pub mod coupled;
 pub mod diagnostics;
 pub mod workspace;
 
-pub use coupled::{step_group_ws, BatchSlot, CoupledModel, CoupledState};
+pub use coupled::{
+    step_group_scratch_ws, step_group_ws, BatchSlot, CoupledModel, CoupledState, GroupScratch,
+};
 pub use diagnostics::StepDiagnostics;
 pub use workspace::CoupledWorkspace;
 

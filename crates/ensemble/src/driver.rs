@@ -9,7 +9,10 @@
 
 use crate::metrics::{evaluate_coupled_ensemble, EnsembleMetrics};
 use crate::parallel_enkf::ParallelEnkf;
-use crate::pool::{parallel_for_each, parallel_for_each_dynamic_ws, parallel_for_each_ws};
+use crate::pool::{
+    parallel_for_each, parallel_for_each_column_ws, parallel_for_each_dynamic_ws,
+    parallel_for_each_ws,
+};
 use crate::store::StateStore;
 use crate::{EnsembleError, Result};
 use wildfire_core::{CoupledModel, CoupledState, CoupledWorkspace};
@@ -21,7 +24,10 @@ use wildfire_fire::ignition::IgnitionShape;
 use wildfire_fire::FireState;
 use wildfire_grid::Field2;
 use wildfire_math::{GaussianSampler, Matrix};
-use wildfire_obs::{ObsSet, ObsWorkspace, StridedPsi};
+use wildfire_obs::{
+    ObsInbox, ObsScratch, ObsSet, ObsSource, ObsWorkspace, ObservationOperator, StridedPsi,
+    TIME_EPS,
+};
 
 /// Cap used to encode the `t_i = ∞` (unburned) sentinel as a finite value
 /// inside filter state vectors.
@@ -49,6 +55,9 @@ pub struct EnsembleWorkspace {
     /// Per-worker registration scratch pyramids for the parallel
     /// member-registration phase of the morphing analyses.
     pub reg_pool: Vec<RegistrationWorkspace>,
+    /// Per-worker operator-evaluation scratch for the member-parallel
+    /// observation packing (index = worker).
+    pub obs_scratch: Vec<ObsScratch>,
     /// Gridded-ψ data field scratch for the morphing observation path.
     pub(crate) psi_data: Field2,
     /// Data field slots `[ψ, capped t_i]` for the morphing analyses.
@@ -135,6 +144,18 @@ pub struct ObsCycleReport {
     /// RMS innovation after the analysis (synthetic observations
     /// re-evaluated on the analyzed members).
     pub analysis_innovation_rms: f64,
+}
+
+/// Outcome of one source-driven assimilation pass
+/// ([`EnsembleDriver::cycle_source_ws`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SourceCycleReport {
+    /// Analyses run (groups of reports within [`TIME_EPS`]).
+    pub analyses: usize,
+    /// Total reports assimilated across those analyses.
+    pub reports_assimilated: usize,
+    /// Innovation report of the last analysis, if any ran.
+    pub last: Option<ObsCycleReport>,
 }
 
 /// The ensemble driver.
@@ -327,9 +348,52 @@ impl EnsembleDriver {
         rng: &mut GaussianSampler,
         ws: &mut EnsembleWorkspace,
     ) -> Result<()> {
-        pool.pack_into(members, &mut ws.obs)
-            .map_err(EnsembleError::Store)?;
+        self.pack_pool_ws(members, pool, ws)?;
         self.analyze_packed_ws(members, inflation, rng, ws)
+    }
+
+    /// Member-parallel [`ObsSet::pack_into`]: the member-independent `y`/`R`
+    /// stacking runs once, then the `H(X)` columns are filled over the
+    /// worker pool (one contiguous chunk of member columns per worker, each
+    /// worker with its own [`ObsScratch`] from `ws.obs_scratch`) — the
+    /// Fig. 2 fan-out of the observation function over the "subsets of
+    /// processors". Column contents are independent of the partitioning, so
+    /// the packed `(y, H(X), R)` is bit-identical to the serial
+    /// `pack_into` for every thread count (pinned by test).
+    ///
+    /// # Errors
+    /// Operator failures (first one wins, as in the forecast fan-out).
+    fn pack_pool_ws(
+        &self,
+        members: &[CoupledState],
+        pool: &ObsSet<'_>,
+        ws: &mut EnsembleWorkspace,
+    ) -> Result<()> {
+        pool.pack_fixed_into(members.len(), &mut ws.obs);
+        let m = pool.total_dim();
+        if m == 0 || members.is_empty() {
+            return Ok(());
+        }
+        let workers = self.threads.max(1).min(members.len());
+        if ws.obs_scratch.len() < workers {
+            ws.obs_scratch.resize_with(workers, ObsScratch::new);
+        }
+        let errors = parking_lot::Mutex::new(Vec::new());
+        parallel_for_each_column_ws(
+            ws.obs.hx.as_mut_slice(),
+            m,
+            &mut ws.obs_scratch[..workers],
+            |j, col, scratch| {
+                if let Err(e) = pool.pack_member_column(&members[j], col, scratch) {
+                    errors.lock().push((j, e));
+                }
+            },
+        );
+        let mut errs = errors.into_inner();
+        if let Some((_, e)) = errs.drain(..).next() {
+            return Err(EnsembleError::Store(e));
+        }
+        Ok(())
     }
 
     /// [`EnsembleDriver::analyze_obs_ws`] minus the pool packing: assumes
@@ -372,8 +436,7 @@ impl EnsembleDriver {
         inflation: f64,
         ws: &mut EnsembleWorkspace,
     ) -> Result<()> {
-        pool.pack_into(members, &mut ws.obs)
-            .map_err(EnsembleError::Store)?;
+        self.pack_pool_ws(members, pool, ws)?;
         self.analyze_packed_etkf_ws(members, inflation, ws)
     }
 
@@ -643,8 +706,7 @@ impl EnsembleDriver {
         ws: &mut EnsembleWorkspace,
     ) -> Result<ObsCycleReport> {
         self.forecast_ws(members, t_target, dt, ws)?;
-        pool.pack_into(members, &mut ws.obs)
-            .map_err(EnsembleError::Store)?;
+        self.pack_pool_ws(members, pool, ws)?;
         let forecast_innovation_rms = ws.obs.innovation_rms();
         // `ws.obs` is already packed for the forecast states; the packed
         // analysis variants reuse it instead of re-evaluating every
@@ -660,12 +722,93 @@ impl EnsembleDriver {
                 self.analyze_obs_morphing_ws(members, pool, config, rng, ws)?;
             }
         }
-        pool.pack_into(members, &mut ws.obs)
-            .map_err(EnsembleError::Store)?;
+        self.pack_pool_ws(members, pool, ws)?;
         Ok(ObsCycleReport {
             forecast_innovation_rms,
             analysis_innovation_rms: ws.obs.innovation_rms(),
         })
+    }
+
+    /// Source-driven assimilation up to `t_target` (ROADMAP's lazy
+    /// ingestion): polls `source` for whatever reports have become due,
+    /// groups reports within [`TIME_EPS`] into one analysis each (the same
+    /// merge rule [`wildfire_obs::ObsTimeline::analysis_times`] applies),
+    /// and runs one [`EnsembleDriver::cycle_obs_ws`] per group — forecast
+    /// to the group time, analyze the pooled reports, report innovations.
+    /// After the source runs dry the members are forecast the rest of the
+    /// way to `t_target`. Driving this with a
+    /// [`wildfire_obs::TimelineSource`] reproduces the eager
+    /// expand-then-walk loop bit for bit (pinned by test); channel- or
+    /// file-fed sources assimilate whatever actually arrived instead.
+    ///
+    /// `operators[s]` realizes stream `s` (index-aligned with the reports'
+    /// `stream` fields; see [`wildfire_obs::ObsStreamSpec::build_operator`]).
+    /// A report whose nominal time is already behind the members (late
+    /// data the drop policy let through) is assimilated at the members'
+    /// current time — the forecast simply does not step backwards.
+    /// `inbox` is caller scratch, recycled internally; reports appended
+    /// after this call's polls are picked up next call.
+    ///
+    /// # Errors
+    /// Source, model, observation-operator, and filter failures. On error,
+    /// already-analyzed groups keep their effect (the members are left at
+    /// the last successfully analyzed state).
+    #[allow(clippy::too_many_arguments)]
+    pub fn cycle_source_ws(
+        &self,
+        members: &mut [CoupledState],
+        source: &mut dyn ObsSource,
+        inbox: &mut ObsInbox,
+        operators: &[Box<dyn ObservationOperator>],
+        filter: ObsFilter<'_>,
+        t_target: f64,
+        dt: f64,
+        rng: &mut GaussianSampler,
+        ws: &mut EnsembleWorkspace,
+    ) -> Result<SourceCycleReport> {
+        let mut report = SourceCycleReport::default();
+        if members.is_empty() {
+            return Ok(report);
+        }
+        // Drain-and-analyze until the source has nothing more due at
+        // t_target: a channel may receive further reports while earlier
+        // analyses run, and those must not wait for the next call.
+        loop {
+            inbox.recycle();
+            source.poll(t_target, inbox).map_err(EnsembleError::Store)?;
+            if inbox.due.is_empty() {
+                break;
+            }
+            let mut start = 0;
+            while start < inbox.due.len() {
+                let t_group = inbox.due[start].time;
+                let mut end = start + 1;
+                while end < inbox.due.len() && inbox.due[end].time <= t_group + TIME_EPS {
+                    end += 1;
+                }
+                let mut pool = ObsSet::new();
+                for r in &inbox.due[start..end] {
+                    let op = operators.get(r.stream).ok_or(EnsembleError::Config(
+                        "observation report references an unknown stream",
+                    ))?;
+                    pool.push(op.as_ref(), &r.data)
+                        .map_err(EnsembleError::Store)?;
+                }
+                // Late data never steps the members backwards: the group's
+                // forecast target is clamped to the current member time.
+                let t_analysis = t_group.max(members[0].time());
+                let cycle = self.cycle_obs_ws(members, &pool, filter, t_analysis, dt, rng, ws)?;
+                report.analyses += 1;
+                report.reports_assimilated += end - start;
+                report.last = Some(cycle);
+                start = end;
+            }
+        }
+        inbox.recycle();
+        if members[0].time() < t_target - TIME_EPS {
+            self.forecast_ws(members, t_target, dt, ws)?;
+        }
+        Ok(report)
     }
 
     /// One full cycle: forecast to `t_target`, evaluate, analyze with the
@@ -1164,6 +1307,194 @@ mod tests {
             &mut ws,
         );
         assert!(matches!(err, Err(EnsembleError::Config(_))));
+    }
+
+    #[test]
+    fn parallel_pack_bitwise_matches_serial_across_thread_counts() {
+        // The member-parallel H(X) packing must reproduce the serial
+        // ObsSet::pack_into bit for bit for every worker count, scratch
+        // reuse and chunking invisible in the packed (y, H(X), R).
+        let d = driver(1);
+        let members = d.initial_ensemble(&setup(7));
+        let truth = d.model.ignite(
+            &[IgnitionShape::Circle {
+                center: (200.0, 200.0),
+                radius: 25.0,
+            }],
+            0.0,
+        );
+        let psi_op = wildfire_obs::StridedPsi::new(truth.fire.grid(), 5, 1.0);
+        let mut psi_data = Vec::new();
+        psi_op
+            .measure_truth_into(&truth.fire, &mut psi_data)
+            .unwrap();
+        let st_op = wildfire_obs::StationTemperatures::new(
+            vec![
+                wildfire_obs::WeatherStation::new("S0", 120.0, 120.0),
+                wildfire_obs::WeatherStation::new("S1", 240.0, 240.0),
+            ],
+            300.0,
+            1.0,
+        );
+        let st_data = vec![301.0, 299.0];
+        let mut pool = wildfire_obs::ObsSet::new();
+        pool.push(&psi_op, &psi_data).unwrap();
+        pool.push(&st_op, &st_data).unwrap();
+
+        let mut serial = wildfire_obs::ObsWorkspace::new();
+        pool.pack_into(&members, &mut serial).unwrap();
+        let serial_bits: Vec<u64> = serial.hx.as_slice().iter().map(|v| v.to_bits()).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let dp = driver(threads);
+            let mut ws = EnsembleWorkspace::new();
+            dp.pack_pool_ws(&members, &pool, &mut ws).unwrap();
+            let bits: Vec<u64> = ws.obs.hx.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                serial_bits, bits,
+                "H(X) must match serial at {threads} threads"
+            );
+            assert_eq!(
+                serial.data, ws.obs.data,
+                "y must match at {threads} threads"
+            );
+            assert_eq!(serial.var, ws.obs.var, "R must match at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn source_driven_cycle_matches_eager_walk_bitwise() {
+        // The acceptance pin: assimilating through a TimelineSource must
+        // reproduce the eager expand-then-walk loop bit for bit — same
+        // analyses, same order, same members.
+        use wildfire_obs::{ObsInbox, ObsStreamKind, ObsStreamSpec, ObsTimeline, TimelineSource};
+        let d = driver(2);
+        let streams = vec![
+            ObsStreamSpec::new(
+                ObsStreamKind::StridedPsi {
+                    stride: 5,
+                    sigma: 1.0,
+                },
+                1.0,
+                1.0,
+            ),
+            ObsStreamSpec::new(
+                ObsStreamKind::Stations {
+                    locations: vec![(150.0, 150.0), (240.0, 240.0)],
+                    theta0: 300.0,
+                    sigma: 1.0,
+                },
+                1.5,
+                1.5,
+            ),
+        ];
+        let t_end = 3.0;
+        let dt = 0.5;
+        let timeline = ObsTimeline::from_streams(&streams, t_end);
+        assert!(timeline.len() >= 4, "the schedule must mix both streams");
+        let operators: Vec<Box<dyn ObservationOperator>> =
+            streams.iter().map(|s| s.build_operator(&d.model)).collect();
+        let truth0 = d.model.ignite(
+            &[IgnitionShape::Circle {
+                center: (210.0, 210.0),
+                radius: 25.0,
+            }],
+            0.0,
+        );
+        let members0 = d.initial_ensemble(&setup(5));
+        let filter = ObsFilter::Standard { inflation: 1.01 };
+
+        // Eager: expand, walk analysis times, synthesize + cycle.
+        let mut eager = members0.clone();
+        let mut truth = truth0.clone();
+        let mut rng = GaussianSampler::new(17);
+        let mut rng_data = GaussianSampler::new(71);
+        let mut ws = EnsembleWorkspace::new();
+        let mut blocks = Vec::new();
+        let mut eager_analyses = 0usize;
+        for t in timeline.analysis_times() {
+            d.model.run(&mut truth, t, dt, |_, _| {}).unwrap();
+            let pool = timeline
+                .synthesize_due_pool(&operators, t, &truth, &mut rng_data, &mut blocks)
+                .unwrap();
+            d.cycle_obs_ws(&mut eager, &pool, filter, t, dt, &mut rng, &mut ws)
+                .unwrap();
+            eager_analyses += 1;
+        }
+
+        // Source-driven: the same schedule through a TimelineSource whose
+        // provider replays the identical-twin synthesis.
+        let mut streamed = members0.clone();
+        let mut truth2 = truth0.clone();
+        let mut rng2 = GaussianSampler::new(17);
+        let mut rng_data2 = GaussianSampler::new(71);
+        let mut ws2 = EnsembleWorkspace::new();
+        let model = d.model.clone();
+        let ops_for_src: Vec<Box<dyn ObservationOperator>> =
+            streams.iter().map(|s| s.build_operator(&d.model)).collect();
+        let mut source = TimelineSource::new(timeline.clone(), move |t, s, data| {
+            model
+                .run(&mut truth2, t, dt, |_, _| {})
+                .map_err(|_| wildfire_obs::ObsError::Operator("truth advance failed"))?;
+            wildfire_obs::synthesize_measurements(
+                ops_for_src[s].as_ref(),
+                &truth2,
+                &mut rng_data2,
+                data,
+            )
+        });
+        let mut inbox = ObsInbox::new();
+        let report = d
+            .cycle_source_ws(
+                &mut streamed,
+                &mut source,
+                &mut inbox,
+                &operators,
+                filter,
+                t_end,
+                dt,
+                &mut rng2,
+                &mut ws2,
+            )
+            .unwrap();
+        assert_eq!(report.analyses, eager_analyses);
+        assert_eq!(report.reports_assimilated, timeline.len());
+        assert!(report.last.is_some());
+
+        for (a, b) in eager.iter().zip(streamed.iter()) {
+            assert_eq!(a.fire.psi, b.fire.psi, "ψ must match bitwise");
+            assert_eq!(a.fire.tig, b.fire.tig, "t_i must match bitwise");
+            assert_eq!(a.atmos.theta, b.atmos.theta, "θ must match bitwise");
+        }
+    }
+
+    #[test]
+    fn source_cycle_forecasts_to_target_when_source_runs_dry() {
+        use wildfire_obs::{ChannelSource, ObsInbox};
+        let d = driver(1);
+        let mut members = d.initial_ensemble(&setup(4));
+        let (tx, mut source) = ChannelSource::channel();
+        drop(tx); // No reports will ever arrive.
+        let mut inbox = ObsInbox::new();
+        let operators: Vec<Box<dyn ObservationOperator>> = Vec::new();
+        let mut rng = GaussianSampler::new(1);
+        let mut ws = EnsembleWorkspace::new();
+        let report = d
+            .cycle_source_ws(
+                &mut members,
+                &mut source,
+                &mut inbox,
+                &operators,
+                ObsFilter::Standard { inflation: 1.0 },
+                1.0,
+                0.5,
+                &mut rng,
+                &mut ws,
+            )
+            .unwrap();
+        assert_eq!(report.analyses, 0);
+        for m in &members {
+            assert!((m.time() - 1.0).abs() < 1e-9, "members must reach t_target");
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod store;
 
 pub use driver::{
     CycleReport, EnsembleDriver, EnsembleSetup, EnsembleWorkspace, FilterKind, ObsCycleReport,
-    ObsFilter,
+    ObsFilter, SourceCycleReport,
 };
 pub use parallel_enkf::ParallelEnkf;
 pub use store::{DiskStore, MemStore, StateStore};

@@ -206,6 +206,65 @@ where
     .expect("worker thread panicked");
 }
 
+/// [`parallel_for_each_column`] with one dedicated mutable workspace per
+/// worker: the flat column-major buffer is split into one contiguous chunk
+/// of columns per workspace, and `f(col_index, column, workspace)` runs on
+/// every column. With a single workspace the loop runs inline. Each
+/// column's computation is independent of the partitioning and scratch
+/// reuse, so results are bit-identical for every workspace count — this is
+/// the member-parallel observation-packing shape (one `H(X)` column per
+/// member, one operator scratch per worker).
+///
+/// # Panics
+/// Panics if `data.len()` is not a multiple of `col_len`, or if
+/// `workspaces` is empty while `data` is not.
+pub fn parallel_for_each_column_ws<W: Send, F>(
+    data: &mut [f64],
+    col_len: usize,
+    workspaces: &mut [W],
+    f: F,
+) where
+    F: Fn(usize, &mut [f64], &mut W) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert_eq!(
+        data.len() % col_len,
+        0,
+        "buffer length must be a whole number of columns"
+    );
+    assert!(
+        !workspaces.is_empty(),
+        "parallel_for_each_column_ws needs at least one workspace"
+    );
+    let n_cols = data.len() / col_len;
+    let threads = workspaces.len().min(n_cols);
+    if threads == 1 {
+        let w = &mut workspaces[0];
+        for (j, col) in data.chunks_mut(col_len).enumerate() {
+            f(j, col, w);
+        }
+        return;
+    }
+    let cols_per_chunk = n_cols.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for ((c, chunk), w) in data
+            .chunks_mut(cols_per_chunk * col_len)
+            .enumerate()
+            .zip(workspaces.iter_mut())
+        {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (k, col) in chunk.chunks_mut(col_len).enumerate() {
+                    f(c * cols_per_chunk + k, col, w);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
 /// Maps `f` over indexed inputs in parallel, preserving order of results.
 pub fn parallel_map<T: Send + Sync, R: Send, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
@@ -411,6 +470,48 @@ mod tests {
         for threads in [2, 3, 5, 29, 64] {
             assert_eq!(seq, run(threads), "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn column_split_ws_bitwise_identical_across_workspace_counts() {
+        // The workspace variant must reproduce the sequential per-column
+        // kernel bit-for-bit for any workspace count, with worker-local
+        // scratch reuse invisible in the results.
+        let col_len = 11;
+        let n_cols = 23;
+        let init: Vec<f64> = (0..col_len * n_cols)
+            .map(|i| (i as f64) * 0.53 - 30.0)
+            .collect();
+        let run = |n_ws: usize| -> Vec<u64> {
+            let mut data = init.clone();
+            let mut wss: Vec<Vec<f64>> = vec![Vec::new(); n_ws];
+            parallel_for_each_column_ws(&mut data, col_len, &mut wss, |j, col, scratch| {
+                scratch.clear();
+                scratch.extend_from_slice(col);
+                let s: f64 = scratch.iter().sum();
+                for (k, v) in col.iter_mut().enumerate() {
+                    *v = (*v + s * 1e-3 + (j + k) as f64).sin();
+                }
+            });
+            data.iter().map(|v| v.to_bits()).collect()
+        };
+        let seq = run(1);
+        for n_ws in [2, 3, 5, 23, 64] {
+            assert_eq!(seq, run(n_ws), "workspaces = {n_ws}");
+        }
+    }
+
+    #[test]
+    fn column_split_ws_handles_empty_and_rejects_missing_workspaces() {
+        let mut empty: Vec<f64> = vec![];
+        let mut none: Vec<()> = vec![];
+        parallel_for_each_column_ws(&mut empty, 4, &mut none, |_, _, _| {});
+        let caught = std::panic::catch_unwind(|| {
+            let mut data = vec![0.0; 8];
+            let mut none: Vec<()> = vec![];
+            parallel_for_each_column_ws(&mut data, 4, &mut none, |_, _, _| {});
+        });
+        assert!(caught.is_err(), "missing workspaces must be rejected");
     }
 
     #[test]

@@ -31,10 +31,16 @@
 //!   versioned header, named f64 arrays, and atomic writes. A thin software
 //!   layer (the [`statefile::StateCodec`] trait) hides the fire code and
 //!   the transfer method from the assimilation components, as §3.1 requires.
+//! * [`source`] — streaming ingestion: the [`ObsSource`] trait
+//!   (`poll(now)`, non-blocking) delivers whatever reports have become due,
+//!   through a replayed timeline ([`TimelineSource`]), a tailed on-disk
+//!   observation log ([`StateFileTail`] / [`ObsLogWriter`]), or a channel
+//!   fed from other threads ([`ChannelSource`]).
 
 pub mod image_obs;
 pub mod obs_set;
 pub mod operator;
+pub mod source;
 pub mod statefile;
 pub mod station;
 pub mod timeline;
@@ -44,8 +50,11 @@ pub use operator::{
     synthesize_measurements, ImagePixels, ObsScratch, ObservationOperator, StationTemperatures,
     StridedPsi,
 };
+pub use source::{
+    ChannelSource, ObsInbox, ObsLogWriter, ObsReport, ObsSource, StateFileTail, TimelineSource,
+};
 pub use station::{StationObservation, StationReport, SurfaceFields, WeatherStation};
-pub use timeline::{ObsEvent, ObsStreamKind, ObsStreamSpec, ObsTimeline};
+pub use timeline::{ObsEvent, ObsStreamKind, ObsStreamSpec, ObsTimeline, TIME_EPS};
 
 /// Errors from the observation layer.
 #[derive(Debug)]

@@ -82,6 +82,20 @@ impl<'a> ObsSet<'a> {
     /// # Errors
     /// Operator failures (grid mismatches, rendering errors).
     pub fn pack_into(&self, members: &[CoupledState], ws: &mut ObsWorkspace) -> Result<()> {
+        self.pack_fixed_into(members.len(), ws);
+        for (j, member) in members.iter().enumerate() {
+            self.pack_member_column(member, ws.hx.col_mut(j), &mut ws.scratch)?;
+        }
+        Ok(())
+    }
+
+    /// The member-independent half of [`ObsSet::pack_into`]: stacks `y` and
+    /// the `R` diagonal and sizes `H(X)` for `n_members` columns, leaving
+    /// the columns zeroed. Pair with [`ObsSet::pack_member_column`] per
+    /// member to reproduce `pack_into` exactly — the split exists so a
+    /// caller with a worker pool can evaluate the member columns in
+    /// parallel (each worker needs only its own [`ObsScratch`]).
+    pub fn pack_fixed_into(&self, n_members: usize, ws: &mut ObsWorkspace) {
         let m = self.total_dim();
         ws.data.clear();
         for e in &self.entries {
@@ -95,15 +109,28 @@ impl<'a> ObsSet<'a> {
             e.op.variances_into(&mut ws.var[off..off + d]);
             off += d;
         }
-        ws.hx.resize_zeroed(m, members.len());
-        for (j, member) in members.iter().enumerate() {
-            let col = ws.hx.col_mut(j);
-            let mut off = 0;
-            for e in &self.entries {
-                let d = e.op.dim();
-                e.op.observe_into_ws(member, &mut col[off..off + d], &mut ws.scratch)?;
-                off += d;
-            }
+        ws.hx.resize_zeroed(m, n_members);
+    }
+
+    /// Evaluates every pooled operator on one member into that member's
+    /// `H(X)` column (`col.len() == self.total_dim()`), block-stacked in
+    /// entry order. The per-member half of the [`ObsSet::pack_fixed_into`]
+    /// split; independent of every other member, so columns can be filled
+    /// concurrently (results are bit-identical for any schedule).
+    ///
+    /// # Errors
+    /// Operator failures (grid mismatches, rendering errors).
+    pub fn pack_member_column(
+        &self,
+        member: &CoupledState,
+        col: &mut [f64],
+        scratch: &mut ObsScratch,
+    ) -> Result<()> {
+        let mut off = 0;
+        for e in &self.entries {
+            let d = e.op.dim();
+            e.op.observe_into_ws(member, &mut col[off..off + d], scratch)?;
+            off += d;
         }
         Ok(())
     }

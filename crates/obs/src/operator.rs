@@ -48,8 +48,12 @@ impl ObsScratch {
 /// An observation function `h`: maps a coupled model state to the vector a
 /// real instrument would report, plus the error variances of those
 /// measurements. Implementations must be deterministic — the ensemble
-/// filter relies on `h` being the same function for every member.
-pub trait ObservationOperator {
+/// filter relies on `h` being the same function for every member. The
+/// `Send + Sync` bound lets one operator serve every worker of a
+/// member-parallel packing fan-out (and move into a background service
+/// thread); evaluation takes `&self`, so implementations are naturally
+/// shareable.
+pub trait ObservationOperator: Send + Sync {
     /// Number of scalar observations this operator produces.
     fn dim(&self) -> usize;
 

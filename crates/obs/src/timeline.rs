@@ -114,8 +114,10 @@ pub struct ObsTimeline {
     events: Vec<ObsEvent>,
 }
 
-/// Two event times within this tolerance belong to one analysis.
-const TIME_EPS: f64 = 1e-9;
+/// Two event times within this tolerance belong to one analysis. Shared by
+/// the timeline walk and the streaming [`crate::source`] layer, so both
+/// group reports into analyses identically.
+pub const TIME_EPS: f64 = 1e-9;
 
 /// Hard cap on expanded events per stream — a malformed cadence (tiny
 /// period over a huge window) must not exhaust memory.

@@ -18,9 +18,10 @@
 //!   RHS evaluation is one row-major sweep across the fires of the
 //!   unit, sharing one pass over the static kernel planes and filling
 //!   the fast-math pow lanes with nodes drawn across fires even on
-//!   narrow grids. Compatibility groups larger than `MAX_GROUP` split
-//!   into several lockstep units so a unit's working set stays
-//!   cache-sized and the pool has more units to balance.
+//!   narrow grids. Compatibility groups wider than the adaptive unit
+//!   bound (cache budget over the group's per-fire working set, clamped
+//!   to 4..=32) split into several lockstep units so a unit's working
+//!   set stays cache-sized and the pool has more units to balance.
 //!
 //! **Bitwise contract.** Batched stepping is bit-identical to running
 //! every slot alone through [`Simulation::run_until`] — grouping, lane
@@ -47,7 +48,7 @@
 use crate::builder::Simulation;
 use crate::scenario::Scenario;
 use crate::{Result, SimulationBuilder};
-use wildfire_core::{step_group_ws, BatchSlot, StepDiagnostics};
+use wildfire_core::{step_group_scratch_ws, BatchSlot, GroupScratch, StepDiagnostics};
 use wildfire_ensemble::pool;
 use wildfire_fire::perimeter::perimeter_length;
 
@@ -75,13 +76,13 @@ impl Rollup {
     }
 }
 
-/// One owned simulation inside the batch plus its rollup and its position
-/// in the caller's indexing (restored after every advance, since grouping
+/// One owned simulation inside the batch plus its rollup and its stable
+/// identity (slots are re-sorted by id after every advance, since grouping
 /// permutes the internal order).
 struct Slot {
     sim: Simulation,
     rollup: Rollup,
-    original: usize,
+    id: usize,
 }
 
 /// Batch-level products for one slot, as reported by
@@ -111,18 +112,88 @@ pub struct SlotProducts {
     pub peak_latent_power: f64,
 }
 
-/// Upper bound on the number of fires stepped as one lockstep unit. Larger
-/// compatibility groups are split into chunks of this size before being
-/// handed to the pool: the bound keeps a unit's combined ψ/workspace
-/// footprint cache-sized (lockstep rotation across many fires is a
-/// measurable per-step cost) while staying wide enough to fill the
-/// cross-fire pow lanes on narrow grids.
-const MAX_GROUP: usize = 4;
+/// Floor (and legacy fixed value) for the lockstep-unit size bound: the
+/// fallback whenever the adaptive heuristic cannot say anything better,
+/// chosen so the figure-1-scale grids keep exactly the unit shapes they
+/// had when the bound was a constant.
+const MAX_GROUP_FLOOR: usize = 4;
+
+/// Ceiling for the adaptive unit size: past this width the lockstep
+/// rotation bookkeeping dominates whatever pow-lane fill is left to gain,
+/// even when the combined working set would still fit in cache.
+const MAX_GROUP_CEIL: usize = 32;
+
+/// Cache budget (bytes) assumed for one lockstep unit's combined fire
+/// working set — roughly a per-core L2 slice. The adaptive bound packs as
+/// many fires per unit as fit this budget, clamped to
+/// [`MAX_GROUP_FLOOR`]..=[`MAX_GROUP_CEIL`].
+const GROUP_CACHE_BUDGET: usize = 2 << 20;
+
+/// Resident f64 fields per fire in a lockstep round: ψ and `t_i` of the
+/// state plus the solver scratch (k1, k2, ψ*, speed planes, …).
+const FIELDS_PER_FIRE: usize = 8;
+
+/// Upper bound on the number of fires stepped as one lockstep unit, chosen
+/// per compatibility group from its grid size: a unit should be as wide as
+/// possible (cross-fire pow lanes fill better, fewer units of pool
+/// bookkeeping) *while* its combined ψ/workspace footprint stays
+/// cache-sized — lockstep rotation across many large fires cycles their
+/// working sets through cache every sub-step and measurably loses to
+/// independent stepping. Narrow grids therefore get wide units (up to
+/// [`MAX_GROUP_CEIL`]); figure-1-scale grids fall back to the legacy
+/// [`MAX_GROUP_FLOOR`]. Deterministic: depends only on the group
+/// representative's grid, never on thread count or timing, so grouping
+/// (and through the bitwise contract, every result) is reproducible.
+fn max_group_for(rep: &Simulation) -> usize {
+    let nodes = rep.model.fire_grid.len();
+    let per_fire = nodes.saturating_mul(FIELDS_PER_FIRE * std::mem::size_of::<f64>());
+    if per_fire == 0 {
+        return MAX_GROUP_FLOOR;
+    }
+    (GROUP_CACHE_BUDGET / per_fire).clamp(MAX_GROUP_FLOOR, MAX_GROUP_CEIL)
+}
+
+/// Per-worker stepping scratch for [`SimBatch::advance_to`]: the grouped
+/// core's borrow-Vec recycler plus the unit-level borrow and diagnostics
+/// buffers, all carried across rounds and units so steady-state batched
+/// stepping allocates nothing per step.
+#[derive(Default)]
+struct WorkerScratch {
+    group: GroupScratch,
+    borrows: BorrowScratch,
+    diags: Vec<StepDiagnostics>,
+}
+
+/// Capacity recycler for the per-round `Vec<BatchSlot>` of `advance_unit`,
+/// mirroring [`GroupScratch`] one layer up: empty between rounds, only the
+/// allocation is reused.
+#[derive(Default)]
+struct BorrowScratch {
+    buf: Vec<BatchSlot<'static>>,
+}
+
+impl BorrowScratch {
+    fn take<'a>(&mut self) -> Vec<BatchSlot<'a>> {
+        let v = std::mem::take(&mut self.buf);
+        debug_assert!(v.is_empty());
+        // SAFETY: the vector is empty — no `'static`-annotated value
+        // exists — so only the lifetime-free allocation is reused; the two
+        // types differ only in a lifetime parameter, so layout matches.
+        unsafe { std::mem::transmute::<Vec<BatchSlot<'static>>, Vec<BatchSlot<'a>>>(v) }
+    }
+
+    fn put(&mut self, mut v: Vec<BatchSlot<'_>>) {
+        v.clear();
+        // SAFETY: emptied above; see `take` for the layout argument.
+        self.buf = unsafe { std::mem::transmute::<Vec<BatchSlot<'_>>, Vec<BatchSlot<'static>>>(v) };
+    }
+}
 
 /// A batch of concurrent fire forecasts; see the [module docs](self).
 pub struct SimBatch {
     slots: Vec<Slot>,
     threads: usize,
+    next_id: usize,
 }
 
 impl SimBatch {
@@ -132,22 +203,27 @@ impl SimBatch {
         SimBatch {
             slots: Vec::new(),
             threads: threads.max(1),
+            next_id: 0,
         }
     }
 
-    /// Adds a realized simulation; returns its stable slot index.
+    /// Adds a realized simulation; returns its stable slot id. Ids are
+    /// assigned monotonically, never reused, and survive
+    /// [`SimBatch::remove`] of other slots — while no slot has been
+    /// removed, the id coincides with the slot's position.
     pub fn push(&mut self, sim: Simulation) -> usize {
-        let original = self.slots.len();
+        let id = self.next_id;
+        self.next_id += 1;
         self.slots.push(Slot {
             sim,
             rollup: Rollup::default(),
-            original,
+            id,
         });
-        original
+        id
     }
 
     /// Builds and adds a simulation from a scenario; returns its stable
-    /// slot index.
+    /// slot id.
     ///
     /// # Errors
     /// Propagates [`SimulationBuilder::build`] failures.
@@ -166,16 +242,45 @@ impl SimBatch {
         self.slots.is_empty()
     }
 
-    /// The slot's simulation (indices are stable across advances).
-    pub fn simulation(&self, slot: usize) -> &Simulation {
-        &self.slots[slot].sim
+    /// Position of the slot with the given stable id, if still present.
+    /// Slots are kept sorted by id between advances, so this is a binary
+    /// search.
+    pub fn position_of(&self, id: usize) -> Option<usize> {
+        self.slots.binary_search_by_key(&id, |s| s.id).ok()
     }
 
-    /// Mutable access to a slot's simulation. Mutating model configuration
-    /// mid-batch is allowed — grouping is re-derived on every
-    /// [`SimBatch::advance_to`] call.
-    pub fn simulation_mut(&mut self, slot: usize) -> &mut Simulation {
-        &mut self.slots[slot].sim
+    /// The stable ids of all current slots, in slot order.
+    pub fn ids(&self) -> Vec<usize> {
+        self.slots.iter().map(|s| s.id).collect()
+    }
+
+    /// The slot's simulation, by stable id.
+    ///
+    /// # Panics
+    /// Panics when no slot has this id (e.g. after [`SimBatch::remove`]).
+    pub fn simulation(&self, id: usize) -> &Simulation {
+        let at = self.position_of(id).expect("no batch slot with this id");
+        &self.slots[at].sim
+    }
+
+    /// Mutable access to a slot's simulation, by stable id. Mutating model
+    /// configuration mid-batch is allowed — grouping is re-derived on
+    /// every [`SimBatch::advance_to`] call.
+    ///
+    /// # Panics
+    /// Panics when no slot has this id (e.g. after [`SimBatch::remove`]).
+    pub fn simulation_mut(&mut self, id: usize) -> &mut Simulation {
+        let at = self.position_of(id).expect("no batch slot with this id");
+        &mut self.slots[at].sim
+    }
+
+    /// Retires a slot, returning its simulation (with whatever state it
+    /// has reached). `None` when no slot has this id. The remaining slots'
+    /// ids are unaffected — this is how a long-lived service admits and
+    /// retires forecasts from a running batch.
+    pub fn remove(&mut self, id: usize) -> Option<Simulation> {
+        let at = self.position_of(id)?;
+        Some(self.slots.remove(at).sim)
     }
 
     /// Advances every slot to `horizon` (slots already past it are left
@@ -210,26 +315,30 @@ impl SimBatch {
             }
         }
         // Split every compatibility group into lockstep units of at most
-        // MAX_GROUP slots; workers steal units from the shared cursor. The
-        // split bounds a unit's cache working set (a 64-fire lockstep
-        // round cycles 64 ψ/workspace sets through cache every step and
-        // measurably loses to independent stepping) and hands the pool
-        // more units to balance. Grouping is a pure schedule choice under
-        // the bitwise contract, so the split never changes results. The
-        // unit carries its outcome so the pool closure stays infallible.
+        // `max_group_for(rep)` slots; workers steal units from the shared
+        // cursor. The adaptive split bounds a unit's cache working set (a
+        // 64-fire lockstep round over large grids cycles 64 ψ/workspace
+        // sets through cache every step and measurably loses to
+        // independent stepping) while letting many-narrow-grid service
+        // shapes pack wider units, and hands the pool more units to
+        // balance. Grouping is a pure schedule choice under the bitwise
+        // contract, so the split never changes results. The unit carries
+        // its outcome so the pool closure stays infallible.
         let mut units: Vec<(Vec<Slot>, Result<()>)> = Vec::new();
         for group in order {
+            let cap = max_group_for(&group[0].sim);
             let mut rest = group;
-            while rest.len() > MAX_GROUP {
-                let tail = rest.split_off(MAX_GROUP);
+            while rest.len() > cap {
+                let tail = rest.split_off(cap);
                 units.push((rest, Ok(())));
                 rest = tail;
             }
             units.push((rest, Ok(())));
         }
-        let mut worker_scratch = vec![(); self.threads];
-        pool::parallel_for_each_dynamic_ws(&mut units, &mut worker_scratch, |_, unit, ()| {
-            unit.1 = advance_unit(&mut unit.0, horizon);
+        let mut worker_scratch: Vec<WorkerScratch> = Vec::new();
+        worker_scratch.resize_with(self.threads, WorkerScratch::default);
+        pool::parallel_for_each_dynamic_ws(&mut units, &mut worker_scratch, |_, unit, scratch| {
+            unit.1 = advance_unit(&mut unit.0, horizon, scratch);
         });
         let mut first_err = Ok(());
         for (group, outcome) in units {
@@ -240,8 +349,8 @@ impl SimBatch {
             }
             self.slots.extend(group);
         }
-        // Grouping permuted the slots; restore the caller's indexing.
-        self.slots.sort_by_key(|s| s.original);
+        // Grouping permuted the slots; restore the id ordering.
+        self.slots.sort_by_key(|s| s.id);
         first_err
     }
 
@@ -270,14 +379,18 @@ impl SimBatch {
 /// Advances one compatibility group to the horizon. A singleton runs the
 /// plain [`Simulation::run_until`] loop (which itself routes through the
 /// grouped core path as a batch of one); larger groups step in lockstep
-/// rounds through [`wildfire_core::step_group_ws`], applying each slot's
-/// wind-shift schedule at the same times the independent loop would.
-fn advance_unit(slots: &mut [Slot], horizon: f64) -> Result<()> {
+/// rounds through [`wildfire_core::step_group_scratch_ws`], applying each
+/// slot's wind-shift schedule at the same times the independent loop
+/// would. With a warm [`WorkerScratch`] the round loop is allocation-free.
+fn advance_unit(slots: &mut [Slot], horizon: f64, scratch: &mut WorkerScratch) -> Result<()> {
     if let [slot] = slots {
         let rollup = &mut slot.rollup;
         return slot.sim.run_until(horizon, |_, diag| rollup.absorb(diag));
     }
-    let mut diags = vec![StepDiagnostics::default(); slots.len()];
+    scratch.diags.clear();
+    scratch
+        .diags
+        .resize(slots.len(), StepDiagnostics::default());
     while slots[0].sim.time() < horizon - 1e-9 {
         // All slots share dt and clock (the grouping key), so one round
         // steps everyone by the same clamped dt — exactly the step sizes
@@ -287,19 +400,111 @@ fn advance_unit(slots: &mut [Slot], horizon: f64) -> Result<()> {
         for slot in slots.iter_mut() {
             slot.sim.apply_due_shifts(time);
         }
-        let mut group: Vec<BatchSlot<'_>> = slots
-            .iter_mut()
-            .map(|slot| BatchSlot {
-                model: &slot.sim.model,
-                state: &mut slot.sim.state,
-                ws: &mut slot.sim.workspace,
-            })
-            .collect();
-        step_group_ws(&mut group, dt, &mut diags).map_err(crate::SimError::Model)?;
-        drop(group);
-        for (slot, diag) in slots.iter_mut().zip(diags.iter()) {
+        let mut group: Vec<BatchSlot<'_>> = scratch.borrows.take();
+        group.extend(slots.iter_mut().map(|slot| BatchSlot {
+            model: &slot.sim.model,
+            state: &mut slot.sim.state,
+            ws: &mut slot.sim.workspace,
+        }));
+        let stepped = step_group_scratch_ws(&mut group, dt, &mut scratch.diags, &mut scratch.group);
+        scratch.borrows.put(group);
+        stepped.map_err(crate::SimError::Model)?;
+        for (slot, diag) in slots.iter_mut().zip(scratch.diags.iter()) {
             slot.rollup.absorb(diag);
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::DomainSpec;
+    use wildfire_fire::IgnitionShape;
+
+    /// 13×13 fire mesh — small enough that the cache heuristic packs the
+    /// widest allowed lockstep units.
+    const TINY: DomainSpec = DomainSpec {
+        nx: 5,
+        ny: 5,
+        nz: 4,
+        dx: 60.0,
+        dy: 60.0,
+        dz: 50.0,
+        refinement: 3,
+    };
+
+    fn tiny_sim(k: usize) -> Simulation {
+        let center = TINY.center();
+        SimulationBuilder::new()
+            .name(format!("tiny-{k}"))
+            .domain(TINY)
+            .ignite(IgnitionShape::Circle {
+                center: (center.0 + 10.0 * k as f64, center.1),
+                radius: 25.0,
+            })
+            .build()
+            .expect("tiny scenario builds")
+    }
+
+    #[test]
+    fn adaptive_unit_bound_floors_on_paper_grids_and_widens_on_narrow() {
+        let paper = SimulationBuilder::new().build().unwrap();
+        assert_eq!(max_group_for(&paper), MAX_GROUP_FLOOR);
+        let narrow = tiny_sim(0);
+        let cap = max_group_for(&narrow);
+        assert!(
+            cap > MAX_GROUP_FLOOR && cap <= MAX_GROUP_CEIL,
+            "narrow grids should pack wider units, got {cap}"
+        );
+    }
+
+    #[test]
+    fn slot_ids_are_stable_across_removal_and_reinsertion() {
+        let mut batch = SimBatch::new(1);
+        let a = batch.push(tiny_sim(0));
+        let b = batch.push(tiny_sim(1));
+        let c = batch.push(tiny_sim(2));
+        assert_eq!((a, b, c), (0, 1, 2));
+        let removed = batch.remove(b).expect("slot b present");
+        assert_eq!(removed.scenario.name, "tiny-1");
+        assert!(batch.remove(b).is_none());
+        assert_eq!(batch.ids(), vec![a, c]);
+        assert_eq!(batch.simulation(c).scenario.name, "tiny-2");
+        assert_eq!(batch.position_of(c), Some(1));
+        let d = batch.push(tiny_sim(3));
+        assert_eq!(d, 3, "ids are monotonic, never reused");
+        batch.advance_to(1.0).expect("advance");
+        assert_eq!(batch.ids(), vec![a, c, d], "advance preserves id order");
+    }
+
+    #[test]
+    fn wide_adaptive_groups_are_deterministic_across_thread_counts() {
+        // More slots than the legacy fixed bound of 4, all compatible, so
+        // the adaptive width actually engages; every thread count must
+        // produce bitwise-identical states (grouping is a schedule choice,
+        // never an arithmetic one).
+        let n = 6;
+        let t_end = 1.5;
+        let mut reference: Option<Vec<crate::Simulation>> = None;
+        for threads in [1usize, 3] {
+            let mut batch = SimBatch::new(threads);
+            for k in 0..n {
+                batch.push(tiny_sim(k));
+            }
+            batch.advance_to(t_end).expect("advance");
+            let states: Vec<Simulation> = (0..n).map(|id| batch.simulation(id).clone()).collect();
+            match &reference {
+                None => reference = Some(states),
+                Some(re) => {
+                    for (r, s) in re.iter().zip(&states) {
+                        assert_eq!(r.state.fire.psi, s.state.fire.psi);
+                        assert_eq!(r.state.fire.tig, s.state.fire.tig);
+                        assert_eq!(r.state.fire.time.to_bits(), s.state.fire.time.to_bits());
+                        assert_eq!(r.state.atmos.theta, s.state.atmos.theta);
+                    }
+                }
+            }
+        }
+    }
 }

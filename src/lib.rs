@@ -27,6 +27,7 @@
 //! | [`enkf`] | EnKF, registration, morphing EnKF (§3.3) |
 //! | [`ensemble`] | parallel ensemble driver, assimilation cycles (Fig. 2) |
 //! | [`sim`] | scenario descriptors, builder, registry, ensemble hooks |
+//! | [`service`] | threaded forecast service over the batched executor |
 
 pub use wildfire_atmos as atmos;
 pub use wildfire_core as core;
@@ -38,4 +39,5 @@ pub use wildfire_grid as grid;
 pub use wildfire_math as math;
 pub use wildfire_obs as obs;
 pub use wildfire_scene as scene;
+pub use wildfire_service as service;
 pub use wildfire_sim as sim;

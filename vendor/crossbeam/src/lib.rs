@@ -1,8 +1,11 @@
 //! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
-//! crate, covering only `crossbeam::thread::scope` — the one API this
-//! workspace uses. Implemented as a thin wrapper over [`std::thread::scope`]
-//! (stable since Rust 1.63), which provides the same borrow-checked scoped
-//! spawning.
+//! crate, covering the two APIs this workspace uses: `crossbeam::thread::scope`
+//! (a thin wrapper over [`std::thread::scope`], stable since Rust 1.63, which
+//! provides the same borrow-checked scoped spawning) and a small
+//! `crossbeam::channel` module (MPMC channels over `Mutex<VecDeque>` +
+//! `Condvar` — correct and adequate for the coarse-grained message rates this
+//! workspace drives through them, with none of upstream's lock-free
+//! machinery).
 //!
 //! Divergence from upstream: a panicking child thread propagates through
 //! `std::thread::scope` and unwinds the caller rather than surfacing as
@@ -45,6 +48,330 @@ pub mod thread {
     }
 }
 
+pub mod channel {
+    //! Multi-producer multi-consumer FIFO channels.
+    //!
+    //! API-compatible subset of `crossbeam-channel`: [`unbounded`] and
+    //! [`bounded`] constructors, clonable [`Sender`]/[`Receiver`] halves,
+    //! blocking [`Receiver::recv`]/[`Receiver::recv_timeout`] and
+    //! non-blocking [`Receiver::try_recv`], with disconnection reported once
+    //! every handle on the other side has dropped. A bounded sender blocks
+    //! while the queue is at capacity (`bounded(0)` is clamped to capacity
+    //! 1 rather than implementing upstream's rendezvous semantics — no
+    //! caller here uses zero-capacity channels).
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half of a channel. Clonable; the channel disconnects for
+    /// receivers when the last clone drops.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel. Clonable; the channel disconnects
+    /// for senders when the last clone drops.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver has dropped;
+    /// carries the unsent message back to the caller.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`]: the channel is empty and every
+    /// sender has dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and every sender has dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(match self {
+                TryRecvError::Empty => "receiving on an empty channel",
+                TryRecvError::Disconnected => "receiving on an empty, disconnected channel",
+            })
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender has dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(match self {
+                RecvTimeoutError::Timeout => "timed out waiting on channel",
+                RecvTimeoutError::Disconnected => "channel is empty and disconnected",
+            })
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    /// Creates a channel of unbounded capacity: sends never block.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Creates a channel holding at most `cap` messages; sends block while
+    /// full. `cap = 0` is clamped to 1 (see module docs).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap.max(1)))
+    }
+
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`, blocking while a bounded channel is at capacity.
+        ///
+        /// # Errors
+        /// Returns the message back as [`SendError`] when every receiver has
+        /// dropped (immediately, even mid-block).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match inner.cap {
+                    Some(cap) if inner.queue.len() >= cap => {
+                        inner = self
+                            .shared
+                            .not_full
+                            .wait(inner)
+                            .expect("channel lock poisoned");
+                    }
+                    _ => break,
+                }
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .inner
+                .lock()
+                .expect("channel lock poisoned")
+                .senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+            inner.senders -= 1;
+            let disconnected = inner.senders == 0;
+            drop(inner);
+            if disconnected {
+                // Wake blocked receivers so they observe the disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the oldest message without blocking.
+        ///
+        /// # Errors
+        /// [`TryRecvError::Empty`] when nothing is queued,
+        /// [`TryRecvError::Disconnected`] once additionally every sender has
+        /// dropped.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+            match inner.queue.pop_front() {
+                Some(msg) => {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    Ok(msg)
+                }
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Dequeues the oldest message, blocking while the channel is empty.
+        ///
+        /// # Errors
+        /// [`RecvError`] once the channel is empty with every sender dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+            loop {
+                match inner.queue.pop_front() {
+                    Some(msg) => {
+                        drop(inner);
+                        self.shared.not_full.notify_one();
+                        return Ok(msg);
+                    }
+                    None if inner.senders == 0 => return Err(RecvError),
+                    None => {
+                        inner = self
+                            .shared
+                            .not_empty
+                            .wait(inner)
+                            .expect("channel lock poisoned");
+                    }
+                }
+            }
+        }
+
+        /// [`recv`](Self::recv) with a deadline of `timeout` from now.
+        ///
+        /// # Errors
+        /// [`RecvTimeoutError::Timeout`] when the deadline passes with the
+        /// channel still empty, [`RecvTimeoutError::Disconnected`] once the
+        /// channel is empty with every sender dropped.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+            loop {
+                match inner.queue.pop_front() {
+                    Some(msg) => {
+                        drop(inner);
+                        self.shared.not_full.notify_one();
+                        return Ok(msg);
+                    }
+                    None if inner.senders == 0 => return Err(RecvTimeoutError::Disconnected),
+                    None => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                        let (guard, _res) = self
+                            .shared
+                            .not_empty
+                            .wait_timeout(inner, deadline - now)
+                            .expect("channel lock poisoned");
+                        inner = guard;
+                    }
+                }
+            }
+        }
+
+        /// Non-blocking iterator: yields queued messages until the channel
+        /// is empty or disconnected, then stops.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.try_recv().ok())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .inner
+                .lock()
+                .expect("channel lock poisoned")
+                .receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().expect("channel lock poisoned");
+            inner.receivers -= 1;
+            let disconnected = inner.receivers == 0;
+            drop(inner);
+            if disconnected {
+                // Wake blocked bounded senders so they observe the
+                // disconnect instead of waiting for room forever.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -75,5 +402,128 @@ mod tests {
         })
         .unwrap();
         assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+
+    mod channel {
+        use super::super::channel::*;
+        use std::time::Duration;
+
+        #[test]
+        fn fifo_order_and_empty() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            tx.send(3).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(3));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn drop_all_senders_disconnects() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            tx.send(7).unwrap();
+            drop(tx);
+            drop(tx2);
+            // Queued messages still drain before the disconnect surfaces.
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn drop_receiver_fails_send() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            let err = tx.send(5).unwrap_err();
+            assert_eq!(err.0, 5);
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_room() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let handle = std::thread::spawn(move || {
+                // Blocks until the receiver below makes room.
+                tx.send(2).unwrap();
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            handle.join().unwrap();
+        }
+
+        #[test]
+        fn recv_blocks_until_cross_thread_send() {
+            let (tx, rx) = unbounded();
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                tx.send(42u64).unwrap();
+            });
+            assert_eq!(rx.recv(), Ok(42));
+            handle.join().unwrap();
+        }
+
+        #[test]
+        fn mpmc_delivers_every_message_exactly_once() {
+            let (tx, rx) = unbounded();
+            let n_senders = 4;
+            let per_sender = 100usize;
+            let mut handles = Vec::new();
+            for s in 0..n_senders {
+                let tx = tx.clone();
+                handles.push(std::thread::spawn(move || {
+                    for k in 0..per_sender {
+                        tx.send(s * per_sender + k).unwrap();
+                    }
+                }));
+            }
+            drop(tx);
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            drop(rx);
+            let mut seen = vec![false; n_senders * per_sender];
+            for c in consumers {
+                for v in c.join().unwrap() {
+                    assert!(!seen[v], "message {v} delivered twice");
+                    seen[v] = true;
+                }
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert!(seen.iter().all(|&s| s), "some message was dropped");
+        }
+
+        #[test]
+        fn try_iter_drains_queued() {
+            let (tx, rx) = unbounded();
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            let got: Vec<i32> = rx.try_iter().collect();
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        }
     }
 }
