@@ -63,4 +63,22 @@ impl AtmosWorkspace {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// The pressure potential φ left by the most recent step — the seed the
+    /// warm-started projection (`AtmosParams::pressure_warm_start`) reads on
+    /// the next step. Exposed so checkpointing can capture it: under warm
+    /// start, bitwise restore requires this carry-over alongside the
+    /// prognostic state.
+    pub fn warm_phi(&self) -> &[f64] {
+        &self.phi
+    }
+
+    /// Overwrites the warm-start potential (see
+    /// [`AtmosWorkspace::warm_phi`]), reusing the existing storage. Called
+    /// by restore paths; harmless when warm start is off (the cold solve
+    /// re-targets the buffer itself).
+    pub fn set_warm_phi(&mut self, phi: &[f64]) {
+        self.phi.clear();
+        self.phi.extend_from_slice(phi);
+    }
 }

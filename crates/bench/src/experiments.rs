@@ -9,7 +9,7 @@ use wildfire_core::CoupledState;
 use wildfire_enkf::{MorphingConfig, RegistrationConfig};
 use wildfire_ensemble::driver::{EnsembleDriver, FilterKind};
 use wildfire_ensemble::metrics::{evaluate_coupled_ensemble, EnsembleMetrics};
-use wildfire_ensemble::store::{DiskStore, MemStore, StateStore};
+use wildfire_ensemble::store::{DiskStore, MemStore, SnapshotStore};
 use wildfire_fire::ignition::IgnitionShape;
 use wildfire_fire::levelset::GradientScheme;
 use wildfire_fire::{FireMesh, FireState, Integrator, LevelSetSolver};
@@ -228,7 +228,7 @@ pub fn run_fig3(pixels: usize, burn_time: f64) -> Fig3Result {
     // instantaneous ratio diverges. Evaluate during active burning: 15 s
     // after this fire's ignition.
     let frac = radiative_fraction(
-        &model.fire.mesh,
+        model.fire.mesh(),
         &state.fire,
         &wind,
         15.0,

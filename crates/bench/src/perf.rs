@@ -6,7 +6,10 @@
 //! forecast–analysis cycle, and serialize the numbers as the
 //! `BENCH_steps.json` trajectory format. `perf_gate` additionally compares
 //! a fresh small-domain measurement against the committed
-//! `BENCH_baseline_small.json` so CI fails on throughput regressions.
+//! `BENCH_baseline_small.json` so CI fails on throughput regressions; the
+//! comparison is normalized by the committed [`REFERENCE_LABEL`] kernel
+//! each side measured on its own hardware ([`gate_normalized`]), so the
+//! floor survives runner drift.
 
 use std::time::Instant;
 use wildfire_atmos::PoissonSolver;
@@ -465,6 +468,56 @@ pub fn time_sim_batch_service(t_end: f64, n_fires: usize, threads: usize) -> [St
     ]
 }
 
+/// Label of the reference-kernel entry every measurement carries (in
+/// `BENCH_steps.json` and the committed `BENCH_baseline_small.json`).
+pub const REFERENCE_LABEL: &str = "reference_kernel";
+
+/// Times the fixed reference kernel the gate normalizes by: a mul/add/div
+/// sweep over a 4 KiB f64 buffer, deliberately outside anything this repo
+/// optimises, so its throughput tracks only the machine (hardware, CPU
+/// scaling, toolchain codegen) and not the simulation code. Dividing every
+/// scenario entry by this number before comparing against the baseline
+/// cancels runner drift out of the gate's floor. `steps` counts sweeps;
+/// best-of-three like the scenario timings.
+pub fn time_reference_kernel() -> StepTiming {
+    const N: usize = 512;
+    const SWEEPS: usize = 300_000;
+    // Deterministic operands in [0.5, 1.5]; the update map keeps them near
+    // 1, so the arithmetic never denormalizes or overflows.
+    let mut init = vec![0.0_f64; N];
+    let mut s = 0x243f6a8885a308d3u64;
+    for v in init.iter_mut() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *v = 0.5 + (s >> 11) as f64 / (1u64 << 53) as f64;
+    }
+    let mut best = f64::INFINITY;
+    for _rep in 0..3 {
+        let mut work = init.clone();
+        let start = Instant::now();
+        let mut acc = 0.0_f64;
+        for sweep in 0..SWEEPS {
+            let c = 1.0 + (sweep % 7) as f64 * 1e-6;
+            for v in work.iter_mut() {
+                *v = (*v * c + 1e-3) / (1.0 + *v * *v * 1e-3);
+            }
+            acc += work[sweep % N];
+        }
+        let wall_secs = start.elapsed().as_secs_f64();
+        assert!(
+            acc.is_finite() && acc > 0.0,
+            "the reference kernel must run"
+        );
+        best = best.min(wall_secs);
+    }
+    StepTiming {
+        label: REFERENCE_LABEL.to_string(),
+        steps: SWEEPS,
+        wall_secs: best,
+    }
+}
+
 /// Wall time of one ensemble forecast–analysis cycle through the workspace
 /// and the allocating path (in that order).
 pub fn time_cycle(small: bool, n_members: usize, threads: usize) -> (f64, f64) {
@@ -783,6 +836,10 @@ pub fn measure_filtered(
     if let Some(f) = filter {
         timings.retain(|t| t.label.starts_with(f));
     }
+    // The reference kernel rides along in every measurement — filtered or
+    // not — because the gate divides each entry by it before comparing
+    // against the baseline (see `gate_normalized`).
+    timings.push(time_reference_kernel());
     let (cycle_ws_secs, cycle_alloc_secs) = if filter.is_none() {
         time_cycle(small, n_members, threads)
     } else {
@@ -825,9 +882,154 @@ pub fn parse_step_timings(json: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// One per-label verdict from [`gate_normalized`].
+#[derive(Debug)]
+pub struct GateVerdict {
+    /// Baseline entry label.
+    pub label: String,
+    /// Baseline steps/s (absolute, as committed).
+    pub base_sps: f64,
+    /// Fresh steps/s, or `None` when the fresh measurement lacks the label.
+    pub new_sps: Option<f64>,
+    /// Reference-normalized throughput ratio
+    /// `(new / new_ref) / (base / base_ref)` — NaN when the label is
+    /// missing from the fresh measurement.
+    pub ratio: f64,
+    /// Whether this entry clears the floor.
+    pub pass: bool,
+}
+
+/// Compares a fresh measurement against the committed baseline with both
+/// sides normalized by their own run's [`REFERENCE_LABEL`] entry: an entry
+/// passes when `(new_sps / new_ref) / (base_sps / base_ref) >= floor`.
+/// Because the reference kernel is fixed, committed code, a uniformly
+/// slower (or faster) runner moves numerator and denominator together and
+/// the floor only trips on regressions relative to the machine — runner
+/// drift cancels. Labels not starting with `filter` (when given) are
+/// skipped; a baseline label absent from the fresh measurement yields a
+/// failing verdict with `new_sps: None`.
+///
+/// Returns `(drift, verdicts)` where `drift = new_ref / base_ref` is the
+/// measured hardware-speed ratio, or an error when either side lacks the
+/// reference entry (the baseline must be regenerated with
+/// `--update-baseline` after this harness change).
+pub fn gate_normalized(
+    baseline: &[(String, f64)],
+    fresh: &[(String, f64)],
+    floor: f64,
+    filter: Option<&str>,
+) -> Result<(f64, Vec<GateVerdict>), String> {
+    let find = |set: &[(String, f64)], l: &str| set.iter().find(|(k, _)| k == l).map(|&(_, v)| v);
+    let base_ref = find(baseline, REFERENCE_LABEL).ok_or_else(|| {
+        format!(
+            "baseline lacks the \"{REFERENCE_LABEL}\" entry; regenerate it with --update-baseline"
+        )
+    })?;
+    let new_ref = find(fresh, REFERENCE_LABEL)
+        .ok_or_else(|| format!("fresh measurement lacks the \"{REFERENCE_LABEL}\" entry"))?;
+    if base_ref <= 0.0 || new_ref <= 0.0 {
+        return Err(format!(
+            "non-positive \"{REFERENCE_LABEL}\" throughput (baseline {base_ref}, fresh {new_ref})"
+        ));
+    }
+    let drift = new_ref / base_ref;
+    let mut verdicts = Vec::new();
+    for (label, base_sps) in baseline {
+        if label == REFERENCE_LABEL {
+            continue;
+        }
+        if let Some(f) = filter {
+            if !label.starts_with(f) {
+                continue;
+            }
+        }
+        let new_sps = find(fresh, label);
+        let ratio = match new_sps {
+            Some(n) => (n / new_ref) / (base_sps / base_ref),
+            None => f64::NAN,
+        };
+        verdicts.push(GateVerdict {
+            label: label.clone(),
+            base_sps: *base_sps,
+            new_sps,
+            ratio,
+            pass: ratio >= floor,
+        });
+    }
+    Ok((drift, verdicts))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn entries(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|&(l, v)| (l.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn gate_cancels_uniform_runner_drift() {
+        // The fresh runner is uniformly 2× slower — absolute ratios would
+        // read 0.5 and trip the 0.7 floor, but normalized they are 1.0.
+        let baseline = entries(&[(REFERENCE_LABEL, 100.0), ("a::b", 1000.0), ("c::d", 50.0)]);
+        let fresh = entries(&[(REFERENCE_LABEL, 50.0), ("a::b", 500.0), ("c::d", 25.0)]);
+        let (drift, verdicts) = gate_normalized(&baseline, &fresh, 0.7, None).expect("gates");
+        assert!((drift - 0.5).abs() < 1e-12);
+        assert_eq!(verdicts.len(), 2);
+        for v in &verdicts {
+            assert!((v.ratio - 1.0).abs() < 1e-12, "{}: {}", v.label, v.ratio);
+            assert!(v.pass);
+        }
+    }
+
+    #[test]
+    fn gate_still_trips_on_real_regressions() {
+        // Same machine (reference unchanged), one entry halved: that is a
+        // genuine regression and must fail the 0.7 floor.
+        let baseline = entries(&[(REFERENCE_LABEL, 100.0), ("a::b", 1000.0), ("c::d", 50.0)]);
+        let fresh = entries(&[(REFERENCE_LABEL, 100.0), ("a::b", 500.0), ("c::d", 50.0)]);
+        let (drift, verdicts) = gate_normalized(&baseline, &fresh, 0.7, None).expect("gates");
+        assert!((drift - 1.0).abs() < 1e-12);
+        let a = verdicts.iter().find(|v| v.label == "a::b").expect("a::b");
+        assert!(!a.pass);
+        assert!((a.ratio - 0.5).abs() < 1e-12);
+        let c = verdicts.iter().find(|v| v.label == "c::d").expect("c::d");
+        assert!(c.pass);
+    }
+
+    #[test]
+    fn gate_fails_missing_labels_and_respects_filter() {
+        let baseline = entries(&[
+            (REFERENCE_LABEL, 100.0),
+            ("sim_batch::x", 10.0),
+            ("pow_kernel::y", 20.0),
+        ]);
+        let fresh = entries(&[(REFERENCE_LABEL, 100.0)]);
+        let (_, verdicts) =
+            gate_normalized(&baseline, &fresh, 0.7, Some("sim_batch")).expect("gates");
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].label, "sim_batch::x");
+        assert!(verdicts[0].new_sps.is_none());
+        assert!(!verdicts[0].pass);
+        assert!(verdicts[0].ratio.is_nan());
+    }
+
+    #[test]
+    fn gate_requires_the_reference_entry() {
+        let with_ref = entries(&[(REFERENCE_LABEL, 100.0), ("a::b", 10.0)]);
+        let without_ref = entries(&[("a::b", 10.0)]);
+        let err = gate_normalized(&without_ref, &with_ref, 0.7, None).unwrap_err();
+        assert!(err.contains("--update-baseline"), "{err}");
+        let err = gate_normalized(&with_ref, &without_ref, 0.7, None).unwrap_err();
+        assert!(err.contains("fresh measurement"), "{err}");
+    }
+
+    #[test]
+    fn reference_kernel_reports_throughput() {
+        let t = time_reference_kernel();
+        assert_eq!(t.label, REFERENCE_LABEL);
+        assert!(t.steps_per_sec() > 0.0);
+    }
 
     #[test]
     fn json_roundtrips_through_parser() {

@@ -434,6 +434,52 @@ fn obs_set_packing_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn imagery_packing_is_allocation_free_after_warmup() {
+    // The ISSUE-9 satellite bar: the synthetic-image operator now renders
+    // through the ObsScratch (wind transfer, ground temperature, flame
+    // voxels, reflection sources, and the image itself all live in reusable
+    // buffers), so packing a pool that includes a thermal-imagery stream is
+    // as steady-state allocation-free as the grid/station streams.
+    let model = CoupledModel::new(
+        small_atmos_grid(),
+        Default::default(),
+        wildfire_fuel::FuelCategory::ShortGrass,
+        5,
+    )
+    .unwrap();
+    let members: Vec<_> = (0..4)
+        .map(|k| {
+            model.ignite(
+                &[IgnitionShape::Circle {
+                    center: (180.0 + 15.0 * k as f64, 220.0),
+                    radius: 20.0,
+                }],
+                0.0,
+            )
+        })
+        .collect();
+    let img_op = wildfire_obs::ImagePixels::over_fire_domain(model.clone(), 3000.0, 12, 0.5);
+    let psi_op = wildfire_obs::StridedPsi::new(model.fire_grid, 7, 1.0);
+    let img_data = vec![0.0; wildfire_obs::ObservationOperator::dim(&img_op)];
+    let psi_data = vec![0.0; wildfire_obs::ObservationOperator::dim(&psi_op)];
+    let mut pool = wildfire_obs::ObsSet::new();
+    pool.push(&img_op, &img_data).unwrap();
+    pool.push(&psi_op, &psi_data).unwrap();
+
+    let mut ws = wildfire_obs::ObsWorkspace::new();
+    pool.pack_into(&members, &mut ws).unwrap();
+    let n = allocations_during(|| {
+        for _ in 0..2 {
+            pool.pack_into(&members, &mut ws).unwrap();
+        }
+    });
+    assert_eq!(
+        n, 0,
+        "ObsSet::pack_into with an imagery stream must not allocate in steady state"
+    );
+}
+
+#[test]
 fn workspace_buffers_are_reused_not_reallocated_across_sizes() {
     // Shrinking re-targets the same storage: stepping a smaller domain
     // through a workspace warmed on a larger one performs no allocation.

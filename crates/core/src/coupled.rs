@@ -220,7 +220,7 @@ impl CoupledModel {
         // feedback is on.
         let h = self.atmos.grid.horizontal();
         heat_fluxes_into(
-            &self.fire.mesh,
+            self.fire.mesh(),
             &state.fire,
             state.fire.time,
             &mut ws.fluxes,

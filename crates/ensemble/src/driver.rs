@@ -4,16 +4,19 @@
 //! observation function per member (parallel) → analysis (standard EnKF on
 //! raw fields, or morphing EnKF on extended states with registrations
 //! computed in parallel) → write the updated states back. State exchange
-//! can run through any [`crate::StateStore`] to reproduce the paper's
-//! disk-file architecture.
+//! can run through any [`crate::SnapshotStore`] to reproduce the paper's
+//! disk-file architecture, including sharding the ensemble across worker
+//! processes ([`EnsembleDriver::forecast_shard_via_store`]); whole-ensemble
+//! checkpoints ([`EnsembleDriver::snapshot_into`]) capture every member
+//! plus the filter RNG so an interrupted assimilation run resumes bit for
+//! bit.
 
 use crate::metrics::{evaluate_coupled_ensemble, EnsembleMetrics};
 use crate::parallel_enkf::ParallelEnkf;
 use crate::pool::{
-    parallel_for_each, parallel_for_each_column_ws, parallel_for_each_dynamic_ws,
-    parallel_for_each_ws,
+    parallel_for_each_column_ws, parallel_for_each_dynamic_ws, parallel_for_each_ws,
 };
-use crate::store::StateStore;
+use crate::store::SnapshotStore;
 use crate::{EnsembleError, Result};
 use wildfire_core::{CoupledModel, CoupledState, CoupledWorkspace};
 use wildfire_enkf::morphing_enkf::ExtendedState;
@@ -24,9 +27,12 @@ use wildfire_fire::ignition::IgnitionShape;
 use wildfire_fire::FireState;
 use wildfire_grid::Field2;
 use wildfire_math::{GaussianSampler, Matrix};
+use wildfire_obs::snapshot::{
+    check_model_fingerprint, decode_tig_into, encode_tig_into, model_fingerprint_into, FINGERPRINT,
+};
 use wildfire_obs::{
-    ObsInbox, ObsScratch, ObsSet, ObsSource, ObsWorkspace, ObservationOperator, StridedPsi,
-    TIME_EPS,
+    CoupledSnapshot, ObsInbox, ObsScratch, ObsSet, ObsSource, ObsWorkspace, ObservationOperator,
+    Snapshot, StridedPsi, TIME_EPS,
 };
 
 /// Cap used to encode the `t_i = ∞` (unburned) sentinel as a finite value
@@ -62,6 +68,22 @@ pub struct EnsembleWorkspace {
     pub(crate) psi_data: Field2,
     /// Data field slots `[ψ, capped t_i]` for the morphing analyses.
     pub(crate) data_fields: Vec<Field2>,
+    /// Per-worker scratch for the store-routed forecast (index = worker):
+    /// each worker owns its stepping workspace *and* its snapshot/exchange
+    /// buffers, so shard forecasts stay lock-free and allocation-free in
+    /// steady state.
+    pub store_workers: Vec<StoreWorker>,
+}
+
+/// One store-exchange worker's scratch: a coupled stepping workspace plus
+/// the snapshot container its member states travel through.
+#[derive(Debug, Default)]
+pub struct StoreWorker {
+    /// Stepping workspace.
+    pub coupled: CoupledWorkspace,
+    /// Snapshot exchange buffer (record names + payload capacities are
+    /// reused across members and calls).
+    pub snap: Snapshot,
 }
 
 impl EnsembleWorkspace {
@@ -75,6 +97,14 @@ impl EnsembleWorkspace {
         let want = threads.max(1);
         if self.workers.len() < want {
             self.workers.resize_with(want, CoupledWorkspace::new);
+        }
+    }
+
+    /// Makes sure there is one store-exchange worker scratch per worker.
+    pub(crate) fn ensure_store_workers(&mut self, threads: usize) {
+        let want = threads.max(1);
+        if self.store_workers.len() < want {
+            self.store_workers.resize_with(want, StoreWorker::default);
         }
     }
 }
@@ -235,40 +265,251 @@ impl EnsembleDriver {
         Ok(())
     }
 
-    /// Forecast phase routed through a [`StateStore`]: states are loaded
-    /// from the store, advanced, and written back — the disk-file dataflow
-    /// of Fig. 2, benchmarked in experiment E2.
+    /// Forecast phase routed through a [`SnapshotStore`]: full-state member
+    /// snapshots are saved, loaded back, advanced, and written again — the
+    /// disk-file dataflow of Fig. 2, benchmarked in experiment E2. A thin
+    /// allocating wrapper over [`EnsembleDriver::forecast_via_store_ws`],
+    /// kept signature-compatible and pinned bit-identical to the direct
+    /// forecast by the equivalence tests.
     ///
     /// # Errors
     /// Store or model failures.
     pub fn forecast_via_store(
         &self,
         members: &mut [CoupledState],
-        store: &dyn StateStore,
+        store: &dyn SnapshotStore,
         t_target: f64,
         dt: f64,
     ) -> Result<()> {
-        // Save current fire states.
+        let mut ws = EnsembleWorkspace::new();
+        self.forecast_via_store_ws(members, store, t_target, dt, &mut ws)
+    }
+
+    /// Workspace-backed [`EnsembleDriver::forecast_via_store`]: saves every
+    /// member's snapshot, then runs the whole ensemble as shard 0 of 1
+    /// through [`EnsembleDriver::forecast_shard_via_store`]. Each worker
+    /// loads, steps, and stores through its own [`StoreWorker`] scratch, so
+    /// with `threads <= 1` the exchange is allocation-free in steady state.
+    ///
+    /// # Errors
+    /// Store or model failures.
+    pub fn forecast_via_store_ws(
+        &self,
+        members: &mut [CoupledState],
+        store: &dyn SnapshotStore,
+        t_target: f64,
+        dt: f64,
+        ws: &mut EnsembleWorkspace,
+    ) -> Result<()> {
+        ws.ensure_store_workers(self.threads);
+        let snap = &mut ws.store_workers[0].snap;
         for (i, m) in members.iter().enumerate() {
-            store.save(i, &m.fire)?;
+            self.model.snapshot_into(m, None, snap);
+            store.save(i, snap)?;
         }
-        // Load → advance → save, member-parallel.
+        self.forecast_shard_via_store(members, 0, store, t_target, dt, ws)
+    }
+
+    /// Advances one *shard* of the ensemble through a [`SnapshotStore`]:
+    /// member `first_member + i` is loaded from the store into `shard[i]`,
+    /// stepped to `t_target`, and written back. This is the per-process
+    /// worker of the sharded architecture — separate processes, each owning
+    /// a contiguous member range and a workspace sized to it, exchange the
+    /// whole ensemble through one disk directory; the union of the shard
+    /// forecasts is bit-identical to a single-process
+    /// [`EnsembleDriver::forecast_ws`] over all members.
+    ///
+    /// The caller's `shard` states serve as restore targets (their previous
+    /// contents are fully overwritten), so a worker process can start from
+    /// blank states built with [`CoupledModel::ignite`] on an empty shape
+    /// list.
+    ///
+    /// # Errors
+    /// Store failures, snapshots from a mismatching model configuration,
+    /// or model failures.
+    pub fn forecast_shard_via_store(
+        &self,
+        shard: &mut [CoupledState],
+        first_member: usize,
+        store: &dyn SnapshotStore,
+        t_target: f64,
+        dt: f64,
+        ws: &mut EnsembleWorkspace,
+    ) -> Result<()> {
+        ws.ensure_store_workers(self.threads);
+        let workers = &mut ws.store_workers[..self.threads.max(1)];
         let errors = parking_lot::Mutex::new(Vec::new());
-        parallel_for_each(members, self.threads, |i, state| {
+        parallel_for_each_ws(shard, workers, |i, state, sw| {
             let mut run = || -> Result<()> {
-                state.fire = store.load(i)?;
-                self.model.run(state, t_target, dt, |_, _| {})?;
-                store.save(i, &state.fire)?;
+                let member = first_member + i;
+                store.load_into(member, &mut sw.snap)?;
+                self.model
+                    .restore_from(state, Some(&mut sw.coupled), &sw.snap)
+                    .map_err(EnsembleError::Store)?;
+                self.model
+                    .run_ws(state, t_target, dt, &mut sw.coupled, |_, _| {})?;
+                self.model
+                    .snapshot_into(state, Some(&sw.coupled), &mut sw.snap);
+                store.save(member, &sw.snap)?;
                 Ok(())
             };
             if let Err(e) = run() {
-                errors.lock().push(e);
+                errors.lock().push((i, e));
             }
         });
         let mut errs = errors.into_inner();
-        if let Some(e) = errs.drain(..).next() {
+        if let Some((_, e)) = errs.drain(..).next() {
             return Err(e);
         }
+        Ok(())
+    }
+
+    /// Captures the whole ensemble — every member's full coupled state
+    /// (concatenated, member-major) plus the analysis RNG's provenance —
+    /// into `snap`, reusing its buffers (allocation-free once warm). Record
+    /// names are static (`ens/psi`, `ens/u`, …), so checkpointing N members
+    /// every cycle never formats a per-member string.
+    ///
+    /// Per-worker φ warm-start scratch is *not* captured: it is tied to the
+    /// member→worker mapping (a thread-count artifact), not to ensemble
+    /// state. Resuming is bitwise-exact whenever the pressure projection
+    /// seeds cold (the default); a warm-started projection re-warms within
+    /// the first post-restore step.
+    pub fn snapshot_into(
+        &self,
+        members: &[CoupledState],
+        rng: &GaussianSampler,
+        snap: &mut Snapshot,
+    ) {
+        model_fingerprint_into(&self.model, snap.record_mut(FINGERPRINT));
+        snap.put_scalar("ens/n_members", members.len() as f64);
+        let psi = snap.record_mut("ens/psi");
+        for m in members {
+            psi.extend_from_slice(m.fire.psi.as_slice());
+        }
+        let tig = snap.record_mut("ens/tig");
+        for m in members {
+            encode_tig_into(m.fire.tig.as_slice(), tig);
+        }
+        let ft = snap.record_mut("ens/fire_time");
+        ft.extend(members.iter().map(|m| m.fire.time));
+        for (name, pick) in [
+            ("ens/u", 0usize),
+            ("ens/v", 1),
+            ("ens/w", 2),
+            ("ens/theta", 3),
+            ("ens/qv", 4),
+        ] {
+            let rec = snap.record_mut(name);
+            for m in members {
+                let src: &[f64] = match pick {
+                    0 => &m.atmos.u,
+                    1 => &m.atmos.v,
+                    2 => &m.atmos.w,
+                    3 => &m.atmos.theta,
+                    _ => &m.atmos.qv,
+                };
+                rec.extend_from_slice(src);
+            }
+        }
+        let at = snap.record_mut("ens/atmos_time");
+        at.extend(members.iter().map(|m| m.atmos.time));
+        let (words, spare) = rng.state();
+        let r = snap.record_mut("ens/rng");
+        r.extend(words.iter().map(|&w| f64::from_bits(w)));
+        r.push(if spare.is_some() { 1.0 } else { 0.0 });
+        r.push(spare.unwrap_or(0.0));
+    }
+
+    /// Restores a whole-ensemble checkpoint written by
+    /// [`EnsembleDriver::snapshot_into`] into `members` (which must already
+    /// hold the checkpointed member count — states are overwritten in
+    /// place) and `rng`. All validation happens before any member is
+    /// touched, so a rejected snapshot leaves the ensemble intact.
+    ///
+    /// # Errors
+    /// Missing records, a fingerprint from a different model configuration,
+    /// or any member-count/field-size mismatch.
+    pub fn restore_from(
+        &self,
+        members: &mut [CoupledState],
+        rng: &mut GaussianSampler,
+        snap: &Snapshot,
+    ) -> Result<()> {
+        check_model_fingerprint(&self.model, snap).map_err(EnsembleError::Store)?;
+        let n = snap
+            .get_scalar("ens/n_members")
+            .map_err(EnsembleError::Store)? as usize;
+        if n != members.len() {
+            return Err(EnsembleError::Config(
+                "checkpoint member count does not match the ensemble",
+            ));
+        }
+        let fg_len = self.model.fire_grid.len();
+        let ag = self.model.atmos.grid;
+        let n_uv = ag.nx * ag.ny * ag.nz;
+        let n_w = ag.nx * ag.ny * (ag.nz + 1);
+        let n_c = ag.n_cells();
+        let want = [
+            ("ens/psi", n * fg_len),
+            ("ens/tig", n * fg_len),
+            ("ens/fire_time", n),
+            ("ens/u", n * n_uv),
+            ("ens/v", n * n_uv),
+            ("ens/w", n * n_w),
+            ("ens/theta", n * n_c),
+            ("ens/qv", n * n_c),
+            ("ens/atmos_time", n),
+            ("ens/rng", 6),
+        ];
+        for (name, len) in want {
+            if snap.get(name).map_err(EnsembleError::Store)?.len() != len {
+                return Err(EnsembleError::Config("checkpoint record size mismatch"));
+            }
+        }
+        let fg = self.model.fire_grid;
+        let psi = snap.get("ens/psi").expect("validated");
+        let tig = snap.get("ens/tig").expect("validated");
+        let ft = snap.get("ens/fire_time").expect("validated");
+        let u = snap.get("ens/u").expect("validated");
+        let v = snap.get("ens/v").expect("validated");
+        let w = snap.get("ens/w").expect("validated");
+        let theta = snap.get("ens/theta").expect("validated");
+        let qv = snap.get("ens/qv").expect("validated");
+        let at = snap.get("ens/atmos_time").expect("validated");
+        for (i, m) in members.iter_mut().enumerate() {
+            m.fire.psi.resize_no_zero(fg);
+            m.fire
+                .psi
+                .as_mut_slice()
+                .copy_from_slice(&psi[i * fg_len..(i + 1) * fg_len]);
+            m.fire.tig.resize_no_zero(fg);
+            decode_tig_into(
+                &tig[i * fg_len..(i + 1) * fg_len],
+                m.fire.tig.as_mut_slice(),
+            );
+            m.fire.time = ft[i];
+            for (dst, src, stride) in [
+                (&mut m.atmos.u, u, n_uv),
+                (&mut m.atmos.v, v, n_uv),
+                (&mut m.atmos.w, w, n_w),
+                (&mut m.atmos.theta, theta, n_c),
+                (&mut m.atmos.qv, qv, n_c),
+            ] {
+                dst.clear();
+                dst.extend_from_slice(&src[i * stride..(i + 1) * stride]);
+            }
+            m.atmos.grid = ag;
+            m.atmos.time = at[i];
+        }
+        let r = snap.get("ens/rng").expect("validated");
+        let words = [
+            r[0].to_bits(),
+            r[1].to_bits(),
+            r[2].to_bits(),
+            r[3].to_bits(),
+        ];
+        *rng = GaussianSampler::from_state(words, (r[4] != 0.0).then_some(r[5]));
         Ok(())
     }
 
@@ -1495,6 +1736,129 @@ mod tests {
         for m in &members {
             assert!((m.time() - 1.0).abs() < 1e-9, "members must reach t_target");
         }
+    }
+
+    #[test]
+    fn sharded_store_forecast_matches_forecast_ws() {
+        // Two shard "processes", each with its own workspace and blank
+        // restore targets, meeting only at the shared store: the union of
+        // their forecasts must reproduce the single-process forecast bit
+        // for bit — the in-process half of the sharded-exchange contract.
+        let d = driver(2);
+        let mut direct = d.initial_ensemble(&setup(5));
+        let mut ws = EnsembleWorkspace::new();
+        d.forecast_ws(&mut direct, 2.0, 0.5, &mut ws).unwrap();
+
+        let store = MemStore::new();
+        let members0 = d.initial_ensemble(&setup(5));
+        let mut snap = Snapshot::new();
+        for (i, m) in members0.iter().enumerate() {
+            d.model.snapshot_into(m, None, &mut snap);
+            store.save(i, &snap).unwrap();
+        }
+        let blank = || d.model.ignite(&[], 0.0);
+        let mut shard_a: Vec<CoupledState> = (0..2).map(|_| blank()).collect();
+        let mut shard_b: Vec<CoupledState> = (0..3).map(|_| blank()).collect();
+        let mut ws_a = EnsembleWorkspace::new();
+        let mut ws_b = EnsembleWorkspace::new();
+        d.forecast_shard_via_store(&mut shard_a, 0, &store, 2.0, 0.5, &mut ws_a)
+            .unwrap();
+        d.forecast_shard_via_store(&mut shard_b, 2, &store, 2.0, 0.5, &mut ws_b)
+            .unwrap();
+
+        for (i, m) in shard_a.iter().chain(shard_b.iter()).enumerate() {
+            assert_eq!(m.fire.psi, direct[i].fire.psi, "member {i}");
+            assert_eq!(m.fire.tig, direct[i].fire.tig, "member {i}");
+            assert_eq!(m.atmos, direct[i].atmos, "member {i}");
+        }
+        // The store now holds the advanced states for the analysis side.
+        let mut got = blank();
+        for (i, m) in direct.iter().enumerate() {
+            store.load_into(i, &mut snap).unwrap();
+            d.model.restore_from(&mut got, None, &snap).unwrap();
+            assert_eq!(got.fire.psi, m.fire.psi, "stored member {i}");
+        }
+    }
+
+    #[test]
+    fn ensemble_checkpoint_resume_is_bitwise() {
+        // Cycle → checkpoint (members + RNG, through the byte round-trip)
+        // → continue, against restore-into-cold-everything → continue.
+        let d = driver(2);
+        let truth = d.model.ignite(
+            &[IgnitionShape::Circle {
+                center: (200.0, 200.0),
+                radius: 25.0,
+            }],
+            0.0,
+        );
+        let op = wildfire_obs::StridedPsi::new(truth.fire.grid(), 5, 1.0);
+        let mut data = Vec::new();
+        op.measure_truth_into(&truth.fire, &mut data).unwrap();
+        let mut pool = wildfire_obs::ObsSet::new();
+        pool.push(&op, &data).unwrap();
+        let filter = ObsFilter::Standard { inflation: 1.01 };
+
+        let mut members = d.initial_ensemble(&setup(5));
+        let mut rng = GaussianSampler::new(21);
+        let mut ws = EnsembleWorkspace::new();
+        d.cycle_obs_ws(&mut members, &pool, filter, 1.0, 0.5, &mut rng, &mut ws)
+            .unwrap();
+
+        let mut snap = Snapshot::new();
+        d.snapshot_into(&members, &rng, &mut snap);
+        let snap = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+
+        d.cycle_obs_ws(&mut members, &pool, filter, 2.0, 0.5, &mut rng, &mut ws)
+            .unwrap();
+
+        let mut resumed: Vec<CoupledState> = (0..5).map(|_| d.model.ignite(&[], 0.0)).collect();
+        let mut rng2 = GaussianSampler::new(0);
+        d.restore_from(&mut resumed, &mut rng2, &snap).unwrap();
+        let mut ws2 = EnsembleWorkspace::new();
+        d.cycle_obs_ws(&mut resumed, &pool, filter, 2.0, 0.5, &mut rng2, &mut ws2)
+            .unwrap();
+
+        for (i, (a, b)) in members.iter().zip(resumed.iter()).enumerate() {
+            assert_eq!(a.fire.psi, b.fire.psi, "member {i}");
+            assert_eq!(a.fire.tig, b.fire.tig, "member {i}");
+            assert_eq!(a.atmos, b.atmos, "member {i}");
+        }
+    }
+
+    #[test]
+    fn ensemble_restore_rejects_mismatches() {
+        let d = driver(1);
+        let members = d.initial_ensemble(&setup(3));
+        let rng = GaussianSampler::new(1);
+        let mut snap = Snapshot::new();
+        d.snapshot_into(&members, &rng, &mut snap);
+
+        // Wrong member count: rejected before any state is touched.
+        let mut four: Vec<CoupledState> = (0..4).map(|_| d.model.ignite(&[], 0.0)).collect();
+        let mut r = GaussianSampler::new(2);
+        assert!(d.restore_from(&mut four, &mut r, &snap).is_err());
+
+        // Wrong model configuration: fingerprint mismatch.
+        let other = EnsembleDriver::new(
+            CoupledModel::new(
+                AtmosGrid {
+                    nx: 7,
+                    ny: 6,
+                    nz: 4,
+                    dx: 60.0,
+                    dy: 60.0,
+                    dz: 50.0,
+                },
+                AtmosParams::default(),
+                FuelCategory::ShortGrass,
+                4,
+            )
+            .unwrap(),
+            1,
+        );
+        let mut three: Vec<CoupledState> = (0..3).map(|_| other.model.ignite(&[], 0.0)).collect();
+        assert!(other.restore_from(&mut three, &mut r, &snap).is_err());
     }
 
     #[test]

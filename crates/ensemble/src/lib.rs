@@ -11,10 +11,12 @@
 //! * [`pool`] — crossbeam scoped worker threads standing in for the
 //!   processor subsets; members are partitioned across workers for the
 //!   forecast and observation phases;
-//! * [`store`] — the state exchange: a [`store::StateStore`] abstraction
-//!   with an in-memory backend and a disk backend writing one
-//!   [`wildfire_obs::statefile::StateFile`] per member (atomic renames),
-//!   byte-identical to what separate executables would exchange;
+//! * [`store`] — the state exchange: a [`store::SnapshotStore`] abstraction
+//!   with an in-memory backend and a disk backend writing one versioned
+//!   full-state [`wildfire_obs::Snapshot`] per member (atomic renames),
+//!   byte-identical to what separate executables would exchange; shards of
+//!   the ensemble can live in different worker processes that meet only at
+//!   the store;
 //! * [`parallel_enkf`] — the "parallel linear algebra" of the analysis
 //!   step: the state-update product is fanned out over output columns,
 //!   which keeps results bit-for-bit identical to the sequential filter;
@@ -31,10 +33,10 @@ pub mod store;
 
 pub use driver::{
     CycleReport, EnsembleDriver, EnsembleSetup, EnsembleWorkspace, FilterKind, ObsCycleReport,
-    ObsFilter, SourceCycleReport,
+    ObsFilter, SourceCycleReport, StoreWorker,
 };
 pub use parallel_enkf::ParallelEnkf;
-pub use store::{DiskStore, MemStore, StateStore};
+pub use store::{DiskStore, MemStore, SnapshotStore};
 
 /// Errors from the ensemble layer.
 #[derive(Debug)]

@@ -1,41 +1,57 @@
-//! State stores: the Fig. 2 state exchange.
+//! Snapshot stores: the Fig. 2 state exchange.
 //!
-//! Ensemble states flow between the forecast, observation, and analysis
-//! phases through a [`StateStore`]. The disk backend reproduces the paper's
-//! architecture literally ("the ensemble of model states is maintained in
-//! disk files"); the memory backend provides the same interface without the
-//! I/O for benchmarking the cost of the file-based exchange (experiment E2).
+//! Ensemble members flow between the forecast, observation, and analysis
+//! phases — and between *worker processes* holding different shards of the
+//! ensemble — through a [`SnapshotStore`] carrying versioned full-state
+//! [`Snapshot`]s (ψ, ignition times, atmosphere, warm-start potential,
+//! clocks). The disk backend reproduces the paper's architecture literally
+//! ("the ensemble of model states is maintained in disk files") with
+//! atomic temp-then-rename writes, so a reader never observes a torn
+//! member file; the memory backend provides the same interface without the
+//! I/O for benchmarking the cost of the file-based exchange (experiment
+//! E2). Both backends move exactly the same serialized bytes.
 
 use crate::{EnsembleError, Result};
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use wildfire_fire::FireState;
-use wildfire_obs::statefile::{StateCodec, StateFile};
+use wildfire_obs::Snapshot;
 
-/// Abstract member-state exchange.
-pub trait StateStore: Send + Sync {
-    /// Persists a member's fire state.
+/// Abstract member-snapshot exchange.
+///
+/// Implementations are shared across worker threads (`&self` methods,
+/// `Send + Sync`); the loading side is workspace-shaped
+/// ([`SnapshotStore::load_into`]) so steady-state exchange reuses the
+/// caller's record buffers.
+pub trait SnapshotStore: Send + Sync {
+    /// Persists a member's full-state snapshot.
     ///
     /// # Errors
     /// Backend failures.
-    fn save(&self, member: usize, state: &FireState) -> Result<()>;
+    fn save(&self, member: usize, snap: &Snapshot) -> Result<()>;
 
-    /// Retrieves a member's fire state.
+    /// Retrieves a member's snapshot into `snap`, reusing its buffers.
     ///
     /// # Errors
     /// Backend failures or missing member.
-    fn load(&self, member: usize) -> Result<FireState>;
+    fn load_into(&self, member: usize, snap: &mut Snapshot) -> Result<()>;
 
-    /// Members currently stored.
+    /// Members currently stored, sorted.
     fn members(&self) -> Vec<usize>;
 }
 
-/// In-memory store (lock-protected map of serialized states — serialization
-/// is kept so both backends move exactly the same bytes).
+thread_local! {
+    /// Per-thread byte scratch for the disk backend, so single-threaded
+    /// steady-state exchange performs no heap allocation once warm.
+    static IO_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// In-memory store (lock-protected map of serialized snapshots —
+/// serialization is kept so both backends move exactly the same bytes).
 #[derive(Default)]
 pub struct MemStore {
-    files: Mutex<HashMap<usize, StateFile>>,
+    files: Mutex<HashMap<usize, Vec<u8>>>,
 }
 
 impl MemStore {
@@ -45,20 +61,20 @@ impl MemStore {
     }
 }
 
-impl StateStore for MemStore {
-    fn save(&self, member: usize, state: &FireState) -> Result<()> {
-        let mut file = StateFile::new();
-        state.encode(&mut file);
-        self.files.lock().insert(member, file);
+impl SnapshotStore for MemStore {
+    fn save(&self, member: usize, snap: &Snapshot) -> Result<()> {
+        let mut files = self.files.lock();
+        // `serialize_into` clears and reuses an existing entry's buffer.
+        snap.serialize_into(files.entry(member).or_default());
         Ok(())
     }
 
-    fn load(&self, member: usize) -> Result<FireState> {
+    fn load_into(&self, member: usize, snap: &mut Snapshot) -> Result<()> {
         let files = self.files.lock();
-        let file = files
+        let bytes = files
             .get(&member)
             .ok_or(EnsembleError::Config("member not in store"))?;
-        Ok(FireState::decode(file)?)
+        Snapshot::from_bytes_into(bytes, snap).map_err(EnsembleError::Store)
     }
 
     fn members(&self) -> Vec<usize> {
@@ -68,8 +84,9 @@ impl StateStore for MemStore {
     }
 }
 
-/// Disk store: one `member_NNN.wfst` per member in a directory, written
-/// atomically (temp file + rename).
+/// Disk store: one `member_NNNN.wfst` per member in a directory, written
+/// atomically (temp file + fsync + rename) so concurrent shard workers and
+/// tailing readers never see a partial snapshot.
 pub struct DiskStore {
     dir: PathBuf,
 }
@@ -85,21 +102,29 @@ impl DiskStore {
         Ok(DiskStore { dir })
     }
 
+    /// The directory member files live in.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
     fn path(&self, member: usize) -> PathBuf {
         self.dir.join(format!("member_{member:04}.wfst"))
     }
 }
 
-impl StateStore for DiskStore {
-    fn save(&self, member: usize, state: &FireState) -> Result<()> {
-        let mut file = StateFile::new();
-        state.encode(&mut file);
-        file.write(&self.path(member)).map_err(EnsembleError::Store)
+impl SnapshotStore for DiskStore {
+    fn save(&self, member: usize, snap: &Snapshot) -> Result<()> {
+        IO_BUF.with(|buf| {
+            snap.write_buf(&self.path(member), &mut buf.borrow_mut())
+                .map_err(EnsembleError::Store)
+        })
     }
 
-    fn load(&self, member: usize) -> Result<FireState> {
-        let file = StateFile::read(&self.path(member)).map_err(EnsembleError::Store)?;
-        Ok(FireState::decode(&file)?)
+    fn load_into(&self, member: usize, snap: &mut Snapshot) -> Result<()> {
+        IO_BUF.with(|buf| {
+            Snapshot::read_into(&self.path(member), snap, &mut buf.borrow_mut())
+                .map_err(EnsembleError::Store)
+        })
     }
 
     fn members(&self) -> Vec<usize> {
@@ -126,36 +151,36 @@ impl StateStore for DiskStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wildfire_fire::ignition::IgnitionShape;
-    use wildfire_grid::Grid2;
 
-    fn sample_state(seed: f64) -> FireState {
-        let g = Grid2::new(15, 15, 2.0, 2.0).unwrap();
-        FireState::ignite(
-            g,
-            &[IgnitionShape::Circle {
-                center: (14.0 + seed, 14.0),
-                radius: 6.0,
-            }],
-            seed,
-        )
+    fn sample_snapshot(seed: f64) -> Snapshot {
+        let mut snap = Snapshot::new();
+        snap.put_slice(
+            "fire/psi",
+            &(0..64).map(|i| seed + i as f64 * 0.5).collect::<Vec<_>>(),
+        );
+        snap.put_slice("fire/tig", &[f64::MAX, seed, f64::MAX, 2.0 * seed]);
+        snap.put_scalar("fire/time", seed);
+        snap.put_u64("ens/rng", 0xBAD0_CAFE_0000_0001 + seed.to_bits());
+        snap
     }
 
-    fn exercise(store: &dyn StateStore) {
+    fn exercise(store: &dyn SnapshotStore) {
         assert!(store.members().is_empty());
-        let s0 = sample_state(0.0);
-        let s1 = sample_state(2.0);
+        let s0 = sample_snapshot(0.0);
+        let s1 = sample_snapshot(2.0);
         store.save(0, &s0).unwrap();
         store.save(7, &s1).unwrap();
         assert_eq!(store.members(), vec![0, 7]);
-        let r0 = store.load(0).unwrap();
-        let r1 = store.load(7).unwrap();
-        assert_eq!(r0.psi, s0.psi);
-        assert_eq!(r1.tig, s1.tig);
-        assert!(store.load(3).is_err());
-        // Overwrite.
+        let mut r = Snapshot::new();
+        store.load_into(0, &mut r).unwrap();
+        assert_eq!(r, s0);
+        store.load_into(7, &mut r).unwrap();
+        assert_eq!(r, s1);
+        assert!(store.load_into(3, &mut r).is_err());
+        // Overwrite; the reused target must drop the stale contents.
         store.save(0, &s1).unwrap();
-        assert_eq!(store.load(0).unwrap().time, s1.time);
+        store.load_into(0, &mut r).unwrap();
+        assert_eq!(r, s1);
     }
 
     #[test]
@@ -168,6 +193,11 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("wf_store_test_{}", std::process::id()));
         let store = DiskStore::new(&dir).unwrap();
         exercise(&store);
+        // Atomic protocol: no temp droppings left behind.
+        assert!(std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .all(|e| e.file_name().to_string_lossy().ends_with(".wfst")));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -176,13 +206,19 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("wf_store_bits_{}", std::process::id()));
         let disk = DiskStore::new(&dir).unwrap();
         let mem = MemStore::new();
-        let s = sample_state(1.0);
+        let s = sample_snapshot(1.0);
         disk.save(0, &s).unwrap();
         mem.save(0, &s).unwrap();
-        let a = disk.load(0).unwrap();
-        let b = mem.load(0).unwrap();
-        assert_eq!(a.psi.as_slice(), b.psi.as_slice());
-        assert_eq!(a.tig.as_slice(), b.tig.as_slice());
+        // Same interface, same bytes: the disk file and the memory entry
+        // must be identical, and both must parse back to the original.
+        let on_disk = std::fs::read(disk.path(0)).unwrap();
+        assert_eq!(&on_disk, mem.files.lock().get(&0).unwrap());
+        let mut a = Snapshot::new();
+        let mut b = Snapshot::new();
+        disk.load_into(0, &mut a).unwrap();
+        mem.load_into(0, &mut b).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, s);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

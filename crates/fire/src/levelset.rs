@@ -130,16 +130,15 @@ impl<'a> GroupSlot<'a> {
 ///
 /// Construction flattens the mesh's static inputs (fuel coefficients,
 /// terrain gradient) into the planes the fused RHS kernel streams. The
-/// `mesh` field stays public for inspection and for the integrator/CFL
-/// knobs' sake, but **mutating the fuel map or terrain of an existing
-/// solver requires a [`LevelSetSolver::refresh_kernel_planes`] call**
-/// afterwards — otherwise the fused kernel keeps evaluating the old
-/// landscape (a debug assertion trips on stale fuel indices or terrain).
+/// mesh is private so a mutation can never get out of sync with those
+/// planes: read it through [`LevelSetSolver::mesh`], mutate it through
+/// [`LevelSetSolver::mesh_mut_with_refresh`] (which re-flattens the planes
+/// on the way out).
 #[derive(Debug, Clone)]
 pub struct LevelSetSolver {
-    /// Static domain description (grid, fuels, terrain). See the struct
-    /// docs before mutating fuels or terrain in place.
-    pub mesh: FireMesh,
+    /// Static domain description (grid, fuels, terrain). Kept private —
+    /// the fused kernel's planes must be rebuilt whenever this changes.
+    mesh: FireMesh,
     /// Time integration scheme.
     pub integrator: Integrator,
     /// CFL safety factor in `(0, 1]` applied by [`LevelSetSolver::max_stable_dt`].
@@ -170,10 +169,24 @@ impl LevelSetSolver {
         }
     }
 
-    /// Re-flattens the mesh into the fused kernel's static planes. Call
-    /// after mutating `self.mesh` (repainting fuels, editing terrain, or
-    /// swapping the mesh wholesale); stepping keeps using the planes from
-    /// construction until then.
+    /// Read access to the static domain description (grid, fuels, terrain).
+    pub fn mesh(&self) -> &FireMesh {
+        &self.mesh
+    }
+
+    /// Mutates the mesh in place and re-flattens the fused kernel's static
+    /// planes on the way out — the only mutable mesh access, so repainting
+    /// fuels or editing terrain can never leave the kernel streaming a
+    /// stale landscape. Returns whatever the closure returns.
+    pub fn mesh_mut_with_refresh<R>(&mut self, f: impl FnOnce(&mut FireMesh) -> R) -> R {
+        let out = f(&mut self.mesh);
+        self.refresh_kernel_planes();
+        out
+    }
+
+    /// Re-flattens the mesh into the fused kernel's static planes. Called
+    /// by [`LevelSetSolver::mesh_mut_with_refresh`] after every mesh
+    /// mutation; public for callers that assemble a solver from parts.
     pub fn refresh_kernel_planes(&mut self) {
         self.planes = KernelPlanes::build(&self.mesh);
     }
@@ -952,17 +965,14 @@ mod tests {
         let mut solver = grass_solver(21, 2.0);
         let state = circle_state(&solver, 6.0);
         let wind = VectorField2::from_fn(solver.mesh.grid, |_, _| (4.0, 0.0));
-        // Repaint half the domain with a slower fuel and re-flatten.
-        let heavy = solver
-            .mesh
-            .fuel
-            .add_fuel(FuelModel::for_category(FuelCategory::HeavySlash));
-        solver
-            .mesh
-            .fuel
-            .paint_rect(0.0, 0.0, 40.0, 18.0, heavy)
-            .unwrap();
-        solver.refresh_kernel_planes();
+        // Repaint half the domain with a slower fuel through the guarded
+        // accessor — the planes re-flatten automatically on the way out.
+        solver.mesh_mut_with_refresh(|mesh| {
+            let heavy = mesh
+                .fuel
+                .add_fuel(FuelModel::for_category(FuelCategory::HeavySlash));
+            mesh.fuel.paint_rect(0.0, 0.0, 40.0, 18.0, heavy).unwrap();
+        });
         let mut fused = Field2::default();
         let mut reference = Field2::default();
         let s_fused = solver.rhs_into(&state.psi, &wind, &mut fused);

@@ -91,6 +91,14 @@ pub struct Field3 {
     data: Vec<f64>,
 }
 
+/// A 1×1×1 zero field — a placeholder for workspace buffers that are
+/// re-targeted with [`Field3::resize_zeroed`] before first use.
+impl Default for Field3 {
+    fn default() -> Self {
+        Field3::zeros(Grid3::new(1, 1, 1, 1.0, 1.0, 1.0).expect("1x1x1 grid is valid"))
+    }
+}
+
 impl Field3 {
     /// Zero field on `grid`.
     pub fn zeros(grid: Grid3) -> Self {
@@ -125,6 +133,16 @@ impl Field3 {
     #[inline]
     pub fn grid(&self) -> Grid3 {
         self.grid
+    }
+
+    /// Re-targets the field to `grid` and zeroes it, reusing the existing
+    /// storage when the capacity suffices — the 3-D analogue of
+    /// [`crate::Field2::resize_zeroed`]: after the first call with a given
+    /// shape, subsequent calls perform no heap allocation.
+    pub fn resize_zeroed(&mut self, grid: Grid3) {
+        self.grid = grid;
+        self.data.clear();
+        self.data.resize(grid.len(), 0.0);
     }
 
     /// Value at node `(ix, iy, iz)`.

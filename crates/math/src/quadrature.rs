@@ -51,7 +51,9 @@ pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
 
 /// Integrates `f` over `[a, b]` with an `n`-point Gauss–Legendre rule.
 ///
-/// Exact for polynomials of degree `≤ 2n − 1`.
+/// Exact for polynomials of degree `≤ 2n − 1`. Builds the rule per call;
+/// hot paths integrating many functions over one fixed interval should
+/// hoist a [`FixedRule`] instead.
 pub fn integrate(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
     let (nodes, weights) = gauss_legendre(n);
     let half = 0.5 * (b - a);
@@ -61,6 +63,56 @@ pub fn integrate(f: impl Fn(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
         s += w * f(mid + half * x);
     }
     s * half
+}
+
+/// An `n`-point Gauss–Legendre rule pre-mapped onto a fixed interval
+/// `[a, b]`: the nodes are stored already transformed and the weighted sum
+/// applies the identical operations in the identical order as
+/// [`integrate`], so `FixedRule::new(a, b, n).integrate(f)` is bitwise
+/// equal to `integrate(f, a, b, n)` — but the Newton solve for the nodes
+/// and their two heap buffers are paid once instead of per call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedRule {
+    /// Nodes mapped into the interval (`mid + half·xᵢ`).
+    nodes: Vec<f64>,
+    /// Raw rule weights on `[-1, 1]` (the interval scaling is applied to
+    /// the final sum, exactly as [`integrate`] does).
+    weights: Vec<f64>,
+    /// Half-width `(b − a) / 2` of the interval.
+    half: f64,
+}
+
+impl FixedRule {
+    /// Builds the rule for `[a, b]`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` (as [`gauss_legendre`]).
+    pub fn new(a: f64, b: f64, n: usize) -> Self {
+        let (x, weights) = gauss_legendre(n);
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        let nodes = x.iter().map(|&x| mid + half * x).collect();
+        FixedRule {
+            nodes,
+            weights,
+            half,
+        }
+    }
+
+    /// Integrates `f` over the rule's interval (no heap traffic).
+    pub fn integrate(&self, f: impl Fn(f64) -> f64) -> f64 {
+        let mut s = 0.0;
+        for (&x, &w) in self.nodes.iter().zip(self.weights.iter()) {
+            s += w * f(x);
+        }
+        s * self.half
+    }
+
+    /// The half-width `(b − a) / 2` of the mapped interval (non-positive
+    /// for a degenerate or reversed interval).
+    pub fn half_width(&self) -> f64 {
+        self.half
+    }
 }
 
 /// Adaptive Simpson integration with absolute tolerance `tol`.

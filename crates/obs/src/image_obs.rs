@@ -9,9 +9,33 @@
 
 use crate::Result;
 use wildfire_core::{CoupledModel, CoupledState};
+use wildfire_grid::VectorField2;
 use wildfire_math::GaussianSampler;
 use wildfire_scene::render::SceneConfig;
-use wildfire_scene::{render_scene, Camera, SceneImage};
+use wildfire_scene::{render_scene_into, Camera, RenderScratch, SceneImage};
+
+/// Reusable buffers for rendering member states: the wind-transfer scratch,
+/// the scene renderer's intermediates, and the rendered image itself. One
+/// per rendering worker; after the first render every buffer is re-targeted
+/// in place, so steady-state synthetic imaging is allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct ImageObsScratch {
+    /// Coarse-grid surface wind (wind-transfer scratch).
+    pub surface_wind: VectorField2,
+    /// Fire-mesh wind the renderer tilts flames with.
+    pub wind: VectorField2,
+    /// Scene-renderer intermediates.
+    pub render: RenderScratch,
+    /// The rendered synthetic image (the output buffer).
+    pub rendered: SceneImage,
+}
+
+impl ImageObsScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// The image observation operator bound to a camera and scene settings.
 #[derive(Debug, Clone)]
@@ -37,6 +61,10 @@ impl ImageObservation {
     /// Renders the synthetic image for one member state (the observation
     /// function `h` of the assimilation loop).
     ///
+    /// Allocating convenience over
+    /// [`ImageObservation::synthetic_image_into`]; per-member loops should
+    /// hold an [`ImageObsScratch`] and use the `_into` form.
+    ///
     /// # Errors
     /// Rendering failures.
     pub fn synthetic_image(
@@ -44,17 +72,38 @@ impl ImageObservation {
         model: &CoupledModel,
         state: &CoupledState,
     ) -> Result<SceneImage> {
-        let wind = model
-            .fire_wind(state)
+        let mut scratch = ImageObsScratch::new();
+        self.synthetic_image_into(model, state, &mut scratch)?;
+        Ok(scratch.rendered)
+    }
+
+    /// Allocation-free [`ImageObservation::synthetic_image`]: renders into
+    /// `scratch.rendered`, drawing the wind transfer and every scene
+    /// intermediate from `scratch`. Bitwise identical to the allocating
+    /// form; no heap traffic once every shape has been seen.
+    ///
+    /// # Errors
+    /// Rendering failures.
+    pub fn synthetic_image_into(
+        &self,
+        model: &CoupledModel,
+        state: &CoupledState,
+        scratch: &mut ImageObsScratch,
+    ) -> Result<()> {
+        model
+            .fire_wind_into(state, &mut scratch.surface_wind, &mut scratch.wind)
             .map_err(|_| crate::ObsError::BadStateFile("wind transfer failed".into()))?;
-        Ok(render_scene(
-            &model.fire.mesh,
+        render_scene_into(
+            model.fire.mesh(),
             &state.fire,
-            &wind,
+            &scratch.wind,
             state.time(),
             &self.camera,
             &self.scene,
-        )?)
+            &mut scratch.rendered,
+            &mut scratch.render,
+        )?;
+        Ok(())
     }
 
     /// Synthesizes a noisy "real" image from a truth state (identical-twin

@@ -40,16 +40,19 @@
 pub mod image_obs;
 pub mod obs_set;
 pub mod operator;
+pub mod snapshot;
 pub mod source;
 pub mod statefile;
 pub mod station;
 pub mod timeline;
 
+pub use image_obs::{ImageObsScratch, ImageObservation};
 pub use obs_set::{ObsEntry, ObsSet, ObsWorkspace};
 pub use operator::{
     synthesize_measurements, ImagePixels, ObsScratch, ObservationOperator, StationTemperatures,
     StridedPsi,
 };
+pub use snapshot::{CoupledSnapshot, Snapshot, SNAPSHOT_VERSION};
 pub use source::{
     ChannelSource, ObsInbox, ObsLogWriter, ObsReport, ObsSource, StateFileTail, TimelineSource,
 };

@@ -20,7 +20,7 @@
 //! * [`ImagePixels`] — radiance at every pixel of a synthetic infrared
 //!   image rendered from the member state (§3.2).
 
-use crate::image_obs::ImageObservation;
+use crate::image_obs::{ImageObsScratch, ImageObservation};
 use crate::station::{SurfaceFields, WeatherStation};
 use crate::{ObsError, Result};
 use wildfire_core::{CoupledModel, CoupledState};
@@ -29,13 +29,15 @@ use wildfire_grid::{Field2, Grid2};
 
 /// Shared scratch for operator evaluation. One scratch serves any mix of
 /// operators (each uses only the parts it needs); hold one per worker and
-/// reuse it across states so steady-state evaluation is allocation-free for
-/// the grid- and station-based operators. (Image rendering still allocates
-/// its scene buffers — see [`ImagePixels`].)
+/// reuse it across states so steady-state evaluation is allocation-free —
+/// including the synthetic-image renderer, whose scene buffers live in the
+/// [`ImageObsScratch`] half.
 #[derive(Debug, Clone, Default)]
 pub struct ObsScratch {
     /// Near-surface fields for station networks, evaluated once per state.
     pub surface: SurfaceFields,
+    /// Rendering buffers for image operators, reused across members.
+    pub image: ImageObsScratch,
 }
 
 impl ObsScratch {
@@ -319,9 +321,9 @@ impl ObservationOperator for StationTemperatures {
 
 /// Radiance at every pixel of the synthetic infrared image rendered from
 /// the member state (§3.2) — [`ImageObservation`] wrapped as an operator.
-/// Rendering goes through the scene generator and allocates its image
-/// buffers per call; use the grid/station operators where the zero-alloc
-/// packing guarantee matters.
+/// Rendering draws every buffer (wind transfer, scene intermediates, the
+/// image itself) from the [`ObsScratch`], so packing an imagery stream is
+/// as steady-state allocation-free as the grid/station operators.
 #[derive(Debug, Clone)]
 pub struct ImagePixels {
     model: CoupledModel,
@@ -390,11 +392,12 @@ impl ObservationOperator for ImagePixels {
         &self,
         state: &CoupledState,
         out: &mut [f64],
-        _scratch: &mut ObsScratch,
+        scratch: &mut ObsScratch,
     ) -> Result<()> {
         debug_assert_eq!(out.len(), self.dim());
-        let img = self.image.synthetic_image(&self.model, state)?;
-        out.copy_from_slice(&img.data);
+        self.image
+            .synthetic_image_into(&self.model, state, &mut scratch.image)?;
+        out.copy_from_slice(&scratch.image.rendered.data);
         Ok(())
     }
 

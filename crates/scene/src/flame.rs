@@ -10,7 +10,7 @@
 //! standard "experimental estimate" for surface fires; the tilt angle comes
 //! from the wind-speed/buoyancy ratio.
 
-use wildfire_fire::heat::heat_fluxes_at;
+use wildfire_fire::heat::{heat_fluxes_into, HeatFluxFields};
 use wildfire_fire::{FireMesh, FireState};
 use wildfire_fuel::PowPlan;
 use wildfire_grid::{Field3, Grid3, VectorField2};
@@ -92,7 +92,7 @@ impl FlameModel {
 
 /// The voxelized flame: emission density (W·m⁻³ proxy) on a 3-D grid over
 /// the fire domain.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct FlameVolume {
     /// Emission-weighted voxel field; value is the local volumetric heat
     /// release density (W/m³) assigned to flame gas.
@@ -116,12 +116,36 @@ impl FlameVolume {
         t: f64,
         model: FlameModel,
     ) -> FlameVolume {
+        let mut out = FlameVolume {
+            emission: Field3::default(),
+            model,
+        };
+        let mut fluxes = HeatFluxFields::default();
+        out.rebuild(mesh, state, wind, t, model, &mut fluxes);
+        out
+    }
+
+    /// Allocation-free [`FlameVolume::build`]: re-targets the emission
+    /// voxel grid and overwrites it in place, drawing the heat-flux
+    /// evaluation through the caller's `fluxes` scratch (no heap traffic
+    /// once every shape has been seen).
+    pub fn rebuild(
+        &mut self,
+        mesh: &FireMesh,
+        state: &FireState,
+        wind: &VectorField2,
+        t: f64,
+        model: FlameModel,
+        fluxes: &mut HeatFluxFields,
+    ) {
+        self.model = model;
         let g2 = mesh.grid;
         let nz = ((model.max_height / model.dz).ceil() as usize).max(1);
         let g3 = Grid3::new(g2.nx, g2.ny, nz, g2.dx, g2.dy, model.dz)
             .expect("fire grid dims are positive");
-        let mut emission = Field3::zeros(g3);
-        let fluxes = heat_fluxes_at(mesh, state, t);
+        self.emission.resize_zeroed(g3);
+        let emission = &mut self.emission;
+        heat_fluxes_into(mesh, state, t, fluxes);
         // One plan for the whole volume: the Byram exponent is a model
         // constant, so the pow kernel's range checks hoist out of the loop.
         let byram = model.byram_plan();
@@ -161,7 +185,6 @@ impl FlameVolume {
                 }
             }
         }
-        FlameVolume { emission, model }
     }
 
     /// Total emitted power represented by the volume (W).

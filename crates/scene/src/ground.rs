@@ -51,15 +51,31 @@ impl GroundThermalModel {
     /// Ground-temperature field (K) for a fire state at time `t`, using the
     /// ignition-time field as the front arrival time.
     pub fn temperature_field(&self, mesh: &FireMesh, state: &FireState, t: f64) -> Field2 {
+        let mut out = Field2::default();
+        self.temperature_field_into(mesh, state, t, &mut out);
+        out
+    }
+
+    /// Allocation-free [`GroundThermalModel::temperature_field`]: re-targets
+    /// `out` to the fire grid and overwrites every node (no heap traffic
+    /// once the shape has been seen).
+    pub fn temperature_field_into(
+        &self,
+        mesh: &FireMesh,
+        state: &FireState,
+        t: f64,
+        out: &mut Field2,
+    ) {
         let g = mesh.grid;
-        Field2::from_fn(g, |ix, iy| {
-            let tig = state.tig.get(ix, iy);
-            if tig == UNBURNED {
+        out.resize_no_zero(g);
+        let tig = state.tig.as_slice();
+        for (o, &ti) in out.as_mut_slice().iter_mut().zip(tig) {
+            *o = if ti == UNBURNED {
                 self.ambient
             } else {
-                self.temperature(t - tig)
-            }
-        })
+                self.temperature(t - ti)
+            };
+        }
     }
 }
 

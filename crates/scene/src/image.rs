@@ -18,6 +18,20 @@ pub struct SceneImage {
     pub band: (f64, f64),
 }
 
+/// An empty 0×0 image — a placeholder for workspace buffers that are
+/// re-targeted with [`SceneImage::resize`] before first use (allocates
+/// nothing until then).
+impl Default for SceneImage {
+    fn default() -> Self {
+        SceneImage {
+            width: 0,
+            height: 0,
+            data: Vec::new(),
+            band: (0.0, 0.0),
+        }
+    }
+}
+
 impl SceneImage {
     /// Blank image.
     ///
@@ -33,6 +47,25 @@ impl SceneImage {
             data: vec![0.0; width * height],
             band,
         })
+    }
+
+    /// Re-targets the image to `width × height` in `band` and zeroes every
+    /// pixel, reusing the existing storage when the capacity suffices — the
+    /// image analogue of `Field2::resize_zeroed`, for renderers that reuse
+    /// one output buffer across frames.
+    ///
+    /// # Errors
+    /// [`SceneError::EmptyImage`] for zero dimensions.
+    pub fn resize(&mut self, width: usize, height: usize, band: (f64, f64)) -> Result<()> {
+        if width == 0 || height == 0 {
+            return Err(SceneError::EmptyImage);
+        }
+        self.width = width;
+        self.height = height;
+        self.band = band;
+        self.data.clear();
+        self.data.resize(width * height, 0.0);
+        Ok(())
     }
 
     /// Pixel accessor.

@@ -6,7 +6,7 @@
 //! of nodes, and a bisection inverse recovers brightness temperature from a
 //! measured band radiance.
 
-use wildfire_math::quadrature::integrate;
+use wildfire_math::quadrature::{integrate, FixedRule};
 
 /// First radiation constant `2hc²` (W·m²).
 pub const C1: f64 = 1.191042972e-16;
@@ -30,15 +30,37 @@ pub fn planck(lambda: f64, t: f64) -> f64 {
     C1 / (lambda.powi(5) * (x.exp() - 1.0))
 }
 
+/// Quadrature order of [`band_radiance`] (and of the rules accepted by
+/// [`band_radiance_rule`]).
+pub const BAND_QUADRATURE_ORDER: usize = 24;
+
 /// Band radiance `∫ B(λ, T) dλ` over `[lo, hi]` (W·m⁻²·sr⁻¹).
 ///
 /// A 24-node Gauss–Legendre rule resolves the smooth Planck curve over the
-/// mid-wave band to ~machine precision.
+/// mid-wave band to ~machine precision. Builds the rule (two heap buffers +
+/// a Newton solve) per call; per-pixel loops should hoist a [`band_rule`]
+/// and use [`band_radiance_rule`], which is bitwise identical.
 pub fn band_radiance(lo: f64, hi: f64, t: f64) -> f64 {
     if t <= 0.0 || hi <= lo {
         return 0.0;
     }
-    integrate(|lam| planck(lam, t), lo, hi, 24)
+    integrate(|lam| planck(lam, t), lo, hi, BAND_QUADRATURE_ORDER)
+}
+
+/// The hoisted quadrature rule for band `[lo, hi]`, for
+/// [`band_radiance_rule`].
+pub fn band_rule(lo: f64, hi: f64) -> FixedRule {
+    FixedRule::new(lo, hi, BAND_QUADRATURE_ORDER)
+}
+
+/// [`band_radiance`] with the quadrature rule hoisted out: bitwise equal to
+/// `band_radiance(lo, hi, t)` when `rule = band_rule(lo, hi)`, with no heap
+/// traffic per evaluation.
+pub fn band_radiance_rule(rule: &FixedRule, t: f64) -> f64 {
+    if t <= 0.0 || rule.half_width() <= 0.0 {
+        return 0.0;
+    }
+    rule.integrate(|lam| planck(lam, t))
 }
 
 /// Inverse of [`band_radiance`] in temperature: the brightness temperature

@@ -5,11 +5,12 @@ use crate::camera::Camera;
 use crate::flame::{FlameModel, FlameVolume};
 use crate::ground::GroundThermalModel;
 use crate::image::SceneImage;
-use crate::radiance::{band_radiance, total_emissive_power};
+use crate::radiance::{band_radiance_rule, band_rule, total_emissive_power};
 use crate::Result;
-use wildfire_fire::heat::heat_fluxes_at;
+use wildfire_fire::heat::{heat_fluxes_at, HeatFluxFields};
 use wildfire_fire::{FireMesh, FireState};
-use wildfire_grid::VectorField2;
+use wildfire_grid::{Field2, VectorField2};
+use wildfire_math::quadrature::FixedRule;
 
 /// Scene generation parameters.
 #[derive(Debug, Clone)]
@@ -50,8 +51,40 @@ impl Default for SceneConfig {
     }
 }
 
+/// Reusable intermediates of [`render_scene_into`]: the ground-temperature
+/// field, the voxelized flame (with its heat-flux scratch), and the
+/// reflection source list. One scratch per rendering worker; every buffer
+/// is re-targeted in place, so steady-state rendering is allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct RenderScratch {
+    /// Ground temperature (K) on the fire grid.
+    pub ground_temp: Field2,
+    /// Voxelized flame emission.
+    pub flames: FlameVolume,
+    /// Heat-flux evaluation scratch for the flame rebuild.
+    pub fluxes: HeatFluxFields,
+    /// Flame-voxel point sources `(x, y, z, band power)` for the
+    /// reflected-radiance term.
+    pub sources: Vec<(f64, f64, f64, f64)>,
+    /// Cached band-quadrature rule, keyed by the sensor band it was built
+    /// for; rebuilt only when the band changes (the per-pixel Planck
+    /// integrals all share it).
+    band_rule: Option<((f64, f64), FixedRule)>,
+}
+
+impl RenderScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Renders the synthetic mid-wave image of the fire state at time `t` as
 /// seen by `camera` — the synthetic-data half of the assimilation loop.
+///
+/// Allocating convenience over [`render_scene_into`]; per-member loops
+/// (ensemble observation operators) should hold a [`RenderScratch`] and an
+/// output image and use the `_into` form.
 ///
 /// # Errors
 /// Propagates image-construction failures.
@@ -63,21 +96,59 @@ pub fn render_scene(
     camera: &Camera,
     config: &SceneConfig,
 ) -> Result<SceneImage> {
+    let mut img = SceneImage::default();
+    let mut scratch = RenderScratch::new();
+    render_scene_into(mesh, state, wind, t, camera, config, &mut img, &mut scratch)?;
+    Ok(img)
+}
+
+/// Allocation-free [`render_scene`]: renders into `img` (re-targeted to the
+/// camera resolution) drawing every intermediate from `scratch`. Bitwise
+/// identical to the allocating form; no heap traffic once every shape has
+/// been seen.
+///
+/// # Errors
+/// Propagates image-construction failures.
+#[allow(clippy::too_many_arguments)]
+pub fn render_scene_into(
+    mesh: &FireMesh,
+    state: &FireState,
+    wind: &VectorField2,
+    t: f64,
+    camera: &Camera,
+    config: &SceneConfig,
+    img: &mut SceneImage,
+    scratch: &mut RenderScratch,
+) -> Result<()> {
     let (w, h) = camera.pixels;
-    let mut img = SceneImage::new(w, h, config.band)?;
+    img.resize(w, h, config.band)?;
 
     // Component inputs.
-    let ground_temp = config.ground.temperature_field(mesh, state, t);
-    let flames = FlameVolume::build(mesh, state, wind, t, config.flame);
+    config
+        .ground
+        .temperature_field_into(mesh, state, t, &mut scratch.ground_temp);
+    if scratch
+        .band_rule
+        .as_ref()
+        .is_none_or(|(band, _)| *band != config.band)
+    {
+        scratch.band_rule = Some((config.band, band_rule(config.band.0, config.band.1)));
+    }
+    let ground_temp = &scratch.ground_temp;
+    scratch
+        .flames
+        .rebuild(mesh, state, wind, t, config.flame, &mut scratch.fluxes);
+    let flames = &scratch.flames;
     let fg3 = flames.emission.grid();
-    let flame_band_radiance =
-        band_radiance(config.band.0, config.band.1, config.flame.flame_temperature);
-    let ambient_radiance = band_radiance(config.band.0, config.band.1, config.ground.ambient);
+    let rule = &scratch.band_rule.as_ref().expect("band rule built above").1;
+    let flame_band_radiance = band_radiance_rule(rule, config.flame.flame_temperature);
+    let ambient_radiance = band_radiance_rule(rule, config.ground.ambient);
 
     // Precompute, per flame voxel, its band power for the reflection term:
     // P = ε_vox · B_band(T_f) · π · A_cross (W/sr integrated over the
     // hemisphere ≈ isotropic point source of band power 4π·I).
-    let mut sources: Vec<(f64, f64, f64, f64)> = Vec::new(); // (x, y, z, band power)
+    let sources = &mut scratch.sources; // (x, y, z, band power)
+    sources.clear();
     for k in 0..fg3.nz {
         for j in 0..fg3.ny {
             for i in 0..fg3.nx {
@@ -106,19 +177,20 @@ pub fn render_scene(
     let g2 = mesh.grid;
     let (ox, oy) = g2.origin;
     let refl_r2 = config.reflection_radius * config.reflection_radius;
+    // Hoisted out of the pixel loop: the flame-top scan is O(voxels).
+    let flame_top = flames.flame_top();
     for py in 0..h {
         for px in 0..w {
             let (gx, gy) = camera.pixel_ground_point(px, py);
 
             // (1) Hot-ground emission.
             let tg = ground_temp.sample_bilinear(gx, gy);
-            let l_ground = config.ground_emissivity
-                * band_radiance(config.band.0, config.band.1, tg)
+            let l_ground = config.ground_emissivity * band_radiance_rule(rule, tg)
                 + (1.0 - config.ground_emissivity) * ambient_radiance;
 
             // (3) Flame radiance reflected from the ground (Lambertian).
             let mut irradiance = 0.0;
-            for &(sx, sy, sz, p) in &sources {
+            for &(sx, sy, sz, p) in sources.iter() {
                 let dx = sx - gx;
                 let dy = sy - gy;
                 let d2h = dx * dx + dy * dy;
@@ -143,7 +215,7 @@ pub fn render_scene(
             let mut l_flame = 0.0;
             let mut trans = 1.0;
             if !sources.is_empty() && uz > 1e-6 {
-                let max_s = flames.flame_top() / uz;
+                let max_s = flame_top / uz;
                 let mut s = 0.5 * config.march_step;
                 while s <= max_s {
                     let x = gx + s * ux;
@@ -183,7 +255,7 @@ pub fn render_scene(
             );
         }
     }
-    Ok(img)
+    Ok(())
 }
 
 /// Fire radiative power (W, full spectrum): hot-ground excess emission plus
@@ -341,6 +413,66 @@ mod tests {
             (0.02..0.40).contains(&frac),
             "radiative fraction {frac} outside plausible range"
         );
+    }
+
+    /// The workspace path is the same renderer: `render_scene_into` with a
+    /// warm (and even a cross-contaminated) scratch must reproduce the
+    /// allocating `render_scene` bit for bit, frame after frame.
+    #[test]
+    fn render_into_matches_allocating_render_bitwise() {
+        let (mesh, state, wind, camera) = setup();
+        let cfg = SceneConfig::default();
+        let mut img = SceneImage::default();
+        let mut scratch = RenderScratch::new();
+        for t in [5.0, 20.0, 60.0] {
+            let reference = render_scene(&mesh, &state, &wind, t, &camera, &cfg).unwrap();
+            render_scene_into(
+                &mesh,
+                &state,
+                &wind,
+                t,
+                &camera,
+                &cfg,
+                &mut img,
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(img, reference, "t = {t}");
+        }
+        // A smaller camera re-targets the warm buffers without residue.
+        let small = Camera::over_footprint(3000.0, (0.0, 0.0), (160.0, 160.0), (16, 16));
+        let reference = render_scene(&mesh, &state, &wind, 20.0, &small, &cfg).unwrap();
+        render_scene_into(
+            &mesh,
+            &state,
+            &wind,
+            20.0,
+            &small,
+            &cfg,
+            &mut img,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(img, reference);
+    }
+
+    #[test]
+    fn render_into_rejects_zero_resolution() {
+        let (mesh, state, wind, _) = setup();
+        let camera = Camera::over_footprint(3000.0, (0.0, 0.0), (160.0, 160.0), (0, 16));
+        let mut img = SceneImage::default();
+        let mut scratch = RenderScratch::new();
+        assert!(render_scene_into(
+            &mesh,
+            &state,
+            &wind,
+            20.0,
+            &camera,
+            &SceneConfig::default(),
+            &mut img,
+            &mut scratch
+        )
+        .is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use wildfire_atmos::AtmosParams;
 use wildfire_core::{CoupledModel, CoupledState, CoupledWorkspace, StepDiagnostics};
 use wildfire_fire::{FireMesh, FuelMap, IgnitionShape};
 use wildfire_fuel::{FuelCategory, FuelModel};
+use wildfire_obs::{CoupledSnapshot, Snapshot};
 
 /// Fluent builder over a [`Scenario`]. Starts from a neutral default
 /// (paper domain, uniform short grass, light westerly, one center circle)
@@ -329,6 +330,61 @@ impl Simulation {
         }
         Ok(())
     }
+
+    /// Captures the full simulation into `snap`: the coupled state, the
+    /// warm-start pressure carry-over, the reference dt, the wind-shift
+    /// cursor and the (possibly shifted) current ambient wind, plus the
+    /// [`Scenario::fingerprint`] so the checkpoint refuses to restore into
+    /// a simulation built from a different scenario. Allocation-free once
+    /// `snap` is warm.
+    pub fn snapshot_into(&self, snap: &mut Snapshot) {
+        self.model
+            .snapshot_into(&self.state, Some(&self.workspace), snap);
+        snap.put_scalar("sim/dt", self.dt);
+        snap.put_scalar("sim/next_shift", self.next_shift as f64);
+        let (u, v) = self.model.atmos.params.ambient_wind;
+        snap.put_slice("sim/ambient_wind", &[u, v]);
+        snap.put_u64("sim/scenario_fp", self.scenario.fingerprint());
+    }
+
+    /// Restores this simulation from a checkpoint taken by
+    /// [`Simulation::snapshot_into`]. After a successful restore,
+    /// continuing the run reproduces the uninterrupted original bit for
+    /// bit — including pending wind shifts and (when enabled) the
+    /// warm-started pressure projection.
+    ///
+    /// # Errors
+    /// [`SimError::Snapshot`] when records are missing or malformed, or
+    /// when the checkpoint's scenario fingerprint differs from this
+    /// simulation's.
+    pub fn restore_from(&mut self, snap: &Snapshot) -> Result<()> {
+        let snap_err = |e: wildfire_obs::ObsError| SimError::Snapshot(e.to_string());
+        let fp = snap.get_u64("sim/scenario_fp").map_err(snap_err)?;
+        if fp != self.scenario.fingerprint() {
+            return Err(SimError::Snapshot(
+                "checkpoint was taken from a different scenario".to_string(),
+            ));
+        }
+        let next_shift = snap.get_scalar("sim/next_shift").map_err(snap_err)? as usize;
+        if next_shift > self.shifts.len() {
+            return Err(SimError::Snapshot(
+                "wind-shift cursor out of range".to_string(),
+            ));
+        }
+        let wind = snap.get("sim/ambient_wind").map_err(snap_err)?;
+        if wind.len() != 2 {
+            return Err(SimError::Snapshot(
+                "sim/ambient_wind must hold two values".to_string(),
+            ));
+        }
+        self.model
+            .restore_from(&mut self.state, Some(&mut self.workspace), snap)
+            .map_err(snap_err)?;
+        self.dt = snap.get_scalar("sim/dt").map_err(snap_err)?;
+        self.next_shift = next_shift;
+        self.model.atmos.params.ambient_wind = (wind[0], wind[1]);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -388,9 +444,9 @@ mod tests {
             .fuel_patch((0.0, 0.0, 120.0, 120.0), FuelCategory::Chaparral)
             .build()
             .expect("builds");
-        let inside = sim.model.fire.mesh.fuel.at(0, 0);
+        let inside = sim.model.fire.mesh().fuel.at(0, 0);
         let g = sim.model.fire_grid;
-        let outside = sim.model.fire.mesh.fuel.at(g.nx - 1, g.ny - 1);
+        let outside = sim.model.fire.mesh().fuel.at(g.nx - 1, g.ny - 1);
         assert_ne!(
             inside.max_spread, outside.max_spread,
             "patch must change the fuel"

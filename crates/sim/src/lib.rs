@@ -52,6 +52,9 @@ pub enum SimError {
     /// The scenario itself is malformed (empty ignition list, bad shift
     /// schedule, unknown fuel patch, …).
     Scenario(&'static str),
+    /// A checkpoint could not be restored (missing/malformed records or a
+    /// snapshot taken from a different scenario).
+    Snapshot(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -59,6 +62,7 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Model(e) => write!(f, "coupled model rejected scenario: {e:?}"),
             SimError::Scenario(msg) => write!(f, "invalid scenario: {msg}"),
+            SimError::Snapshot(msg) => write!(f, "snapshot restore failed: {msg}"),
         }
     }
 }

@@ -276,4 +276,119 @@ impl Scenario {
     pub fn timeline(&self, t_end: f64) -> ObsTimeline {
         ObsTimeline::from_streams(&self.streams, t_end)
     }
+
+    /// A stable 64-bit FNV-1a digest of every scenario field that shapes
+    /// the simulated trajectory: name, domain, fuel layout, wind forcing
+    /// and shift schedule, ignition geometry and time, coupling/fast-math/
+    /// warm-start switches, and dt. Floats are hashed by bit pattern, so
+    /// two scenarios fingerprint equal iff they run bitwise identically.
+    /// Checkpoints embed this so a snapshot refuses to restore into a
+    /// simulation built from a different scenario. Declared observation
+    /// streams are excluded — they feed the data pool, not the dynamics.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.bytes(self.name.as_bytes());
+        let d = &self.domain;
+        for v in [d.nx, d.ny, d.nz, d.refinement] {
+            h.u64(v as u64);
+        }
+        for v in [d.dx, d.dy, d.dz] {
+            h.f64(v);
+        }
+        match &self.fuel {
+            FuelSpec::Uniform(cat) => {
+                h.u64(0);
+                h.u64(*cat as u64);
+            }
+            FuelSpec::Patches { base, patches } => {
+                h.u64(1);
+                h.u64(*base as u64);
+                h.u64(patches.len() as u64);
+                for p in patches {
+                    let (x0, y0, x1, y1) = p.rect;
+                    for v in [x0, y0, x1, y1] {
+                        h.f64(v);
+                    }
+                    h.u64(p.fuel as u64);
+                }
+            }
+        }
+        h.f64(self.wind.ambient.0);
+        h.f64(self.wind.ambient.1);
+        h.u64(self.wind.shifts.len() as u64);
+        for s in &self.wind.shifts {
+            h.f64(s.at);
+            h.f64(s.to.0);
+            h.f64(s.to.1);
+        }
+        h.u64(self.ignitions.len() as u64);
+        for shape in &self.ignitions {
+            match *shape {
+                IgnitionShape::Circle { center, radius } => {
+                    h.u64(0);
+                    for v in [center.0, center.1, radius] {
+                        h.f64(v);
+                    }
+                }
+                IgnitionShape::Line {
+                    start,
+                    end,
+                    half_width,
+                } => {
+                    h.u64(1);
+                    for v in [start.0, start.1, end.0, end.1, half_width] {
+                        h.f64(v);
+                    }
+                }
+            }
+        }
+        h.f64(self.ignition_time);
+        h.u64(self.coupled as u64);
+        h.u64(self.fast_math as u64);
+        h.u64(self.pressure_warm_start as u64);
+        h.f64(self.dt);
+        h.0
+    }
+}
+
+/// FNV-1a accumulator for [`Scenario::fingerprint`].
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry;
+
+    #[test]
+    fn fingerprint_stable_and_field_sensitive() {
+        let s = registry::all()[0].clone();
+        let fp = s.fingerprint();
+        assert_eq!(fp, s.clone().fingerprint(), "fingerprint must be pure");
+        assert_ne!(fp, s.clone().with_coupling(!s.coupled).fingerprint());
+        assert_ne!(fp, s.clone().with_ambient_wind((9.75, -1.0)).fingerprint());
+        assert_ne!(fp, s.translated(1e-9, 0.0).fingerprint());
+        let mut dt = s.clone();
+        dt.dt += 1e-12;
+        assert_ne!(fp, dt.fingerprint(), "dt is hashed by bit pattern");
+    }
 }

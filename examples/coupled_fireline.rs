@@ -11,7 +11,7 @@ use wildfire::fire::perimeter::burning_components;
 use wildfire::sim::registry;
 
 fn ascii_render(model: &CoupledModel, state: &wildfire::core::CoupledState) {
-    let fluxes = heat_fluxes(&model.fire.mesh, &state.fire);
+    let fluxes = heat_fluxes(model.fire.mesh(), &state.fire);
     let g = model.fire_grid;
     let (_, max_flux) = fluxes.sensible.min_max();
     let rows = 30;

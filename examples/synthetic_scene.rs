@@ -34,7 +34,7 @@ fn main() {
 
     let wind = model.fire_wind(state).expect("wind");
     let frac = radiative_fraction(
-        &model.fire.mesh,
+        model.fire.mesh(),
         &state.fire,
         &wind,
         state.time(),

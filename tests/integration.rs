@@ -6,7 +6,7 @@ use wildfire::core::CoupledModel;
 use wildfire::enkf::{MorphingConfig, RegistrationConfig};
 use wildfire::ensemble::driver::EnsembleDriver;
 use wildfire::ensemble::metrics::evaluate_coupled_ensemble;
-use wildfire::ensemble::store::{DiskStore, MemStore, StateStore};
+use wildfire::ensemble::store::{DiskStore, MemStore, SnapshotStore};
 use wildfire::ensemble::{EnsembleWorkspace, ObsFilter};
 use wildfire::fire::heat::energy_released;
 use wildfire::fire::ignition::IgnitionShape;
@@ -39,7 +39,7 @@ fn coupled_energy_budget_is_sane() {
     let model = test_model();
     let mut state = center_fire(&model);
     model.run(&mut state, 30.0, 0.5, |_, _| {}).expect("run");
-    let released = energy_released(&model.fire.mesh, &state.fire, state.time());
+    let released = energy_released(model.fire.mesh(), &state.fire, state.time());
     let atmos_energy = state
         .atmos
         .thermal_energy(model.atmos.params.rho, model.atmos.params.cp);
@@ -132,10 +132,12 @@ fn disk_and_memory_stores_agree_through_forecast() {
         assert_eq!(a.fire.psi.as_slice(), b.fire.psi.as_slice());
         assert_eq!(a.fire.tig.as_slice(), b.fire.tig.as_slice());
     }
-    // And the stored bytes round-trip identically.
-    let from_mem = mem.load(0).expect("mem load");
-    let from_disk = disk.load(0).expect("disk load");
-    assert_eq!(from_mem.psi.as_slice(), from_disk.psi.as_slice());
+    // And the stored snapshots round-trip identically.
+    let mut from_mem = wildfire::obs::Snapshot::new();
+    let mut from_disk = wildfire::obs::Snapshot::new();
+    mem.load_into(0, &mut from_mem).expect("mem load");
+    disk.load_into(0, &mut from_disk).expect("disk load");
+    assert_eq!(from_mem, from_disk);
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -130,6 +130,27 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's full internal state (four xoshiro256++ words).
+        /// Together with [`StdRng::from_state`] this makes the stream
+        /// checkpointable: capturing the words and rebuilding later resumes
+        /// the identical sequence.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured state. The
+        /// all-zero state is a fixed point of xoshiro256++ and is rejected
+        /// by falling back to `seed_from_u64(0)` — it cannot arise from any
+        /// seeded generator, so a round-trip never hits the fallback.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return <Self as SeedableRng>::seed_from_u64(0);
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
